@@ -1,0 +1,132 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section as labelled plain-text data, then runs Bechamel
+   micro-benchmarks of the core analysis kernels.
+
+   Usage:
+     main.exe                 run everything
+     main.exe fig2 table1     run selected experiments
+     main.exe --no-perf       skip the Bechamel section
+     main.exe --list          list experiment ids *)
+
+module E = Spv_experiments
+
+let experiments =
+  [
+    ("fig2", "Fig. 2: MC vs analytic delay distributions", E.Fig2.run);
+    ("fig3", "Fig. 3: Clark model error trends", E.Fig3.run);
+    ("fig4", "Fig. 4: (mu, sigma) design space", E.Fig4.run);
+    ("fig5", "Fig. 5: variability vs depth / stage count", E.Fig5.run);
+    ("table1", "Table I: model vs MC across configurations", E.Table1.run);
+    ("fig7", "Figs. 7-8: balanced vs unbalanced ALU-decoder", E.Fig7_8.run);
+    ( "table2",
+      "Table II: ensure yield with small area penalty",
+      fun () ->
+        E.Common.section
+          "Table II: ensuring the 80% yield target with small area penalty";
+        E.Table2_3.print_table (E.Table2_3.compute E.Table2_3.Ensure_yield) );
+    ( "table3",
+      "Table III: area reduction under a yield constraint",
+      fun () ->
+        E.Common.section "Table III: area reduction at the 80% yield target";
+        E.Table2_3.print_table (E.Table2_3.compute E.Table2_3.Minimise_area) );
+    ( "ablations",
+      "Extensions: criticality, correlation length, sizer policy, leakage",
+      E.Ablations.run );
+  ]
+
+(* --- Bechamel micro-benchmarks of the analysis kernels -------------- *)
+
+let perf_tests () =
+  let open Bechamel in
+  let tech = E.Common.base_tech in
+  let ff = Spv_process.Flipflop.default tech in
+  let stages12 =
+    Array.init 12 (fun i ->
+        Spv_stats.Gaussian.make ~mu:(100.0 +. float_of_int i) ~sigma:5.0)
+  in
+  let corr12 = Spv_stats.Correlation.uniform ~n:12 ~rho:0.3 in
+  let stage_objs =
+    Array.init 12 (fun i ->
+        Spv_core.Stage.of_moments ~mu:(100.0 +. float_of_int i) ~sigma:5.0
+          ~name:(string_of_int i) ())
+  in
+  let pipeline = Spv_core.Pipeline.make stage_objs ~corr:corr12 in
+  let c432 = Spv_circuit.Generators.c432 () in
+  let chain = Spv_circuit.Generators.inverter_chain ~depth:10 () in
+  let rng = Spv_stats.Rng.create ~seed:99 in
+  [
+    Test.make ~name:"clark_max12_corr"
+      (Staged.stage (fun () ->
+           ignore (Spv_core.Clark.max_n stages12 ~corr:corr12)));
+    Test.make ~name:"yield_clark_gaussian"
+      (Staged.stage (fun () ->
+           ignore (Spv_core.Yield.clark_gaussian pipeline ~t_target:115.0)));
+    Test.make ~name:"yield_independent_exact"
+      (Staged.stage (fun () ->
+           ignore (Spv_core.Yield.independent_exact pipeline ~t_target:115.0)));
+    Test.make ~name:"pipeline_mc_100"
+      (Staged.stage (fun () ->
+           ignore (Spv_core.Yield.monte_carlo pipeline rng ~n:100 ~t_target:115.0)));
+    Test.make ~name:"sta_c432"
+      (Staged.stage (fun () -> ignore (Spv_circuit.Sta.run tech c432)));
+    Test.make ~name:"ssta_stage_chain10"
+      (Staged.stage (fun () ->
+           ignore (Spv_circuit.Ssta.analyse_stage ~ff tech chain)));
+    Test.make ~name:"big_phi_inv"
+      (Staged.stage (fun () -> ignore (Spv_stats.Special.big_phi_inv 0.8)));
+  ]
+
+let run_perf () =
+  let open Bechamel in
+  E.Common.section "Micro-benchmarks (Bechamel): core analysis kernels";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let tests = Test.make_grouped ~name:"spv" (perf_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Printf.sprintf "%12.1f ns/run" t
+        | Some [] | None -> "     (no est.)"
+      in
+      Printf.printf "  %-28s %s\n" name ns)
+    (List.sort compare rows)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let args = List.tl argv in
+  if List.mem "--list" args then begin
+    List.iter
+      (fun (id, descr, _) -> Printf.printf "%-8s %s\n" id descr)
+      experiments;
+    exit 0
+  end;
+  let no_perf = List.mem "--no-perf" args in
+  let selected = List.filter (fun a -> a <> "--no-perf") args in
+  let to_run =
+    if selected = [] then experiments
+    else
+      List.map
+        (fun id ->
+          match List.find_opt (fun (i, _, _) -> i = id) experiments with
+          | Some e -> e
+          | None ->
+              Printf.eprintf "unknown experiment %S (try --list)\n" id;
+              exit 2)
+        selected
+  in
+  let t0 = Sys.time () in
+  List.iter
+    (fun (id, _descr, run) ->
+      let t = Sys.time () in
+      run ();
+      Printf.printf "\n[%s done in %.1fs]\n" id (Sys.time () -. t))
+    to_run;
+  if not no_perf then run_perf ();
+  Printf.printf "\nTotal bench time: %.1fs\n" (Sys.time () -. t0)

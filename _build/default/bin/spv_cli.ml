@@ -1,0 +1,510 @@
+(* Command-line front end: run the paper's experiments individually or
+   interrogate the library (yield queries, STA, sizing) without writing
+   OCaml. *)
+
+open Cmdliner
+
+(* ---- shared circuit lookup ---------------------------------------- *)
+
+let circuits =
+  [
+    ("c432", fun () -> Spv_circuit.Generators.c432 ());
+    ("c1908", fun () -> Spv_circuit.Generators.c1908 ());
+    ("c2670", fun () -> Spv_circuit.Generators.c2670 ());
+    ("c3540", fun () -> Spv_circuit.Generators.c3540 ());
+    ("rca8", fun () -> Spv_circuit.Generators.ripple_carry_adder ~bits:8);
+    ("alu8", fun () -> Spv_circuit.Generators.alu_slice ~bits:8 ());
+    ("dec4", fun () -> Spv_circuit.Generators.decoder ~select:4 ());
+    ("chain10", fun () -> Spv_circuit.Generators.inverter_chain ~depth:10 ());
+  ]
+
+let lookup_circuit name =
+  match List.assoc_opt name circuits with
+  | Some f -> Ok (f ())
+  | None ->
+      if Sys.file_exists name then
+        match Spv_circuit.Bench_format.read_file name with
+        | net -> Ok net
+        | exception Failure msg -> Error (Printf.sprintf "%s: %s" name msg)
+      else
+        Error
+          (Printf.sprintf "unknown circuit %S (known: %s, or a .bench file path)"
+             name
+             (String.concat ", " (List.map fst circuits)))
+
+let circuit_arg =
+  let doc =
+    "Benchmark circuit name (c432, c1908, c2670, c3540, rca8, alu8, dec4, \
+     chain10) or a path to a .bench netlist file."
+  in
+  Arg.(required & opt (some string) None & info [ "c"; "circuit" ] ~doc)
+
+(* ---- experiment command ------------------------------------------- *)
+
+let experiments =
+  [
+    ("fig2", Spv_experiments.Fig2.run);
+    ("fig3", Spv_experiments.Fig3.run);
+    ("fig4", Spv_experiments.Fig4.run);
+    ("fig5", Spv_experiments.Fig5.run);
+    ("table1", Spv_experiments.Table1.run);
+    ("fig7", Spv_experiments.Fig7_8.run);
+    ( "table2",
+      fun () ->
+        Spv_experiments.Table2_3.print_table
+          (Spv_experiments.Table2_3.compute Spv_experiments.Table2_3.Ensure_yield) );
+    ( "table3",
+      fun () ->
+        Spv_experiments.Table2_3.print_table
+          (Spv_experiments.Table2_3.compute Spv_experiments.Table2_3.Minimise_area) );
+    ("ablations", Spv_experiments.Ablations.run);
+  ]
+
+let experiment_cmd =
+  let id =
+    let doc = "Experiment id (fig2 fig3 fig4 fig5 table1 fig7 table2 table3 ablations)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id =
+    match List.assoc_opt id experiments with
+    | Some f ->
+        f ();
+        Ok ()
+    | None ->
+        Error
+          (Printf.sprintf "unknown experiment %S (known: %s)" id
+             (String.concat ", " (List.map fst experiments)))
+  in
+  let term = Term.(term_result' (const run $ id)) in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures.")
+    term
+
+(* ---- yield command ------------------------------------------------ *)
+
+let yield_cmd =
+  let mus =
+    let doc = "Stage mean delays in ps (repeatable)." in
+    Arg.(non_empty & opt_all float [] & info [ "mu" ] ~doc)
+  in
+  let sigmas =
+    let doc = "Stage delay sigmas in ps (repeatable, same count as --mu)." in
+    Arg.(non_empty & opt_all float [] & info [ "sigma" ] ~doc)
+  in
+  let rho =
+    let doc = "Uniform stage-delay correlation coefficient." in
+    Arg.(value & opt float 0.0 & info [ "rho" ] ~doc)
+  in
+  let target =
+    let doc = "Clock-period target in ps." in
+    Arg.(required & opt (some float) None & info [ "t"; "target" ] ~doc)
+  in
+  let run mus sigmas rho target =
+    if List.length mus <> List.length sigmas then
+      Error "--mu and --sigma must be given the same number of times"
+    else begin
+      let stages =
+        List.map2
+          (fun mu sigma -> Spv_core.Stage.of_moments ~mu ~sigma ())
+          mus sigmas
+        |> Array.of_list
+      in
+      let n = Array.length stages in
+      let corr = Spv_stats.Correlation.uniform ~n ~rho in
+      let p = Spv_core.Pipeline.make stages ~corr in
+      let tp = Spv_core.Pipeline.delay_distribution p in
+      Printf.printf "pipeline delay ~ N(%.2f, %.2f) ps\n"
+        (Spv_stats.Gaussian.mu tp) (Spv_stats.Gaussian.sigma tp);
+      Printf.printf "yield(T = %.2f ps):\n" target;
+      Printf.printf "  Clark Gaussian (eq. 9):     %.2f%%\n"
+        (100.0 *. Spv_core.Yield.clark_gaussian p ~t_target:target);
+      if rho = 0.0 then
+        Printf.printf "  independent exact (eq. 8):  %.2f%%\n"
+          (100.0 *. Spv_core.Yield.independent_exact p ~t_target:target);
+      let rng = Spv_stats.Rng.create ~seed:42 in
+      Printf.printf "  Monte-Carlo (100k):         %.2f%%\n"
+        (100.0 *. Spv_core.Yield.monte_carlo p rng ~n:100_000 ~t_target:target);
+      Ok ()
+    end
+  in
+  let term = Term.(term_result' (const run $ mus $ sigmas $ rho $ target)) in
+  Cmd.v
+    (Cmd.info "yield"
+       ~doc:"Pipeline yield from per-stage (mu, sigma) and a uniform rho.")
+    term
+
+(* ---- sta command --------------------------------------------------- *)
+
+let sta_cmd =
+  let run name =
+    Result.map
+      (fun net ->
+        let tech = Spv_process.Tech.bptm70 in
+        let sta = Spv_circuit.Sta.run tech net in
+        Format.printf "%a@." Spv_circuit.Netlist.pp_stats net;
+        Printf.printf "logic depth: %d\n" (Spv_circuit.Topo.depth net);
+        Printf.printf "critical delay: %.1f ps (path of %d gates)\n"
+          sta.Spv_circuit.Sta.delay
+          (List.length sta.Spv_circuit.Sta.critical_path);
+        let ff = Spv_process.Flipflop.default tech in
+        let g = Spv_circuit.Ssta.stage_gaussian ~ff tech net in
+        Printf.printf "stage delay with FF: N(%.1f, %.2f) ps (sigma/mu %.2f%%)\n"
+          (Spv_stats.Gaussian.mu g) (Spv_stats.Gaussian.sigma g)
+          (100.0 *. Spv_stats.Gaussian.variability g))
+      (lookup_circuit name)
+  in
+  let term = Term.(term_result' (const run $ circuit_arg)) in
+  Cmd.v
+    (Cmd.info "sta" ~doc:"Deterministic and statistical timing of a circuit.")
+    term
+
+(* ---- size command --------------------------------------------------- *)
+
+let size_cmd =
+  let target =
+    let doc = "Statistical delay target (mu + z sigma) in ps." in
+    Arg.(required & opt (some float) None & info [ "t"; "target" ] ~doc)
+  in
+  let stage_yield =
+    let doc = "Stage yield budget in (0.5, 1) defining z." in
+    Arg.(value & opt float 0.9457 & info [ "stage-yield" ] ~doc)
+  in
+  let run name target stage_yield =
+    Result.bind (lookup_circuit name) (fun net ->
+        if not (stage_yield > 0.5 && stage_yield < 1.0) then
+          Error "--stage-yield must lie in (0.5, 1)"
+        else begin
+          let tech = Spv_process.Tech.bptm70 in
+          let ff = Spv_process.Flipflop.default tech in
+          let z = Spv_stats.Special.big_phi_inv stage_yield in
+          let before = Spv_circuit.Netlist.area net in
+          let r = Spv_sizing.Lagrangian.size_stage ~ff tech net ~t_target:target ~z in
+          Printf.printf
+            "sized %s: area %.1f -> %.1f, stat delay %.1f ps (target %.1f), \
+             %d iterations, converged: %b\n"
+            name before r.Spv_sizing.Lagrangian.area
+            r.Spv_sizing.Lagrangian.stat_delay target
+            r.Spv_sizing.Lagrangian.iterations r.Spv_sizing.Lagrangian.converged;
+          Ok ()
+        end)
+  in
+  let term = Term.(term_result' (const run $ circuit_arg $ target $ stage_yield)) in
+  Cmd.v
+    (Cmd.info "size"
+       ~doc:"Minimum-area gate sizing under a statistical delay constraint.")
+    term
+
+(* ---- power command --------------------------------------------------- *)
+
+let power_cmd =
+  let run name =
+    Result.map
+      (fun net ->
+        let tech = Spv_process.Tech.bptm70 in
+        let p = Spv_circuit.Power.analyse tech net in
+        Printf.printf "dynamic (switched-cap proxy): %.1f\n"
+          p.Spv_circuit.Power.dynamic;
+        Printf.printf "leakage nominal:              %.1f\n"
+          p.Spv_circuit.Power.leakage_nominal;
+        Printf.printf "leakage mean under variation: %.1f  (tax %.2fx)\n"
+          p.Spv_circuit.Power.leakage_mean
+          (p.Spv_circuit.Power.leakage_mean
+          /. p.Spv_circuit.Power.leakage_nominal);
+        Printf.printf "leakage sigma:                %.1f\n"
+          p.Spv_circuit.Power.leakage_sigma)
+      (lookup_circuit name)
+  in
+  let term = Term.(term_result' (const run $ circuit_arg)) in
+  Cmd.v
+    (Cmd.info "power"
+       ~doc:"Dynamic and statistical leakage power of a circuit.")
+    term
+
+(* ---- export command --------------------------------------------------- *)
+
+let export_cmd =
+  let out =
+    let doc = "Output path; '-' for stdout (default)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~doc)
+  in
+  let run name out =
+    Result.map
+      (fun net ->
+        if out = "-" then print_string (Spv_circuit.Bench_format.to_string net)
+        else Spv_circuit.Bench_format.write_file out net)
+      (lookup_circuit name)
+  in
+  let term = Term.(term_result' (const run $ circuit_arg $ out)) in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a circuit in .bench text format.")
+    term
+
+(* ---- criticality command ---------------------------------------------- *)
+
+let criticality_cmd =
+  let mus =
+    let doc = "Stage mean delays in ps (repeatable)." in
+    Arg.(non_empty & opt_all float [] & info [ "mu" ] ~doc)
+  in
+  let sigmas =
+    let doc = "Stage delay sigmas in ps (repeatable)." in
+    Arg.(non_empty & opt_all float [] & info [ "sigma" ] ~doc)
+  in
+  let run mus sigmas =
+    if List.length mus <> List.length sigmas then
+      Error "--mu and --sigma must be given the same number of times"
+    else begin
+      let stages =
+        List.map2 (fun mu sigma -> Spv_core.Stage.of_moments ~mu ~sigma ()) mus sigmas
+        |> Array.of_list
+      in
+      let n = Array.length stages in
+      let p =
+        Spv_core.Pipeline.make stages ~corr:(Spv_stats.Correlation.independent ~n)
+      in
+      let probs = Spv_core.Criticality.probabilities_analytic_independent p in
+      Array.iteri
+        (fun i pr -> Printf.printf "stage %d: P(critical) = %.4f\n" i pr)
+        probs;
+      Printf.printf "entropy: %.3f nats (max for %d stages: %.3f)\n"
+        (Spv_core.Criticality.entropy probs)
+        n
+        (log (float_of_int n));
+      Ok ()
+    end
+  in
+  let term = Term.(term_result' (const run $ mus $ sigmas)) in
+  Cmd.v
+    (Cmd.info "criticality"
+       ~doc:"Per-stage probability of being the pipeline's slowest stage.")
+    term
+
+(* ---- curve command ----------------------------------------------------- *)
+
+let curve_cmd =
+  let points =
+    let doc = "Number of sizing runs along the curve." in
+    Arg.(value & opt int 9 & info [ "n"; "points" ] ~doc)
+  in
+  let stage_yield =
+    let doc = "Stage yield budget in (0.5, 1) defining z." in
+    Arg.(value & opt float 0.9457 & info [ "stage-yield" ] ~doc)
+  in
+  let run name points stage_yield =
+    Result.bind (lookup_circuit name) (fun net ->
+        if not (stage_yield > 0.5 && stage_yield < 1.0) then
+          Error "--stage-yield must lie in (0.5, 1)"
+        else begin
+          let tech = Spv_process.Tech.bptm70 in
+          let ff = Spv_process.Flipflop.default tech in
+          let z = Spv_stats.Special.big_phi_inv stage_yield in
+          let pts =
+            Spv_sizing.Area_delay.curve_points ~ff ~n_points:points tech net ~z
+          in
+          Printf.printf "%12s %12s\n" "delay(ps)" "area";
+          Array.iter
+            (fun p ->
+              Printf.printf "%12.1f %12.1f\n" p.Spv_core.Balance.delay
+                p.Spv_core.Balance.area)
+            pts;
+          Ok ()
+        end)
+  in
+  let term = Term.(term_result' (const run $ circuit_arg $ points $ stage_yield)) in
+  Cmd.v
+    (Cmd.info "curve" ~doc:"Area-vs-delay trade-off curve of a circuit.")
+    term
+
+(* ---- report command --------------------------------------------------- *)
+
+let report_cmd =
+  let k =
+    let doc = "Number of paths to report." in
+    Arg.(value & opt int 5 & info [ "k"; "paths" ] ~doc)
+  in
+  let target =
+    let doc = "Optional delay target (ps) to annotate per-path yield." in
+    Arg.(value & opt (some float) None & info [ "t"; "target" ] ~doc)
+  in
+  let run name k target =
+    Result.map
+      (fun net ->
+        print_string
+          (Spv_circuit.Report.render ~k ?t_target:target
+             Spv_process.Tech.bptm70 net))
+      (lookup_circuit name)
+  in
+  let term = Term.(term_result' (const run $ circuit_arg $ k $ target)) in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"STA-style timing report: k slowest paths with statistics.")
+    term
+
+(* ---- hold command ------------------------------------------------------ *)
+
+let hold_cmd =
+  let hold =
+    let doc = "Receiving latch hold requirement in ps." in
+    Arg.(value & opt float 40.0 & info [ "hold" ] ~doc)
+  in
+  let run name hold =
+    Result.map
+      (fun net ->
+        let tech = Spv_process.Tech.bptm70 in
+        let ff = Spv_process.Flipflop.default tech in
+        let short = Spv_core.Hold.short_path_delay tech net in
+        Printf.printf "shortest path: %.1f ps nominal (sigma %.2f)\n"
+          short.Spv_process.Gate_delay.nominal
+          (Spv_process.Gate_delay.total_sigma short);
+        Printf.printf "hold yield at %.1f ps requirement: %.2f%%\n" hold
+          (100.0 *. Spv_core.Hold.hold_yield_stage tech ~ff ~hold_ps:hold net))
+      (lookup_circuit name)
+  in
+  let term = Term.(term_result' (const run $ circuit_arg $ hold)) in
+  Cmd.v
+    (Cmd.info "hold" ~doc:"Early-mode race (hold-time) yield of a stage.")
+    term
+
+(* ---- fmax command -------------------------------------------------------- *)
+
+let fmax_cmd =
+  let mus =
+    let doc = "Stage mean delays in ps (repeatable)." in
+    Arg.(non_empty & opt_all float [] & info [ "mu" ] ~doc)
+  in
+  let sigmas =
+    let doc = "Stage delay sigmas in ps (repeatable)." in
+    Arg.(non_empty & opt_all float [] & info [ "sigma" ] ~doc)
+  in
+  let rho =
+    let doc = "Uniform stage correlation." in
+    Arg.(value & opt float 0.0 & info [ "rho" ] ~doc)
+  in
+  let run mus sigmas rho =
+    if List.length mus <> List.length sigmas then
+      Error "--mu and --sigma must be given the same number of times"
+    else begin
+      let stages =
+        List.map2 (fun mu sigma -> Spv_core.Stage.of_moments ~mu ~sigma ()) mus sigmas
+        |> Array.of_list
+      in
+      let n = Array.length stages in
+      let p = Spv_core.Pipeline.make stages ~corr:(Spv_stats.Correlation.uniform ~n ~rho) in
+      let mean, std = Spv_core.Fmax.mean_std p in
+      Printf.printf "FMAX mean %.4f GHz, sigma %.4f GHz\n" (1000.0 *. mean)
+        (1000.0 *. std);
+      List.iter
+        (fun q ->
+          Printf.printf "  P%02.0f: %.4f GHz\n" (100.0 *. q)
+            (1000.0 *. Spv_core.Fmax.quantile p ~p:q))
+        [ 0.05; 0.25; 0.5; 0.75; 0.95 ];
+      Ok ()
+    end
+  in
+  let term = Term.(term_result' (const run $ mus $ sigmas $ rho)) in
+  Cmd.v
+    (Cmd.info "fmax" ~doc:"Maximum-frequency distribution of a pipeline.")
+    term
+
+(* ---- abb command --------------------------------------------------------- *)
+
+let abb_cmd =
+  let stages =
+    let doc = "Number of inverter-chain stages." in
+    Arg.(value & opt int 8 & info [ "stages" ] ~doc)
+  in
+  let depth =
+    let doc = "Logic depth per stage." in
+    Arg.(value & opt int 10 & info [ "depth" ] ~doc)
+  in
+  let yield =
+    let doc = "Pre-ABB yield operating point in (0,1)." in
+    Arg.(value & opt float 0.7 & info [ "yield" ] ~doc)
+  in
+  let range =
+    let doc = "Body-bias delay correction range (e.g. 0.1 = +-10%)." in
+    Arg.(value & opt float 0.1 & info [ "range" ] ~doc)
+  in
+  let run stages depth yield range =
+    if not (yield > 0.0 && yield < 1.0) then Error "--yield outside (0,1)"
+    else if range < 0.0 then Error "--range negative"
+    else begin
+      let tech = Spv_process.Tech.bptm70 in
+      let ff = Spv_process.Flipflop.default tech in
+      let nets = Spv_circuit.Generators.inverter_chain_pipeline ~stages ~depth () in
+      let p = Spv_core.Pipeline.of_circuits ~ff tech nets in
+      let t_target = Spv_core.Yield.target_delay_for_yield p ~yield in
+      let policy = { Spv_core.Adaptive.range } in
+      Printf.printf "T = %.1f ps: yield %.1f%% -> %.1f%% with +-%.0f%% ABB \
+                     (mean leakage x%.2f)\n"
+        t_target (100.0 *. yield)
+        (100.0 *. Spv_core.Adaptive.yield_with_abb ~policy p ~t_target)
+        (100.0 *. range)
+        (Spv_core.Adaptive.leakage_overhead ~policy tech p);
+      Ok ()
+    end
+  in
+  let term = Term.(term_result' (const run $ stages $ depth $ yield $ range)) in
+  Cmd.v
+    (Cmd.info "abb"
+       ~doc:"Adaptive body-bias yield recovery on an inverter-chain pipeline.")
+    term
+
+(* ---- vth command --------------------------------------------------------- *)
+
+let vth_cmd =
+  let slack =
+    let doc = "Timing slack factor over the all-low-Vth stat delay." in
+    Arg.(value & opt float 1.05 & info [ "slack" ] ~doc)
+  in
+  let run name slack =
+    Result.bind (lookup_circuit name) (fun net ->
+        if slack < 1.0 then Error "--slack must be >= 1.0"
+        else begin
+          let tech = Spv_process.Tech.bptm70 in
+          let ff = Spv_process.Flipflop.default tech in
+          let z = Spv_stats.Special.big_phi_inv 0.95 in
+          let a0 =
+            Spv_sizing.Multi_vth.all_low net ~delay_penalty:1.15
+              ~vth_offset:0.08
+          in
+          let d0 = Spv_sizing.Multi_vth.stat_delay ~ff tech net a0 ~z in
+          let r =
+            Spv_sizing.Multi_vth.optimise ~ff tech net
+              ~t_target:(slack *. d0) ~z
+          in
+          Printf.printf
+            "dual-Vth at %.0f%% slack: %d/%d gates high-Vth, leakage %.1f -> \
+             %.1f (-%.0f%%), stat delay %.1f ps (budget %.1f)\n"
+            (100.0 *. (slack -. 1.0))
+            r.Spv_sizing.Multi_vth.swapped
+            (Spv_circuit.Netlist.n_gates net)
+            r.Spv_sizing.Multi_vth.leakage_before
+            r.Spv_sizing.Multi_vth.leakage_after
+            (100.0
+            *. (1.0
+               -. r.Spv_sizing.Multi_vth.leakage_after
+                  /. r.Spv_sizing.Multi_vth.leakage_before))
+            r.Spv_sizing.Multi_vth.stat_delay_after (slack *. d0);
+          Ok ()
+        end)
+  in
+  let term = Term.(term_result' (const run $ circuit_arg $ slack)) in
+  Cmd.v
+    (Cmd.info "vth"
+       ~doc:"Criticality-guided dual-Vth assignment for leakage recovery.")
+    term
+
+(* ---- main ----------------------------------------------------------- *)
+
+let () =
+  let doc = "statistical pipeline delay / yield toolkit (DATE'05 reproduction)" in
+  let info = Cmd.info "spv_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            experiment_cmd; yield_cmd; sta_cmd; size_cmd; power_cmd; export_cmd;
+            criticality_cmd; curve_cmd; report_cmd; hold_cmd; fmax_cmd; abb_cmd;
+            vth_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/alu_decoder.ml: Array Float Printf Spv_circuit Spv_core Spv_process Spv_sizing Spv_stats

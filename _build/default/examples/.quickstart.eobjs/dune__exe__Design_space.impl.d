@@ -1,0 +1,1 @@
+examples/design_space.ml: List Printf Spv_core Spv_process

@@ -1,0 +1,1 @@
+examples/iscas_pipeline.ml: Array Printf Spv_circuit Spv_core Spv_process Spv_sizing Spv_stats String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Spv_core Spv_stats

@@ -1,0 +1,1 @@
+examples/rare_events.ml: List Printf Spv_circuit Spv_core Spv_process Spv_stats

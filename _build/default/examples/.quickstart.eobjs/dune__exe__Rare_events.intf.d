@@ -1,0 +1,1 @@
+examples/rare_events.mli:

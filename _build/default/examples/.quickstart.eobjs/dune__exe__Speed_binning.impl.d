@@ -1,0 +1,1 @@
+examples/speed_binning.ml: Array List Printf Spv_circuit Spv_core Spv_process

@@ -1,0 +1,1 @@
+examples/speed_binning.mli:

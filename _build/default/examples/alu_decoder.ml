@@ -1,0 +1,91 @@
+(* Balanced vs unbalanced pipeline design (the paper's Section 3.2).
+
+   Builds the 3-stage ALU-decoder pipeline of Fig. 6 at the gate level,
+   extracts each stage's area-vs-delay curve with the statistical
+   sizer, and shows that deliberately unbalancing the stage delays at
+   CONSTANT total area improves yield — the paper's central design
+   observation.
+
+   Run with:  dune exec examples/alu_decoder.exe *)
+
+module Balance = Spv_core.Balance
+
+let () =
+  let tech = Spv_process.Tech.bptm70 in
+  let ff = Spv_process.Flipflop.default tech in
+  let yield_target = 0.8 in
+  let z =
+    Spv_stats.Special.big_phi_inv
+      (Spv_core.Yield.per_stage_yield_target ~yield:yield_target ~n_stages:3)
+  in
+  Printf.printf "Per-stage yield budget: %.2f%% (z = %.3f)\n\n"
+    (100.0 *. Spv_core.Yield.per_stage_yield_target ~yield:yield_target ~n_stages:3)
+    z;
+
+  let nets = Spv_circuit.Generators.alu_decoder_stages ~bits:8 in
+  Array.iter
+    (fun net ->
+      Printf.printf "  stage %-10s %4d gates, depth %2d\n"
+        (Spv_circuit.Netlist.name net)
+        (Spv_circuit.Netlist.n_gates net)
+        (Spv_circuit.Topo.depth net))
+    nets;
+
+  (* Area-delay curve per stage (each point is one run of the
+     Lagrangian sizer at a different delay target). *)
+  let models =
+    Array.map
+      (fun net -> Spv_sizing.Area_delay.stage_model ~ff ~n_points:9 tech net ~z)
+      nets
+  in
+  Printf.printf "\nArea-delay trade-off (eq. 14 slope R_i at mid-curve):\n";
+  Array.iter
+    (fun m ->
+      let lo, hi = Balance.delay_bounds m in
+      let mid = (lo +. hi) /. 2.0 in
+      Printf.printf "  %-10s delay range [%.0f, %.0f] ps, R = %.2f\n"
+        (Balance.name m) lo hi (Balance.ri m ~delay:mid))
+    models;
+
+  (* Balanced design: equal stage delays; tune the common delay so the
+     pipeline achieves exactly the 80% target. *)
+  let lo =
+    Array.fold_left (fun acc m -> Float.max acc (fst (Balance.delay_bounds m)))
+      neg_infinity models
+  in
+  let hi =
+    Array.fold_left (fun acc m -> Float.min acc (snd (Balance.delay_bounds m)))
+      infinity models
+  in
+  (* Put the balanced design a quarter of the way into the common
+     range and set the clock so it achieves the 80% target exactly —
+     guaranteeing the target is feasible. *)
+  let d_bal = lo +. (0.25 *. (hi -. lo)) in
+  let t_target =
+    Spv_core.Yield.target_delay_for_yield
+      (Balance.pipeline_of models ~delays:(Array.make 3 d_bal))
+      ~yield:yield_target
+  in
+  let balanced =
+    Balance.evaluate models ~delays:(Array.make 3 d_bal) ~t_target
+  in
+  Printf.printf
+    "\nBalanced design:   delays = [%.0f; %.0f; %.0f] ps, area = %.0f, \
+     yield = %.1f%%\n"
+    balanced.Balance.delays.(0) balanced.Balance.delays.(1)
+    balanced.Balance.delays.(2) balanced.Balance.area
+    (100.0 *. balanced.Balance.yield);
+
+  let best =
+    Balance.optimise_constant_area models ~total_area:balanced.Balance.area
+      ~t_target
+  in
+  Printf.printf
+    "Unbalanced (best): delays = [%.0f; %.0f; %.0f] ps, area = %.0f, \
+     yield = %.1f%%\n"
+    best.Balance.delays.(0) best.Balance.delays.(1) best.Balance.delays.(2)
+    best.Balance.area
+    (100.0 *. best.Balance.yield);
+  Printf.printf
+    "\n=> same area, +%.1f yield points from deliberate imbalance.\n"
+    (100.0 *. (best.Balance.yield -. balanced.Balance.yield))

@@ -1,0 +1,1 @@
+lib/circuit/bench_format.ml: Array Buffer Builder Cell Filename Fun Hashtbl List Netlist Option Printf String

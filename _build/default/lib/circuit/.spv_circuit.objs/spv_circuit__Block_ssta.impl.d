@@ -1,0 +1,1 @@
+lib/circuit/block_ssta.ml: Array Canonical Cell Hashtbl List Netlist Spv_process Ssta Sta

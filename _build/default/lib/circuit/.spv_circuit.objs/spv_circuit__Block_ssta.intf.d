@@ -1,0 +1,1 @@
+lib/circuit/block_ssta.mli: Canonical Netlist Spv_process Spv_stats

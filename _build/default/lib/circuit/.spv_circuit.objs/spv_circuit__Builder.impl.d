@@ -1,0 +1,1 @@
+lib/circuit/builder.ml: Array Cell List Netlist

@@ -1,0 +1,1 @@
+lib/circuit/canonical.ml: Float Format Spv_process Spv_stats

@@ -1,0 +1,1 @@
+lib/circuit/canonical.mli: Format Spv_process Spv_stats

@@ -1,0 +1,1 @@
+lib/circuit/equivalence.ml: Array Hashtbl List Netlist Spv_stats

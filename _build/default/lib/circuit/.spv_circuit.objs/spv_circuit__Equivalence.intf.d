@@ -1,0 +1,1 @@
+lib/circuit/equivalence.mli: Netlist Spv_stats

@@ -1,0 +1,1 @@
+lib/circuit/generators.ml: Array Builder Cell List Netlist Printf Spv_stats Stdlib Topo

@@ -1,0 +1,1 @@
+lib/circuit/power.ml: Array Cell Float Netlist Spv_process Spv_stats

@@ -1,0 +1,1 @@
+lib/circuit/power.mli: Netlist Spv_process Spv_stats

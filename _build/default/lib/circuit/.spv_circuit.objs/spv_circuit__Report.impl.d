@@ -1,0 +1,1 @@
+lib/circuit/report.ml: Array Block_ssta Buffer Cell Float Format List Netlist Printf Spv_process Spv_stats Sta Topo

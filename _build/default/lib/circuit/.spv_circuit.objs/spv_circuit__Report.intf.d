@@ -1,0 +1,1 @@
+lib/circuit/report.mli: Netlist Spv_process

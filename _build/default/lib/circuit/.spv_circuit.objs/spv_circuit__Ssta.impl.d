@@ -1,0 +1,1 @@
+lib/circuit/ssta.ml: Array Float List Netlist Spv_process Sta

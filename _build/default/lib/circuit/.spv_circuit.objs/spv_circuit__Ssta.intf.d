@@ -1,0 +1,1 @@
+lib/circuit/ssta.mli: Netlist Spv_process Spv_stats Sta

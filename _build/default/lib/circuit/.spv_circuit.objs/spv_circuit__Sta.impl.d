@@ -1,0 +1,1 @@
+lib/circuit/sta.ml: Array Cell Float List Netlist Spv_process Wire

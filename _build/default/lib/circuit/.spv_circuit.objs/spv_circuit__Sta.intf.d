@@ -1,0 +1,1 @@
+lib/circuit/sta.mli: Netlist Spv_process Wire

@@ -1,0 +1,1 @@
+lib/circuit/wire.ml: Format Spv_process Stdlib

@@ -1,0 +1,237 @@
+let signal_name net id =
+  match Netlist.node net id with
+  | Netlist.Primary_input label -> label
+  | Netlist.Gate _ -> Printf.sprintf "n%d" id
+
+let to_string net =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Netlist.name net));
+  Array.iter
+    (fun id ->
+      Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (signal_name net id)))
+    (Netlist.input_ids net);
+  Array.iter
+    (fun id ->
+      match Netlist.node net id with
+      | Netlist.Primary_input _ -> ()
+      | Netlist.Gate { kind; fanin } ->
+          let args =
+            String.concat ", "
+              (Array.to_list (Array.map (signal_name net) fanin))
+          in
+          let size = Netlist.size net id in
+          let annot =
+            if abs_float (size -. 1.0) < 1e-12 then ""
+            else Printf.sprintf " [size=%g]" size
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s = %s(%s)%s\n" (signal_name net id)
+               (String.uppercase_ascii (Cell.name kind))
+               args annot))
+    (Netlist.gate_ids net);
+  Array.iter
+    (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "OUTPUT(%s)\n" (signal_name net id)))
+    (Netlist.outputs net);
+  Buffer.contents buf
+
+(* ---- parsing -------------------------------------------------------- *)
+
+type statement =
+  | St_input of string
+  | St_output of string
+  | St_def of { signal : string; cell : string; args : string list; size : float }
+
+let fail_line lineno fmt =
+  Printf.ksprintf (fun msg -> failwith (Printf.sprintf "line %d: %s" lineno msg)) fmt
+
+let strip s = String.trim s
+
+let parse_paren_form lineno keyword line =
+  (* "KEYWORD(name)" *)
+  let prefix = keyword ^ "(" in
+  if String.length line <= String.length prefix then
+    fail_line lineno "malformed %s statement" keyword
+  else begin
+    let inner =
+      String.sub line (String.length prefix)
+        (String.length line - String.length prefix)
+    in
+    match String.index_opt inner ')' with
+    | None -> fail_line lineno "missing ')' in %s statement" keyword
+    | Some close -> strip (String.sub inner 0 close)
+  end
+
+let parse_def lineno line =
+  match String.index_opt line '=' with
+  | None -> fail_line lineno "expected '=' in definition"
+  | Some eq ->
+      let signal = strip (String.sub line 0 eq) in
+      if signal = "" then fail_line lineno "empty signal name";
+      let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
+      (* Optional trailing "[size=...]". *)
+      let rhs, size =
+        match String.index_opt rhs '[' with
+        | None -> (rhs, 1.0)
+        | Some bopen ->
+            let annot = String.sub rhs bopen (String.length rhs - bopen) in
+            let rhs = strip (String.sub rhs 0 bopen) in
+            let annot = strip annot in
+            let ok =
+              String.length annot > 7
+              && String.sub annot 0 6 = "[size="
+              && annot.[String.length annot - 1] = ']'
+            in
+            if not ok then fail_line lineno "malformed size annotation %S" annot;
+            let v = String.sub annot 6 (String.length annot - 7) in
+            (match float_of_string_opt v with
+            | Some size when size > 0.0 -> (rhs, size)
+            | Some _ | None -> fail_line lineno "bad size value %S" v)
+      in
+      (match String.index_opt rhs '(' with
+      | None -> fail_line lineno "expected CELL(args) on right-hand side"
+      | Some popen ->
+          let cell = strip (String.sub rhs 0 popen) in
+          let rest = String.sub rhs (popen + 1) (String.length rhs - popen - 1) in
+          (match String.index_opt rest ')' with
+          | None -> fail_line lineno "missing ')'"
+          | Some pclose ->
+              let args_str = String.sub rest 0 pclose in
+              let args =
+                if strip args_str = "" then []
+                else List.map strip (String.split_on_char ',' args_str)
+              in
+              if List.exists (fun a -> a = "") args then
+                fail_line lineno "empty argument";
+              St_def { signal; cell; args; size }))
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | None -> strip line
+    | Some h -> strip (String.sub line 0 h)
+  in
+  if line = "" then None
+  else begin
+    let upper = String.uppercase_ascii line in
+    if String.length upper >= 6 && String.sub upper 0 6 = "INPUT(" then
+      Some (St_input (parse_paren_form lineno "INPUT" line))
+    else if String.length upper >= 7 && String.sub upper 0 7 = "OUTPUT(" then
+      Some (St_output (parse_paren_form lineno "OUTPUT" line))
+    else Some (parse_def lineno line)
+  end
+
+let resolve_cell lineno name ~arity =
+  let lower = String.lowercase_ascii name in
+  let candidates =
+    match lower with
+    | "not" -> [ "inv" ]
+    | "buff" -> [ "buf" ]
+    | "nand" | "nor" | "and" | "or" ->
+        [ lower ^ string_of_int arity; lower ^ "2" ]
+    | other -> [ other ]
+  in
+  let rec try_candidates = function
+    | [] -> fail_line lineno "unknown cell %S (arity %d)" name arity
+    | c :: rest -> (
+        match Cell.of_name c with
+        | cell -> cell
+        | exception Invalid_argument _ -> try_candidates rest)
+  in
+  try_candidates candidates
+
+let of_string ?(name = "netlist") text =
+  let statements =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line -> (i + 1, parse_line (i + 1) line))
+    |> List.filter_map (fun (lineno, st) ->
+           Option.map (fun st -> (lineno, st)) st)
+  in
+  let defs : (string, int * string * string list * float) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let inputs = ref [] and outputs = ref [] in
+  List.iter
+    (fun (lineno, st) ->
+      match st with
+      | St_input signal ->
+          if Hashtbl.mem defs signal || List.mem signal !inputs then
+            fail_line lineno "duplicate definition of %S" signal;
+          inputs := signal :: !inputs
+      | St_output signal -> outputs := signal :: !outputs
+      | St_def { signal; cell; args; size } ->
+          if Hashtbl.mem defs signal || List.mem signal !inputs then
+            fail_line lineno "duplicate definition of %S" signal;
+          Hashtbl.add defs signal (lineno, cell, args, size))
+    statements;
+  let inputs = List.rev !inputs and outputs = List.rev !outputs in
+  let b = Builder.create ~name in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun signal -> Hashtbl.add ids signal (Builder.input b signal)) inputs;
+  (* DFS with an explicit visiting set for cycle detection. *)
+  let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec resolve signal =
+    match Hashtbl.find_opt ids signal with
+    | Some id -> id
+    | None -> (
+        if Hashtbl.mem visiting signal then
+          failwith (Printf.sprintf "combinational cycle through %S" signal);
+        match Hashtbl.find_opt defs signal with
+        | None -> failwith (Printf.sprintf "undefined signal %S" signal)
+        | Some (lineno, cell, args, size) ->
+            Hashtbl.add visiting signal ();
+            let fanin = List.map resolve args in
+            Hashtbl.remove visiting signal;
+            let kind = resolve_cell lineno cell ~arity:(List.length args) in
+            let id = Builder.gate ~size b kind fanin in
+            Hashtbl.add ids signal id;
+            id)
+  in
+  (* Resolve every definition (not only output cones) so dangling
+     definitions are caught by validation rather than dropped. *)
+  Hashtbl.iter (fun signal _ -> ignore (resolve signal)) defs;
+  if outputs = [] then failwith "no OUTPUT statements";
+  List.iter
+    (fun signal ->
+      match Hashtbl.find_opt ids signal with
+      | Some id -> Builder.output b id
+      | None -> failwith (Printf.sprintf "undefined output signal %S" signal))
+    outputs;
+  Builder.finish b
+
+let write_file path net =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string net))
+
+let read_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ~name:(Filename.remove_extension (Filename.basename path)) text
+
+(* Structural comparison via interned recursive signatures. *)
+let signatures net =
+  let n = Netlist.n_nodes net in
+  let sig_of = Array.make n "" in
+  for i = 0 to n - 1 do
+    sig_of.(i) <-
+      (match Netlist.node net i with
+      | Netlist.Primary_input label -> "in:" ^ label
+      | Netlist.Gate { kind; fanin } ->
+          Printf.sprintf "%s[%g](%s)" (Cell.name kind) (Netlist.size net i)
+            (String.concat ","
+               (Array.to_list
+                  (Array.map (fun f -> string_of_int (Hashtbl.hash sig_of.(f))) fanin))))
+  done;
+  Array.map (fun o -> sig_of.(o)) (Netlist.outputs net)
+
+let roundtrip_equal a b =
+  Netlist.n_nodes a = Netlist.n_nodes b
+  && Array.length (Netlist.outputs a) = Array.length (Netlist.outputs b)
+  && signatures a = signatures b

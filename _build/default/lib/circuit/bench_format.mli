@@ -1,0 +1,31 @@
+(** ISCAS `.bench`-style netlist text format.
+
+    Grammar (one statement per line, `#` comments):
+    {v
+    INPUT(a)
+    OUTPUT(n5)
+    n3 = NAND2(a, b)        # cell names as in Cell.of_name, upper/lower
+    n4 = INV(n3) [size=2.5] # optional drive annotation
+    v}
+
+    Cells are resolved through {!Cell.of_name} (case-insensitive);
+    `NAND`/`NOR`/`AND`/`OR` without an arity suffix resolve by fanin
+    count.  Statements may appear in any order — the reader
+    topologically sorts them — but combinational cycles are rejected. *)
+
+val to_string : Netlist.t -> string
+(** Render a netlist (stable: inputs, then gates in id order with
+    non-default sizes annotated, then outputs). *)
+
+val of_string : ?name:string -> string -> Netlist.t
+(** Parse. Raises [Failure] with a line-numbered message on syntax
+    errors, unknown cells, undefined signals, arity mismatches,
+    duplicate definitions or cycles. *)
+
+val write_file : string -> Netlist.t -> unit
+val read_file : string -> Netlist.t
+(** [read_file path] names the netlist after the file's basename. *)
+
+val roundtrip_equal : Netlist.t -> Netlist.t -> bool
+(** Structural equality (same nodes, fanins, sizes, outputs) up to node
+    renumbering induced by topological order — used by tests. *)

@@ -1,0 +1,48 @@
+type t = {
+  name : string;
+  mutable nodes : Netlist.node list;  (* reversed *)
+  mutable sizes : float list;  (* reversed *)
+  mutable outputs : int list;  (* reversed *)
+  mutable count : int;
+}
+
+let create ~name = { name; nodes = []; sizes = []; outputs = []; count = 0 }
+
+let push t node size =
+  t.nodes <- node :: t.nodes;
+  t.sizes <- size :: t.sizes;
+  let id = t.count in
+  t.count <- t.count + 1;
+  id
+
+let input t label = push t (Netlist.Primary_input label) 1.0
+
+let gate ?(size = 1.0) t kind fanin =
+  List.iter
+    (fun f ->
+      if f < 0 || f >= t.count then invalid_arg "Builder.gate: unknown fanin id")
+    fanin;
+  push t (Netlist.Gate { kind; fanin = Array.of_list fanin }) size
+
+let inv ?size t a = gate ?size t Cell.Inv [ a ]
+let buf ?size t a = gate ?size t Cell.Buf [ a ]
+let nand2 ?size t a b = gate ?size t Cell.Nand2 [ a; b ]
+let nor2 ?size t a b = gate ?size t Cell.Nor2 [ a; b ]
+let and2 ?size t a b = gate ?size t Cell.And2 [ a; b ]
+let or2 ?size t a b = gate ?size t Cell.Or2 [ a; b ]
+let xor2 ?size t a b = gate ?size t Cell.Xor2 [ a; b ]
+let xnor2 ?size t a b = gate ?size t Cell.Xnor2 [ a; b ]
+let mux2 ?size t ~sel ~a ~b = gate ?size t Cell.Mux2 [ sel; a; b ]
+
+let output t id =
+  if id < 0 || id >= t.count then invalid_arg "Builder.output: unknown id";
+  t.outputs <- id :: t.outputs
+
+let n_nodes t = t.count
+
+let finish t =
+  if t.outputs = [] then invalid_arg "Builder.finish: no outputs declared";
+  Netlist.make ~name:t.name
+    ~nodes:(Array.of_list (List.rev t.nodes))
+    ~outputs:(Array.of_list (List.rev t.outputs))
+    ~sizes:(Array.of_list (List.rev t.sizes))

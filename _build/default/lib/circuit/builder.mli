@@ -1,0 +1,34 @@
+(** Incremental netlist construction.
+
+    Nodes are appended in topological order; each combinator returns
+    the node id, which later gates reference.  [finish] freezes the
+    builder into a validated {!Netlist.t}. *)
+
+type t
+
+val create : name:string -> t
+
+val input : t -> string -> int
+(** Declare a primary input. *)
+
+val gate : ?size:float -> t -> Cell.kind -> int list -> int
+(** Append a gate (default size 1.0). Fanin ids must already exist. *)
+
+val inv : ?size:float -> t -> int -> int
+val buf : ?size:float -> t -> int -> int
+val nand2 : ?size:float -> t -> int -> int -> int
+val nor2 : ?size:float -> t -> int -> int -> int
+val and2 : ?size:float -> t -> int -> int -> int
+val or2 : ?size:float -> t -> int -> int -> int
+val xor2 : ?size:float -> t -> int -> int -> int
+val xnor2 : ?size:float -> t -> int -> int -> int
+val mux2 : ?size:float -> t -> sel:int -> a:int -> b:int -> int
+
+val output : t -> int -> unit
+(** Mark a node as a primary output. *)
+
+val n_nodes : t -> int
+
+val finish : t -> Netlist.t
+(** Raises [Invalid_argument] if no output was declared or validation
+    fails. *)

@@ -1,0 +1,128 @@
+type kind =
+  | Inv
+  | Buf
+  | Nand2
+  | Nand3
+  | Nand4
+  | Nor2
+  | Nor3
+  | Nor4
+  | And2
+  | Or2
+  | Xor2
+  | Xnor2
+  | Aoi21
+  | Oai21
+  | Mux2
+
+let all =
+  [ Inv; Buf; Nand2; Nand3; Nand4; Nor2; Nor3; Nor4; And2; Or2; Xor2; Xnor2;
+    Aoi21; Oai21; Mux2 ]
+
+let arity = function
+  | Inv | Buf -> 1
+  | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 -> 2
+  | Nand3 | Nor3 | Aoi21 | Oai21 | Mux2 -> 3
+  | Nand4 | Nor4 -> 4
+
+(* Standard logical-effort values for gamma = 1 CMOS; composite cells
+   (And2/Or2/Buf) carry the effective effort of their two-stage
+   realisation. *)
+let logical_effort = function
+  | Inv -> 1.0
+  | Buf -> 1.0
+  | Nand2 -> 4.0 /. 3.0
+  | Nand3 -> 5.0 /. 3.0
+  | Nand4 -> 2.0
+  | Nor2 -> 5.0 /. 3.0
+  | Nor3 -> 7.0 /. 3.0
+  | Nor4 -> 3.0
+  | And2 -> 4.0 /. 3.0
+  | Or2 -> 5.0 /. 3.0
+  | Xor2 -> 4.0
+  | Xnor2 -> 4.0
+  | Aoi21 -> 2.0
+  | Oai21 -> 2.0
+  | Mux2 -> 2.0
+
+let parasitic = function
+  | Inv -> 1.0
+  | Buf -> 2.0
+  | Nand2 -> 2.0
+  | Nand3 -> 3.0
+  | Nand4 -> 4.0
+  | Nor2 -> 2.0
+  | Nor3 -> 3.0
+  | Nor4 -> 4.0
+  | And2 -> 3.0
+  | Or2 -> 3.0
+  | Xor2 -> 4.0
+  | Xnor2 -> 4.0
+  | Aoi21 -> 7.0 /. 3.0
+  | Oai21 -> 7.0 /. 3.0
+  | Mux2 -> 2.0
+
+(* Transistor count / 2, as a proxy for layout area per drive unit. *)
+let area_per_size = function
+  | Inv -> 1.0
+  | Buf -> 2.0
+  | Nand2 -> 2.0
+  | Nand3 -> 3.0
+  | Nand4 -> 4.0
+  | Nor2 -> 2.0
+  | Nor3 -> 3.0
+  | Nor4 -> 4.0
+  | And2 -> 3.0
+  | Or2 -> 3.0
+  | Xor2 -> 5.0
+  | Xnor2 -> 5.0
+  | Aoi21 -> 3.0
+  | Oai21 -> 3.0
+  | Mux2 -> 4.0
+
+let input_cap kind ~size = logical_effort kind *. size
+
+let name = function
+  | Inv -> "inv"
+  | Buf -> "buf"
+  | Nand2 -> "nand2"
+  | Nand3 -> "nand3"
+  | Nand4 -> "nand4"
+  | Nor2 -> "nor2"
+  | Nor3 -> "nor3"
+  | Nor4 -> "nor4"
+  | And2 -> "and2"
+  | Or2 -> "or2"
+  | Xor2 -> "xor2"
+  | Xnor2 -> "xnor2"
+  | Aoi21 -> "aoi21"
+  | Oai21 -> "oai21"
+  | Mux2 -> "mux2"
+
+let of_name s =
+  match List.find_opt (fun k -> name k = s) all with
+  | Some k -> k
+  | None -> invalid_arg ("Cell.of_name: unknown cell " ^ s)
+
+let is_inverting = function
+  | Inv | Nand2 | Nand3 | Nand4 | Nor2 | Nor3 | Nor4 | Xnor2 | Aoi21 | Oai21 ->
+      true
+  | Buf | And2 | Or2 | Xor2 | Mux2 -> false
+
+let eval kind inputs =
+  if Array.length inputs <> arity kind then
+    invalid_arg "Cell.eval: wrong input count";
+  let allv = Array.for_all (fun b -> b) in
+  let anyv = Array.exists (fun b -> b) in
+  match kind with
+  | Inv -> not inputs.(0)
+  | Buf -> inputs.(0)
+  | Nand2 | Nand3 | Nand4 -> not (allv inputs)
+  | Nor2 | Nor3 | Nor4 -> not (anyv inputs)
+  | And2 -> allv inputs
+  | Or2 -> anyv inputs
+  | Xor2 -> inputs.(0) <> inputs.(1)
+  | Xnor2 -> inputs.(0) = inputs.(1)
+  | Aoi21 -> not ((inputs.(0) && inputs.(1)) || inputs.(2))
+  | Oai21 -> not ((inputs.(0) || inputs.(1)) && inputs.(2))
+  | Mux2 -> if inputs.(0) then inputs.(2) else inputs.(1)

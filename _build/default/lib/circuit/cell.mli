@@ -1,0 +1,52 @@
+(** Standard-cell library: logical-effort parameters and area.
+
+    The timing model is the classic logical-effort formulation.  A gate
+    of drive [x] (in minimum-inverter units) presents input capacitance
+    [g * x] per pin and has absolute delay
+    [tau * (p + load / x)] where [load] is the sum of the input
+    capacitances it drives.  Area is [area_per_size * x]. *)
+
+type kind =
+  | Inv
+  | Buf
+  | Nand2
+  | Nand3
+  | Nand4
+  | Nor2
+  | Nor3
+  | Nor4
+  | And2
+  | Or2
+  | Xor2
+  | Xnor2
+  | Aoi21
+  | Oai21
+  | Mux2
+
+val all : kind list
+
+val arity : kind -> int
+(** Number of logic inputs ([Mux2] counts its select). *)
+
+val logical_effort : kind -> float
+(** Logical effort g per input, relative to an inverter. *)
+
+val parasitic : kind -> float
+(** Parasitic delay p in tau units. *)
+
+val area_per_size : kind -> float
+(** Layout area per unit drive, in minimum-inverter-area units. *)
+
+val input_cap : kind -> size:float -> float
+(** Input capacitance per pin = [logical_effort * size]. *)
+
+val name : kind -> string
+val of_name : string -> kind
+(** Raises [Invalid_argument] on an unknown name. *)
+
+val is_inverting : kind -> bool
+
+val eval : kind -> bool array -> bool
+(** Boolean function of the cell, for functional simulation tests.
+    The array length must equal [arity]. [Mux2] input order is
+    [|sel; a; b|] (selects [a] when [sel] is false). *)

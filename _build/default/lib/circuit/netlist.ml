@@ -1,0 +1,127 @@
+type node =
+  | Primary_input of string
+  | Gate of { kind : Cell.kind; fanin : int array }
+
+type t = {
+  name : string;
+  nodes : node array;
+  outputs : int array;
+  sizes : float array;
+  fanouts : int list array;
+  gate_ids : int array;
+  input_ids : int array;
+}
+
+let make ~name ~nodes ~outputs ~sizes =
+  let n = Array.length nodes in
+  if Array.length sizes <> n then
+    invalid_arg "Netlist.make: sizes length mismatch";
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Primary_input _ -> ()
+      | Gate { kind; fanin } ->
+          if Array.length fanin <> Cell.arity kind then
+            invalid_arg
+              (Printf.sprintf "Netlist.make: node %d: %s expects %d inputs" i
+                 (Cell.name kind) (Cell.arity kind));
+          Array.iter
+            (fun f ->
+              if f < 0 || f >= i then
+                invalid_arg
+                  (Printf.sprintf
+                     "Netlist.make: node %d references %d (not topological)" i f))
+            fanin;
+          if sizes.(i) <= 0.0 then
+            invalid_arg (Printf.sprintf "Netlist.make: node %d: size <= 0" i))
+    nodes;
+  Array.iter
+    (fun o ->
+      if o < 0 || o >= n then invalid_arg "Netlist.make: bad output id")
+    outputs;
+  if Array.length outputs = 0 then invalid_arg "Netlist.make: no outputs";
+  let fanouts = Array.make n [] in
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Primary_input _ -> ()
+      | Gate { fanin; _ } ->
+          Array.iter (fun f -> fanouts.(f) <- i :: fanouts.(f)) fanin)
+    nodes;
+  let ids pred =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if pred nodes.(i) then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let gate_ids = ids (function Gate _ -> true | Primary_input _ -> false) in
+  let input_ids = ids (function Primary_input _ -> true | Gate _ -> false) in
+  {
+    name;
+    nodes = Array.copy nodes;
+    outputs = Array.copy outputs;
+    sizes = Array.copy sizes;
+    fanouts;
+    gate_ids;
+    input_ids;
+  }
+
+let name t = t.name
+let n_nodes t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let outputs t = t.outputs
+let fanouts t i = t.fanouts.(i)
+
+let is_gate t i =
+  match t.nodes.(i) with Gate _ -> true | Primary_input _ -> false
+
+let gate_ids t = t.gate_ids
+let input_ids t = t.input_ids
+let n_gates t = Array.length t.gate_ids
+
+let size t i = t.sizes.(i)
+
+let set_size t i v =
+  if not (is_gate t i) then invalid_arg "Netlist.set_size: not a gate";
+  if v <= 0.0 then invalid_arg "Netlist.set_size: size <= 0";
+  t.sizes.(i) <- v
+
+let sizes_snapshot t = Array.copy t.sizes
+let restore_sizes t snapshot =
+  if Array.length snapshot <> Array.length t.sizes then
+    invalid_arg "Netlist.restore_sizes: length mismatch";
+  Array.blit snapshot 0 t.sizes 0 (Array.length snapshot)
+
+let area t =
+  Array.fold_left
+    (fun acc i ->
+      match t.nodes.(i) with
+      | Gate { kind; _ } -> acc +. (Cell.area_per_size kind *. t.sizes.(i))
+      | Primary_input _ -> acc)
+    0.0 t.gate_ids
+
+let copy t = { t with sizes = Array.copy t.sizes }
+
+let eval t ~inputs =
+  if Array.length inputs <> Array.length t.input_ids then
+    invalid_arg "Netlist.eval: wrong number of input values";
+  let values = Array.make (n_nodes t) false in
+  let input_rank = Hashtbl.create 16 in
+  Array.iteri (fun rank id -> Hashtbl.add input_rank id rank) t.input_ids;
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Primary_input _ -> values.(i) <- inputs.(Hashtbl.find input_rank i)
+      | Gate { kind; fanin } ->
+          values.(i) <- Cell.eval kind (Array.map (fun f -> values.(f)) fanin))
+    t.nodes;
+  values
+
+let pp_stats fmt t =
+  Format.fprintf fmt "%s: %d inputs, %d gates, %d outputs, area %.1f"
+    t.name
+    (Array.length t.input_ids)
+    (n_gates t)
+    (Array.length t.outputs)
+    (area t)

@@ -1,0 +1,51 @@
+(** Gate-level netlists.
+
+    A netlist is a DAG of primary inputs and cells.  Nodes are stored
+    in topological order by construction (a gate may only reference
+    lower node ids), which keeps every traversal a single array scan.
+    Drive sizes are mutable so the sizing optimiser can update them in
+    place without rebuilding fanout structure. *)
+
+type node =
+  | Primary_input of string
+  | Gate of { kind : Cell.kind; fanin : int array }
+
+type t
+
+val make :
+  name:string -> nodes:node array -> outputs:int array -> sizes:float array -> t
+(** Validates: every gate's fanins reference strictly lower ids, fanin
+    counts match cell arity, outputs are valid ids, sizes are positive
+    and as many as nodes.  Raises [Invalid_argument] on violation.
+    Prefer {!Builder} for construction. *)
+
+val name : t -> string
+val n_nodes : t -> int
+val node : t -> int -> node
+val outputs : t -> int array
+val fanouts : t -> int -> int list
+(** Gate ids consuming this node's output (precomputed). *)
+
+val is_gate : t -> int -> bool
+val gate_ids : t -> int array
+val input_ids : t -> int array
+val n_gates : t -> int
+
+val size : t -> int -> float
+val set_size : t -> int -> float -> unit
+(** Raises [Invalid_argument] for a non-gate node or non-positive size. *)
+
+val sizes_snapshot : t -> float array
+val restore_sizes : t -> float array -> unit
+
+val area : t -> float
+(** Sum over gates of [Cell.area_per_size * size]. *)
+
+val copy : t -> t
+(** Deep copy (sizes independent). *)
+
+val eval : t -> inputs:bool array -> bool array
+(** Functional simulation: returns the value at every node given
+    primary-input values in id order of [input_ids]. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,116 @@
+module Tech = Spv_process.Tech
+
+type t = {
+  dynamic : float;
+  leakage_nominal : float;
+  leakage_mean : float;
+  leakage_sigma : float;
+}
+
+let subthreshold_slope_factor = 1.5
+let thermal_voltage = 0.02585
+
+let nvt = subthreshold_slope_factor *. thermal_voltage
+
+let leakage_factor _tech ~dvth = exp (-.dvth /. nvt)
+
+(* Per-gate leakage scale: proportional to total transistor width,
+   for which area is the proxy. *)
+let gate_leakage_scale kind ~size = Cell.area_per_size kind *. size
+
+(* The inter-die and (within one stage netlist) systematic Vth shifts
+   are shared by every gate; the random component is per gate with
+   sigma shrinking as 1/sqrt(size). *)
+let shared_sigma (tech : Tech.t) =
+  sqrt
+    ((tech.Tech.sigma_vth_inter *. tech.Tech.sigma_vth_inter)
+    +. (tech.Tech.sigma_vth_sys *. tech.Tech.sigma_vth_sys))
+
+let estimated_activity net rng ~vectors =
+  if vectors <= 0 then invalid_arg "Power.estimated_activity: vectors <= 0";
+  let n_in = Array.length (Netlist.input_ids net) in
+  let n = Netlist.n_nodes net in
+  let toggles = Array.make n 0 in
+  let random_inputs () =
+    Array.init n_in (fun _ -> Spv_stats.Rng.float rng < 0.5)
+  in
+  let previous = ref (Netlist.eval net ~inputs:(random_inputs ())) in
+  for _ = 1 to vectors do
+    let current = Netlist.eval net ~inputs:(random_inputs ()) in
+    for i = 0 to n - 1 do
+      if current.(i) <> !previous.(i) then toggles.(i) <- toggles.(i) + 1
+    done;
+    previous := current
+  done;
+  Array.map (fun t -> float_of_int t /. float_of_int vectors) toggles
+
+let analyse ?(activity = 0.1) (tech : Tech.t) net =
+  if activity < 0.0 || activity > 1.0 then
+    invalid_arg "Power.analyse: activity outside [0,1]";
+  let dynamic = ref 0.0 in
+  let nominal = ref 0.0 in
+  let mean_random = ref 0.0 in
+  (* E[(sum_g L_g e^{-dR_g/nvt})^2] second-moment bookkeeping. *)
+  let sq_cross = ref 0.0 in
+  let sq_diag = ref 0.0 in
+  Array.iter
+    (fun i ->
+      match Netlist.node net i with
+      | Netlist.Primary_input _ -> ()
+      | Netlist.Gate { kind; _ } ->
+          let size = Netlist.size net i in
+          dynamic :=
+            !dynamic
+            +. (activity *. Cell.input_cap kind ~size *. tech.Tech.vdd
+              *. tech.Tech.vdd);
+          let l0 = gate_leakage_scale kind ~size in
+          nominal := !nominal +. l0;
+          let s_r = tech.Tech.sigma_vth_rand /. sqrt size /. nvt in
+          let m = l0 *. exp (s_r *. s_r /. 2.0) in
+          mean_random := !mean_random +. m;
+          sq_cross := !sq_cross +. m;
+          sq_diag :=
+            !sq_diag
+            +. (l0 *. l0
+              *. (exp (2.0 *. s_r *. s_r) -. exp (s_r *. s_r))))
+    (Netlist.gate_ids net);
+  let s_i = shared_sigma tech /. nvt in
+  let mean = exp (s_i *. s_i /. 2.0) *. !mean_random in
+  let second_random = (!sq_cross *. !sq_cross) +. !sq_diag in
+  let second = exp (2.0 *. s_i *. s_i) *. second_random in
+  let variance = Float.max 0.0 (second -. (mean *. mean)) in
+  {
+    dynamic = !dynamic;
+    leakage_nominal = !nominal;
+    leakage_mean = mean;
+    leakage_sigma = sqrt variance;
+  }
+
+let leakage_mc (tech : Tech.t) net rng ~n =
+  if n <= 0 then invalid_arg "Power.leakage_mc: n <= 0";
+  let s_shared = shared_sigma tech in
+  Array.init n (fun _ ->
+      let shared =
+        Spv_stats.Rng.gaussian_mu_sigma rng ~mu:0.0 ~sigma:s_shared
+      in
+      let total = ref 0.0 in
+      Array.iter
+        (fun i ->
+          match Netlist.node net i with
+          | Netlist.Primary_input _ -> ()
+          | Netlist.Gate { kind; _ } ->
+              let size = Netlist.size net i in
+              let dr =
+                Spv_stats.Rng.gaussian_mu_sigma rng ~mu:0.0
+                  ~sigma:(tech.Tech.sigma_vth_rand /. sqrt size)
+              in
+              total :=
+                !total
+                +. (gate_leakage_scale kind ~size
+                  *. leakage_factor tech ~dvth:(shared +. dr)))
+        (Netlist.gate_ids net);
+      !total)
+
+let leakage_yield tech net rng ~n ~budget =
+  let samples = leakage_mc tech net rng ~n in
+  Spv_stats.Descriptive.fraction_below samples ~threshold:budget

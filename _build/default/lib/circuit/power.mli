@@ -1,0 +1,62 @@
+(** Power estimation under process variation.
+
+    The paper optimises area "(hence power)"; this module makes the
+    link explicit and extends it statistically:
+
+    - {b dynamic} power is proportional to switched capacitance, i.e.
+      to the sizes the optimiser controls — so minimising area at a
+      yield target also minimises dynamic power;
+    - {b leakage} is exponential in -Vth/(n vT), so under Gaussian Vth
+      variation each gate's leakage is {e lognormal} and the die
+      leakage mean exceeds the nominal-Vth leakage (the classic
+      variation tax).  Both the analytic lognormal moments and a
+      Monte-Carlo are provided. *)
+
+type t = {
+  dynamic : float;
+      (** switched-capacitance proxy: sum over gates of
+          activity * Cin * Vdd^2, in arbitrary consistent units *)
+  leakage_nominal : float;
+      (** leakage at nominal Vth, arbitrary units (1.0 = one
+          minimum inverter at nominal Vth) *)
+  leakage_mean : float;
+      (** expected leakage under Vth variation (lognormal mean) *)
+  leakage_sigma : float;
+      (** standard deviation of die leakage under variation *)
+}
+
+val subthreshold_slope_factor : float
+(** n in exp(-Vth / (n vT)); 1.5, typical for sub-100nm bulk. *)
+
+val thermal_voltage : float
+(** vT at 300 K, volts. *)
+
+val leakage_factor : Spv_process.Tech.t -> dvth:float -> float
+(** Leakage multiplier for a threshold shift:
+    [exp (-dvth / (n vT))]. Halves roughly every 26 mV of Vth
+    increase. *)
+
+val estimated_activity :
+  Netlist.t -> Spv_stats.Rng.t -> vectors:int -> float array
+(** Per-node toggle probability from random-vector simulation: the
+    fraction of successive random input pairs on which the node's value
+    flips.  Primary-input entries reflect the (0.5) source activity. *)
+
+val analyse :
+  ?activity:float -> Spv_process.Tech.t -> Netlist.t -> t
+(** Analytic power view of a netlist under its current sizes.
+    [activity] is the mean switching activity per gate (default 0.1;
+    use the mean of {!estimated_activity} for a simulated figure).
+    Leakage moments treat per-gate random Vth as independent and the
+    inter-die component as shared (both lognormal contributions are
+    composed exactly). *)
+
+val leakage_mc :
+  Spv_process.Tech.t -> Netlist.t -> Spv_stats.Rng.t -> n:int -> float array
+(** Monte-Carlo die-leakage samples (relative to the same unit as
+    [leakage_nominal]); inter-die shared + per-gate random Vth. *)
+
+val leakage_yield :
+  Spv_process.Tech.t -> Netlist.t -> Spv_stats.Rng.t -> n:int ->
+  budget:float -> float
+(** Fraction of dies whose total leakage stays within [budget]. *)

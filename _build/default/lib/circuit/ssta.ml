@@ -1,0 +1,103 @@
+module Gd = Spv_process.Gate_delay
+module Variation = Spv_process.Variation
+
+type stage_analysis = {
+  comb : Gd.t;
+  total : Gd.t;
+  nominal : Sta.result;
+}
+
+let analyse_stage ?(output_load = 4.0) ?ff tech net =
+  let nominal = Sta.run ~output_load tech net in
+  let comb =
+    List.fold_left
+      (fun acc i ->
+        let d = nominal.Sta.gate_delays.(i) in
+        Gd.add acc (Gd.of_nominal tech ~nominal:d ~size:(Netlist.size net i)))
+      Gd.zero nominal.Sta.critical_path
+  in
+  let total =
+    match ff with
+    | None -> comb
+    | Some ff -> Gd.add comb (Spv_process.Flipflop.overhead ff)
+  in
+  { comb; total; nominal }
+
+let stage_gaussian ?output_load ?ff tech net =
+  Gd.to_gaussian (analyse_stage ?output_load ?ff tech net).total
+
+(* Per-trial machinery shared by the stage and pipeline samplers: one
+   delay factor per node from (inter + systematic at the stage's
+   location + fresh per-gate random). *)
+let fill_factors ?(exact = false) tech net ~inter ~sys_field rng factors =
+  let f_of shift =
+    if exact then Variation.delay_factor_exact tech shift
+    else Variation.delay_factor_linear tech shift
+  in
+  Array.iter
+    (fun i ->
+      let rand = Variation.sample_rand tech ~size:(Netlist.size net i) rng in
+      let sys = Variation.sample_sys_scaled tech ~field:sys_field in
+      let shift = Variation.(add_shift inter (add_shift sys rand)) in
+      factors.(i) <- f_of shift)
+    (Netlist.gate_ids net)
+
+let ff_overhead_sample ?(exact = false) tech ff ~inter ~sys_field rng =
+  match ff with
+  | None -> 0.0
+  | Some ff ->
+      let nominal = Spv_process.Flipflop.nominal_overhead ff in
+      let rand = Variation.sample_rand tech ~size:2.0 rng in
+      let sys = Variation.sample_sys_scaled tech ~field:sys_field in
+      let shift = Variation.(add_shift inter (add_shift sys rand)) in
+      let f =
+        if exact then Variation.delay_factor_exact tech shift
+        else Variation.delay_factor_linear tech shift
+      in
+      nominal *. f
+
+let mc_stage_delays ?(output_load = 4.0) ?(exact = false) ?ff tech net rng ~n =
+  if n <= 0 then invalid_arg "Ssta.mc_stage_delays: n <= 0";
+  let positions = Spv_process.Spatial.row_positions ~n:1 ~pitch:1.0 in
+  let sampler = Spv_process.Sample.create tech ~positions in
+  let factors = Array.make (Netlist.n_nodes net) 1.0 in
+  Array.init n (fun _ ->
+      let world = Spv_process.Sample.draw sampler rng in
+      let inter = world.Spv_process.Sample.inter in
+      let sys_field = world.Spv_process.Sample.sys_field.(0) in
+      fill_factors ~exact tech net ~inter ~sys_field rng factors;
+      let sta = Sta.run_with_factors ~output_load tech net ~factors in
+      sta.Sta.delay +. ff_overhead_sample ~exact tech ff ~inter ~sys_field rng)
+
+let mc_per_stage_samples ?(output_load = 4.0) ?(exact = false) ?(pitch = 1.0)
+    ?ff tech nets rng ~n =
+  let n_stages = Array.length nets in
+  if n_stages = 0 then invalid_arg "Ssta.mc_per_stage_samples: no stages";
+  if n <= 0 then invalid_arg "Ssta.mc_per_stage_samples: n <= 0";
+  let positions = Spv_process.Spatial.row_positions ~n:n_stages ~pitch in
+  let sampler = Spv_process.Sample.create tech ~positions in
+  let factors =
+    Array.map (fun net -> Array.make (Netlist.n_nodes net) 1.0) nets
+  in
+  let samples = Array.make_matrix n_stages n 0.0 in
+  for trial = 0 to n - 1 do
+    let world = Spv_process.Sample.draw sampler rng in
+    let inter = world.Spv_process.Sample.inter in
+    for s = 0 to n_stages - 1 do
+      let sys_field = world.Spv_process.Sample.sys_field.(s) in
+      fill_factors ~exact tech nets.(s) ~inter ~sys_field rng factors.(s);
+      let sta =
+        Sta.run_with_factors ~output_load tech nets.(s) ~factors:factors.(s)
+      in
+      samples.(s).(trial) <-
+        sta.Sta.delay +. ff_overhead_sample ~exact tech ff ~inter ~sys_field rng
+    done
+  done;
+  samples
+
+let mc_pipeline_delays ?output_load ?exact ?pitch ?ff tech nets rng ~n =
+  let per_stage = mc_per_stage_samples ?output_load ?exact ?pitch ?ff tech nets rng ~n in
+  Array.init n (fun trial ->
+      Array.fold_left
+        (fun acc stage -> Float.max acc stage.(trial))
+        neg_infinity per_stage)

@@ -1,0 +1,51 @@
+(** Statistical static timing analysis over netlists.
+
+    Two complementary engines:
+
+    - {b analytic}: compose decomposed per-gate delay Gaussians along
+      the nominal critical path (plus flip-flop overhead) into a
+      per-stage {!Spv_process.Gate_delay.t} — this is what the paper
+      feeds its pipeline model with (their SPICE-extracted mu_i,
+      sigma_i);
+    - {b Monte-Carlo}: sample whole-die variation worlds, re-run STA
+      with per-gate delay factors and collect stage or pipeline delay
+      samples — this is the paper's verification reference. *)
+
+type stage_analysis = {
+  comb : Spv_process.Gate_delay.t;  (** combinational critical path *)
+  total : Spv_process.Gate_delay.t;  (** comb + clk-to-Q + setup *)
+  nominal : Sta.result;
+}
+
+val analyse_stage :
+  ?output_load:float -> ?ff:Spv_process.Flipflop.t -> Spv_process.Tech.t ->
+  Netlist.t -> stage_analysis
+(** Analytic per-stage delay decomposition. Flip-flop overhead is
+    included when [ff] is given. *)
+
+val stage_gaussian :
+  ?output_load:float -> ?ff:Spv_process.Flipflop.t -> Spv_process.Tech.t ->
+  Netlist.t -> Spv_stats.Gaussian.t
+(** Convenience: total stage delay as N(mu, sigma). *)
+
+val mc_stage_delays :
+  ?output_load:float -> ?exact:bool -> ?ff:Spv_process.Flipflop.t ->
+  Spv_process.Tech.t -> Netlist.t -> Spv_stats.Rng.t -> n:int -> float array
+(** [n] Monte-Carlo samples of one stage's delay (the stage sits at a
+    single die location). *)
+
+val mc_pipeline_delays :
+  ?output_load:float -> ?exact:bool -> ?pitch:float ->
+  ?ff:Spv_process.Flipflop.t -> Spv_process.Tech.t -> Netlist.t array ->
+  Spv_stats.Rng.t -> n:int -> float array
+(** [n] Monte-Carlo samples of the pipeline delay
+    [max_i (Tcq + comb_i + Tsetup)].  Stages are laid out in a row at
+    [pitch] (default 1.0) die units, so their systematic components are
+    spatially correlated; the inter-die component is shared. *)
+
+val mc_per_stage_samples :
+  ?output_load:float -> ?exact:bool -> ?pitch:float ->
+  ?ff:Spv_process.Flipflop.t -> Spv_process.Tech.t -> Netlist.t array ->
+  Spv_stats.Rng.t -> n:int -> float array array
+(** Same sampling scheme, but returns the per-stage delay matrix
+    [stage][trial] (used to measure empirical stage correlations). *)

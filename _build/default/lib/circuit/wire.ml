@@ -1,0 +1,30 @@
+type model = {
+  r_per_unit : float;
+  c_per_unit : float;
+  length_per_fanout : float;
+}
+
+let default (_tech : Spv_process.Tech.t) =
+  { r_per_unit = 0.08; c_per_unit = 0.5; length_per_fanout = 0.8 }
+
+let no_wires = { r_per_unit = 0.0; c_per_unit = 0.0; length_per_fanout = 0.0 }
+
+let check m =
+  if m.r_per_unit < 0.0 || m.c_per_unit < 0.0 || m.length_per_fanout < 0.0 then
+    invalid_arg "Wire: negative model parameter"
+
+let net_length m ~fanout =
+  check m;
+  if fanout < 0 then invalid_arg "Wire.net_length: negative fanout";
+  m.length_per_fanout *. float_of_int (Stdlib.max 1 fanout)
+
+let wire_cap m ~fanout = m.c_per_unit *. net_length m ~fanout
+
+let elmore_delay m ~fanout ~sink_cap =
+  if sink_cap < 0.0 then invalid_arg "Wire.elmore_delay: negative sink cap";
+  let len = net_length m ~fanout in
+  m.r_per_unit *. len *. ((m.c_per_unit *. len /. 2.0) +. sink_cap)
+
+let pp fmt m =
+  Format.fprintf fmt "wire(r=%g, c=%g, l/fo=%g)" m.r_per_unit m.c_per_unit
+    m.length_per_fanout

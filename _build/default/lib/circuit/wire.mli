@@ -1,0 +1,39 @@
+(** RC interconnect model.
+
+    Sub-100nm delays are not gate-only: each net adds wire capacitance
+    to its driver's load and an Elmore RC delay towards its sinks.
+    Net length is estimated from fanout (a placement-free half-
+    perimeter-style heuristic): [length = length_per_fanout * fanout].
+
+    The model plugs into {!Sta} as an optional parameter; with no model
+    the engine reduces exactly to the gate-only formulation, so the
+    paper's experiments are unchanged unless wires are asked for. *)
+
+type model = {
+  r_per_unit : float;
+      (** wire resistance per length unit, in (ps per cap-unit) —
+          i.e. already normalised so that r*c products are ps *)
+  c_per_unit : float;  (** wire capacitance per length unit, cap units *)
+  length_per_fanout : float;  (** estimated net length per sink *)
+}
+
+val default : Spv_process.Tech.t -> model
+(** 70nm-like global-ish wiring: r 0.08 ps/cap-unit, c 0.5 cap-units,
+    0.8 length units per sink — a 4-sink net roughly doubles a
+    minimum gate's load. *)
+
+val no_wires : model
+(** All-zero model (identity behaviour). *)
+
+val net_length : model -> fanout:int -> float
+(** Estimated routed length of a net with [fanout] sinks (0 for a
+    dangling or single-sink-output net still gets one segment). *)
+
+val wire_cap : model -> fanout:int -> float
+(** Capacitance the net adds to its driver's load. *)
+
+val elmore_delay : model -> fanout:int -> sink_cap:float -> float
+(** Distributed RC Elmore delay of the net:
+    [r L (c L / 2 + sink_cap)]. *)
+
+val pp : Format.formatter -> model -> unit

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Clark Float Pipeline Spv_circuit Spv_process Spv_stats Stage Yield

@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Pipeline Spv_process Spv_stats

@@ -1,0 +1,1 @@
+lib/core/balance.ml: Array Float Pipeline Spv_process Stage Yield

@@ -1,0 +1,1 @@
+lib/core/clark.ml: Array Float Spv_stats

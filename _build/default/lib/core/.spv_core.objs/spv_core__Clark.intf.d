@@ -1,0 +1,1 @@
+lib/core/clark.mli: Spv_stats

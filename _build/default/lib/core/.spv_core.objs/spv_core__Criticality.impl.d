@@ -1,0 +1,1 @@
+lib/core/criticality.ml: Array Float List Pipeline Spv_stats

@@ -1,0 +1,1 @@
+lib/core/criticality.mli: Pipeline Spv_stats

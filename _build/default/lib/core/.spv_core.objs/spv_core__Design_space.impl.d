@@ -1,0 +1,1 @@
+lib/core/design_space.ml: Array Float List Spv_circuit Spv_process Spv_stats

@@ -1,0 +1,1 @@
+lib/core/fmax.ml: Array Float Pipeline Spv_stats Yield

@@ -1,0 +1,1 @@
+lib/core/fmax.mli: Pipeline Spv_stats

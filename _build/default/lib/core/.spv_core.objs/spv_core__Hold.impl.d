@@ -1,0 +1,1 @@
+lib/core/hold.ml: Array Clark List Option Spv_circuit Spv_process Spv_stats

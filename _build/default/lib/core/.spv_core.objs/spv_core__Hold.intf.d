@@ -1,0 +1,1 @@
+lib/core/hold.mli: Clark Spv_circuit Spv_process Spv_stats

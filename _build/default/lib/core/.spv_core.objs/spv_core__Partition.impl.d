@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array List Option Pipeline Printf Spv_circuit Spv_process Variability Yield

@@ -1,0 +1,1 @@
+lib/core/partition.mli: Pipeline Spv_process

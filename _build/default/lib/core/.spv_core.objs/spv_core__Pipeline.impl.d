@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Clark Float Format Spv_process Spv_stats Stage

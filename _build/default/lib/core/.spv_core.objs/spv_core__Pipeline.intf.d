@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Clark Format Spv_circuit Spv_process Spv_stats Stage

@@ -1,0 +1,1 @@
+lib/core/skew.ml: Array Float Pipeline Spv_process Spv_stats Stage Yield

@@ -1,0 +1,1 @@
+lib/core/skew.mli: Pipeline Spv_process

@@ -1,0 +1,1 @@
+lib/core/stage.ml: Format Spv_circuit Spv_process Spv_stats

@@ -1,0 +1,1 @@
+lib/core/stage.mli: Format Spv_circuit Spv_process Spv_stats

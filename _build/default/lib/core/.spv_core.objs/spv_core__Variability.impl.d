@@ -1,0 +1,1 @@
+lib/core/variability.ml: Array Clark List Pipeline Printf Spv_circuit Spv_stats Stage

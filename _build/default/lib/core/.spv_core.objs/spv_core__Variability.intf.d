@@ -1,0 +1,1 @@
+lib/core/variability.mli: Spv_process Spv_stats

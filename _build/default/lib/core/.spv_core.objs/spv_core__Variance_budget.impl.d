@@ -1,0 +1,1 @@
+lib/core/variance_budget.ml: Float Format Pipeline Spv_process Spv_stats Stage

@@ -1,0 +1,1 @@
+lib/core/variance_budget.mli: Format Pipeline

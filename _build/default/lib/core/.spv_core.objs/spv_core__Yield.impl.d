@@ -1,0 +1,1 @@
+lib/core/yield.ml: Array Float Pipeline Spv_stats

@@ -1,0 +1,1 @@
+lib/core/yield.mli: Clark Pipeline Spv_stats

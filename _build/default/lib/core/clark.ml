@@ -1,0 +1,135 @@
+module G = Spv_stats.Gaussian
+module Special = Spv_stats.Special
+
+type moments = { mean : float; variance : float; a : float; alpha : float }
+
+(* Below this threshold the two variables are numerically identical up
+   to an almost-sure ordering, and the Clark formulas hit 0/0. *)
+let degenerate_a = 1e-12
+
+let max2_moments g1 g2 ~rho =
+  if rho < -1.0 || rho > 1.0 then invalid_arg "Clark.max2_moments: bad rho";
+  let mu1 = G.mu g1 and s1 = G.sigma g1 in
+  let mu2 = G.mu g2 and s2 = G.sigma g2 in
+  let a2 = (s1 *. s1) +. (s2 *. s2) -. (2.0 *. rho *. s1 *. s2) in
+  let a = sqrt (Float.max a2 0.0) in
+  if a < degenerate_a then begin
+    (* X1 - X2 is (almost) deterministic: the max is whichever variable
+       has the larger mean (either, when equal). *)
+    if mu1 >= mu2 then { mean = mu1; variance = s1 *. s1; a; alpha = 0.0 }
+    else { mean = mu2; variance = s2 *. s2; a; alpha = 0.0 }
+  end
+  else begin
+    let alpha = (mu1 -. mu2) /. a in
+    let cdf = Special.big_phi alpha in
+    let cdf' = Special.big_phi (-.alpha) in
+    let pdf = Special.phi alpha in
+    let mean = (mu1 *. cdf) +. (mu2 *. cdf') +. (a *. pdf) in
+    let second =
+      (((mu1 *. mu1) +. (s1 *. s1)) *. cdf)
+      +. (((mu2 *. mu2) +. (s2 *. s2)) *. cdf')
+      +. ((mu1 +. mu2) *. a *. pdf)
+    in
+    let variance = Float.max (second -. (mean *. mean)) 0.0 in
+    { mean; variance; a; alpha }
+  end
+
+let max2 g1 g2 ~rho =
+  let m = max2_moments g1 g2 ~rho in
+  G.make ~mu:m.mean ~sigma:(sqrt m.variance)
+
+let correlation_with_max ~s1 ~s2 ~r1 ~r2 m =
+  let sd = sqrt m.variance in
+  if sd < degenerate_a then 0.0
+  else begin
+    let cdf = Special.big_phi m.alpha in
+    let cdf' = Special.big_phi (-.m.alpha) in
+    let r = ((s1 *. r1 *. cdf) +. (s2 *. r2 *. cdf')) /. sd in
+    Float.max (-1.0) (Float.min 1.0 r)
+  end
+
+type order = Increasing_mean | Decreasing_mean | As_given
+
+let ordered_indices order gs =
+  let n = Array.length gs in
+  let idx = Array.init n (fun i -> i) in
+  (match order with
+  | As_given -> ()
+  | Increasing_mean ->
+      Array.sort (fun i j -> compare (G.mu gs.(i)) (G.mu gs.(j))) idx
+  | Decreasing_mean ->
+      Array.sort (fun i j -> compare (G.mu gs.(j)) (G.mu gs.(i))) idx);
+  idx
+
+let max_n ?(order = Increasing_mean) gs ~corr =
+  let n = Array.length gs in
+  if n = 0 then invalid_arg "Clark.max_n: empty";
+  if Spv_stats.Matrix.rows corr <> n then
+    invalid_arg "Clark.max_n: correlation dimension mismatch";
+  let idx = ordered_indices order gs in
+  (* Fold variables into the running max, tracking the correlation of
+     the running max with every not-yet-folded variable (eq. 6). *)
+  let current = ref gs.(idx.(0)) in
+  let corr_with_current =
+    Array.init n (fun k -> Spv_stats.Correlation.get corr idx.(0) idx.(k))
+  in
+  for step = 1 to n - 1 do
+    let j = idx.(step) in
+    let g2 = gs.(j) in
+    let rho = corr_with_current.(step) in
+    let m = max2_moments !current g2 ~rho in
+    let s1 = G.sigma !current and s2 = G.sigma g2 in
+    for k = step + 1 to n - 1 do
+      let r1 = corr_with_current.(k) in
+      let r2 = Spv_stats.Correlation.get corr j idx.(k) in
+      corr_with_current.(k) <- correlation_with_max ~s1 ~s2 ~r1 ~r2 m
+    done;
+    current := G.make ~mu:m.mean ~sigma:(sqrt m.variance)
+  done;
+  !current
+
+let max_n_independent ?order gs =
+  max_n ?order gs ~corr:(Spv_stats.Correlation.independent ~n:(Array.length gs))
+
+let exact_max_cdf_independent gs t =
+  Array.fold_left (fun acc g -> acc *. G.cdf g t) 1.0 gs
+
+let exact_max_moments_independent gs =
+  if Array.length gs = 0 then
+    invalid_arg "Clark.exact_max_moments_independent: empty";
+  let lo =
+    Array.fold_left (fun acc g -> Float.min acc (G.mu g -. (10.0 *. G.sigma g))) infinity gs
+  in
+  let hi =
+    Array.fold_left (fun acc g -> Float.max acc (G.mu g +. (10.0 *. G.sigma g))) neg_infinity gs
+  in
+  (* Density of the max: f(t) = sum_i pdf_i(t) prod_{j<>i} cdf_j(t).
+     Zero-sigma components act as step functions; exclude them from the
+     density sum but keep their indicator in the product. *)
+  let f t =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i gi ->
+        if G.sigma gi > 0.0 then begin
+          let prod = ref (G.pdf gi t) in
+          Array.iteri (fun j gj -> if j <> i then prod := !prod *. G.cdf gj t) gs;
+          acc := !acc +. !prod
+        end)
+      gs;
+    !acc
+  in
+  let integrate h =
+    (* Composite 32-point Gauss-Legendre over 64 panels: smooth
+       integrand, near machine precision. *)
+    let panels = 64 in
+    let acc = ref 0.0 in
+    let w = (hi -. lo) /. float_of_int panels in
+    for i = 0 to panels - 1 do
+      let a = lo +. (float_of_int i *. w) in
+      acc := !acc +. Spv_stats.Quadrature.gauss_legendre_32 ~f:h ~lo:a ~hi:(a +. w)
+    done;
+    !acc
+  in
+  let m1 = integrate (fun t -> t *. f t) in
+  let m2 = integrate (fun t -> t *. t *. f t) in
+  (m1, sqrt (Float.max (m2 -. (m1 *. m1)) 0.0))

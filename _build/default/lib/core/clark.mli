@@ -1,0 +1,68 @@
+(** Clark's moment approximation for the maximum of Gaussian variables
+    (C. E. Clark, Operations Research 9(2), 1961 — the paper's
+    eqs. 4–6).
+
+    [max2_moments] gives the exact first two moments of
+    [max(X1, X2)] for jointly Gaussian X1, X2; the iterated pairwise
+    reduction [max_n] then approximates [max(X1..Xn)] by treating each
+    partial max as Gaussian, propagating correlations with the third
+    variable through eq. 6.  The approximation error is minimised when
+    variables are folded in increasing order of their means
+    (the ordering the paper uses); other orders are exposed for the
+    Fig. 3 error study. *)
+
+type moments = {
+  mean : float;
+  variance : float;
+  a : float;  (** sqrt(s1^2 + s2^2 - 2 rho s1 s2) *)
+  alpha : float;  (** (mu1 - mu2) / a; 0 when a = 0 *)
+}
+
+val max2_moments :
+  Spv_stats.Gaussian.t -> Spv_stats.Gaussian.t -> rho:float -> moments
+(** Exact mean and variance of the max of two jointly Gaussian
+    variables with correlation [rho].  Degenerate inputs (a ~ 0, i.e.
+    the two variables are almost surely ordered or identical) are
+    handled by returning the moments of the dominating variable. *)
+
+val max2 :
+  Spv_stats.Gaussian.t -> Spv_stats.Gaussian.t -> rho:float ->
+  Spv_stats.Gaussian.t
+(** Gaussian with the [max2_moments] mean and standard deviation. *)
+
+val correlation_with_max :
+  s1:float -> s2:float -> r1:float -> r2:float -> moments -> float
+(** Eq. 6: correlation between a third Gaussian Y and [max(X1, X2)],
+    where [r1 = corr(Y, X1)], [r2 = corr(Y, X2)], [s1], [s2] are the
+    standard deviations of X1, X2 and [moments] the result of
+    {!max2_moments}.  Returns 0 for a zero-variance max. *)
+
+type order =
+  | Increasing_mean  (** the paper's error-minimising order *)
+  | Decreasing_mean
+  | As_given
+
+val max_n :
+  ?order:order -> Spv_stats.Gaussian.t array -> corr:Spv_stats.Correlation.t ->
+  Spv_stats.Gaussian.t
+(** Approximate distribution of [max_i X_i] for jointly Gaussian X with
+    the given correlation matrix.  Default order: [Increasing_mean].
+    Requires at least one variable. *)
+
+val max_n_independent :
+  ?order:order -> Spv_stats.Gaussian.t array -> Spv_stats.Gaussian.t
+(** [max_n] with the identity correlation. *)
+
+val exact_max_cdf_independent :
+  Spv_stats.Gaussian.t array -> float -> float
+(** Exact CDF of the max for independent stages —
+    [prod_i Phi((t - mu_i)/sigma_i)] (the paper's eq. 8) — used as the
+    reference oracle for the approximation error study. *)
+
+val exact_max_moments_independent :
+  Spv_stats.Gaussian.t array -> float * float
+(** Exact (mean, std) of the max of independent Gaussians by numerical
+    integration of the max's density.  Intended as a test oracle:
+    every input must have [sigma > 0] for the density form to hold
+    (a zero-sigma component that can dominate would contribute an atom
+    the integral misses). *)

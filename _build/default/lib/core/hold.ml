@@ -1,0 +1,59 @@
+module G = Spv_stats.Gaussian
+module Gd = Spv_process.Gate_delay
+
+let negate g = G.make ~mu:(-.G.mu g) ~sigma:(G.sigma g)
+
+let min2 g1 g2 ~rho = negate (Clark.max2 (negate g1) (negate g2) ~rho)
+
+let min_n ?order gs ~corr =
+  negate (Clark.max_n ?order (Array.map negate gs) ~corr)
+
+let short_path_delay ?(output_load = 4.0) tech net =
+  let late = Spv_circuit.Sta.run ~output_load tech net in
+  let early = Spv_circuit.Sta.run_min ~output_load tech net in
+  List.fold_left
+    (fun acc i ->
+      let d = late.Spv_circuit.Sta.gate_delays.(i) in
+      Gd.add acc
+        (Gd.of_nominal tech ~nominal:d ~size:(Spv_circuit.Netlist.size net i)))
+    Gd.zero early.Spv_circuit.Sta.shortest_path
+
+let race_margin ?output_load tech ~(ff : Spv_process.Flipflop.t) net =
+  (* clk-to-Q and the data path sit in the same locale: their shared
+     variation components add coherently, so the fast tail of the race
+     margin is fatter than independence would give. *)
+  Gd.add ff.Spv_process.Flipflop.clk_to_q (short_path_delay ?output_load tech net)
+
+let hold_yield_stage ?output_load tech ~ff ~hold_ps net =
+  if hold_ps < 0.0 then invalid_arg "Hold.hold_yield_stage: negative hold";
+  let margin = Gd.to_gaussian (race_margin ?output_load tech ~ff net) in
+  if G.sigma margin = 0.0 then if G.mu margin >= hold_ps then 1.0 else 0.0
+  else 1.0 -. G.cdf margin hold_ps
+
+let hold_yield_pipeline ?output_load ?corr_length ?(pitch = 1.0) tech ~ff
+    ~hold_ps nets =
+  let n = Array.length nets in
+  if n = 0 then invalid_arg "Hold.hold_yield_pipeline: no stages";
+  if hold_ps < 0.0 then invalid_arg "Hold.hold_yield_pipeline: negative hold";
+  let corr_length =
+    Option.value corr_length ~default:tech.Spv_process.Tech.corr_length
+  in
+  let positions = Spv_process.Spatial.row_positions ~n ~pitch in
+  let margins = Array.map (race_margin ?output_load tech ~ff) nets in
+  let corr =
+    Spv_stats.Correlation.of_function ~n (fun i j ->
+        let sys_rho =
+          exp
+            (-.Spv_process.Spatial.distance positions.(i) positions.(j)
+             /. corr_length)
+        in
+        Gd.correlation margins.(i) margins.(j) ~sys_rho)
+  in
+  let worst = min_n (Array.map Gd.to_gaussian margins) ~corr in
+  if G.sigma worst = 0.0 then if G.mu worst >= hold_ps then 1.0 else 0.0
+  else 1.0 -. G.cdf worst hold_ps
+
+let combined_yield ~setup ~hold =
+  if setup < 0.0 || setup > 1.0 || hold < 0.0 || hold > 1.0 then
+    invalid_arg "Hold.combined_yield: yields outside [0,1]";
+  setup *. hold

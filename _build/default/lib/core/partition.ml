@@ -1,0 +1,72 @@
+type candidate = {
+  n_stages : int;
+  depth : int;
+  pipeline : Pipeline.t;
+  nominal_clock : float;
+  statistical_clock : float;
+  throughput : float;
+  latency : float;
+}
+
+let candidates ?(size = 1.0) ?(pitch = 1.0) ?ff tech ~total_levels ~yield
+    ~stage_counts =
+  if not (yield > 0.0 && yield < 1.0) then
+    invalid_arg "Partition.candidates: yield outside (0,1)";
+  let ff =
+    match ff with Some ff -> ff | None -> Spv_process.Flipflop.default tech
+  in
+  Array.map
+    (fun n_stages ->
+      if n_stages <= 0 || total_levels mod n_stages <> 0 then
+        invalid_arg
+          (Printf.sprintf "Partition.candidates: %d does not divide %d"
+             n_stages total_levels);
+      let depth = total_levels / n_stages in
+      let nets =
+        Spv_circuit.Generators.inverter_chain_pipeline ~size ~stages:n_stages
+          ~depth ()
+      in
+      let pipeline = Pipeline.of_circuits ~pitch ~ff tech nets in
+      let nominal_clock = Pipeline.nominal_delay pipeline in
+      let statistical_clock = Yield.target_delay_for_yield pipeline ~yield in
+      {
+        n_stages;
+        depth;
+        pipeline;
+        nominal_clock;
+        statistical_clock;
+        throughput = 1.0 /. statistical_clock;
+        latency = float_of_int n_stages *. statistical_clock;
+      })
+    stage_counts
+
+let all_divisor_candidates ?size ?pitch ?ff ?(min_stages = 1) ?max_stages tech
+    ~total_levels ~yield =
+  let max_stages = Option.value max_stages ~default:total_levels in
+  let stage_counts =
+    Variability.divisors total_levels
+    |> List.filter (fun d -> d >= min_stages && d <= max_stages)
+    |> Array.of_list
+  in
+  candidates ?size ?pitch ?ff tech ~total_levels ~yield ~stage_counts
+
+let best_by metric cands =
+  if Array.length cands = 0 then invalid_arg "Partition: empty candidates";
+  Array.fold_left
+    (fun best c ->
+      if
+        metric c > metric best
+        || (metric c = metric best && c.n_stages < best.n_stages)
+      then c
+      else best)
+    cands.(0) cands
+
+let best_throughput cands = best_by (fun c -> c.throughput) cands
+
+let best_nominal_throughput cands =
+  best_by (fun c -> 1.0 /. c.nominal_clock) cands
+
+let throughput_gain_over_nominal_choice cands =
+  let statistical = best_throughput cands in
+  let nominal = best_nominal_throughput cands in
+  (statistical.throughput -. nominal.throughput) /. nominal.throughput

@@ -1,0 +1,51 @@
+module G = Spv_stats.Gaussian
+
+let stage_sigma_mu_vs_depth ?(size = 1.0) ?ff tech ~depths =
+  Array.map
+    (fun depth ->
+      let net = Spv_circuit.Generators.inverter_chain ~size ~depth () in
+      let stage = Stage.of_circuit ?ff tech net in
+      Stage.variability stage)
+    depths
+
+let pipeline_sigma_mu_vs_stages ~stage ~rho ~stage_counts =
+  Array.map
+    (fun n ->
+      if n <= 0 then invalid_arg "Variability: stage count <= 0";
+      let gs = Array.make n stage in
+      let corr = Spv_stats.Correlation.uniform ~n ~rho in
+      let tp = Clark.max_n gs ~corr in
+      G.sigma tp /. G.mu tp)
+    stage_counts
+
+let fixed_total_levels ?(size = 1.0) ?ff ?(pitch = 1.0) tech ~total_levels
+    ~stage_counts =
+  Array.map
+    (fun n_stages ->
+      if n_stages <= 0 || total_levels mod n_stages <> 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Variability.fixed_total_levels: %d does not divide %d" n_stages
+             total_levels);
+      let depth = total_levels / n_stages in
+      let nets =
+        Spv_circuit.Generators.inverter_chain_pipeline ~size ~stages:n_stages
+          ~depth ()
+      in
+      let pipeline = Pipeline.of_circuits ~pitch ?ff tech nets in
+      let tp = Pipeline.delay_distribution pipeline in
+      G.sigma tp /. G.mu tp)
+    stage_counts
+
+let normalise values =
+  if Array.length values = 0 then invalid_arg "Variability.normalise: empty";
+  if values.(0) = 0.0 then invalid_arg "Variability.normalise: zero first element";
+  Array.map (fun v -> v /. values.(0)) values
+
+let divisors n =
+  if n <= 0 then invalid_arg "Variability.divisors: n <= 0";
+  let rec go d acc =
+    if d > n then List.rev acc
+    else go (d + 1) (if n mod d = 0 then d :: acc else acc)
+  in
+  go 1 []

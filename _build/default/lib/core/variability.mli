@@ -1,0 +1,34 @@
+(** Variability (sigma/mu) studies — Section 3.1 / Fig. 5.
+
+    The paper's question: given a 120-level logic budget, is it better
+    (for yield) to cut it into many shallow stages or few deep ones?
+    The answer flips with the inter-die / intra-die balance, which these
+    sweeps expose. *)
+
+val stage_sigma_mu_vs_depth :
+  ?size:float -> ?ff:Spv_process.Flipflop.t -> Spv_process.Tech.t ->
+  depths:int array -> float array
+(** Fig. 5(a): sigma/mu of a single inverter-chain stage at each logic
+    depth.  With only random variation this falls like 1/sqrt(depth)
+    (cancellation); correlated components flatten it. *)
+
+val pipeline_sigma_mu_vs_stages :
+  stage:Spv_stats.Gaussian.t -> rho:float -> stage_counts:int array ->
+  float array
+(** Fig. 5(b): sigma/mu of the Clark max of N copies of a fixed stage
+    Gaussian under uniform correlation [rho], per stage count. *)
+
+val fixed_total_levels :
+  ?size:float -> ?ff:Spv_process.Flipflop.t -> ?pitch:float ->
+  Spv_process.Tech.t -> total_levels:int -> stage_counts:int array ->
+  float array
+(** Fig. 5(c): sigma/mu of the whole pipeline delay when
+    [stages x depth = total_levels], per stage count (each count must
+    divide [total_levels]). *)
+
+val normalise : float array -> float array
+(** Divide by the first element (the paper plots normalised ratios).
+    Requires a non-zero first element. *)
+
+val divisors : int -> int list
+(** All positive divisors, ascending (handy for the Fig. 5(c) sweep). *)

@@ -1,0 +1,64 @@
+module G = Spv_stats.Gaussian
+module Gd = Spv_process.Gate_delay
+
+type t = {
+  total_variance : float;
+  inter : float;
+  systematic : float;
+  random : float;
+  interaction : float;
+}
+
+type component = Inter | Systematic | Random
+
+let zero_component comp (d : Gd.t) =
+  match comp with
+  | Inter ->
+      Gd.make ~nominal:d.Gd.nominal ~sigma_inter:0.0 ~sigma_sys:d.Gd.sigma_sys
+        ~sigma_rand:d.Gd.sigma_rand
+  | Systematic ->
+      Gd.make ~nominal:d.Gd.nominal ~sigma_inter:d.Gd.sigma_inter
+        ~sigma_sys:0.0 ~sigma_rand:d.Gd.sigma_rand
+  | Random ->
+      Gd.make ~nominal:d.Gd.nominal ~sigma_inter:d.Gd.sigma_inter
+        ~sigma_sys:d.Gd.sigma_sys ~sigma_rand:0.0
+
+(* map_stages preserves the pipeline's correlation semantics: derived
+   pipelines re-derive with their own correlation length, explicit
+   matrices are kept (where zeroing shared components is only exact for
+   moments-only stages, whose shared sigmas are zero anyway). *)
+let variance_without pipeline comp =
+  let p =
+    Pipeline.map_stages pipeline (fun s ->
+        Stage.make ~name:s.Stage.name ~position:s.Stage.position
+          (zero_component comp s.Stage.delay))
+  in
+  G.variance (Pipeline.delay_distribution p)
+
+let of_pipeline pipeline =
+  let total_variance = G.variance (Pipeline.delay_distribution pipeline) in
+  let contribution comp =
+    Float.max 0.0 (total_variance -. variance_without pipeline comp)
+  in
+  let inter = contribution Inter in
+  let systematic = contribution Systematic in
+  let random = contribution Random in
+  {
+    total_variance;
+    inter;
+    systematic;
+    random;
+    interaction = total_variance -. (inter +. systematic +. random);
+  }
+
+let fractions t =
+  let attributed = t.inter +. t.systematic +. t.random in
+  if attributed <= 0.0 then (0.0, 0.0, 0.0)
+  else (t.inter /. attributed, t.systematic /. attributed, t.random /. attributed)
+
+let pp fmt t =
+  let i, s, r = fractions t in
+  Format.fprintf fmt
+    "sigma_T^2 = %.4g (inter %.0f%%, systematic %.0f%%, random %.0f%%, \
+     interaction %.2g)"
+    t.total_variance (100.0 *. i) (100.0 *. s) (100.0 *. r) t.interaction

@@ -1,0 +1,33 @@
+(** Variance budgeting: which variation source owns the pipeline sigma.
+
+    The decomposed stage model carries inter-die, systematic and random
+    sigmas separately, but the pipeline max mixes them nonlinearly, so
+    the attribution is computed by {e leave-one-out}: the contribution
+    of a component is the drop in the pipeline delay variance when that
+    component is zeroed in every stage.  (Attributions need not sum
+    exactly to the total variance — the interaction remainder is
+    reported explicitly.)
+
+    The classic use: before spending area on yield, know whether sigma
+    is even sizeable-away (random averages with depth, inter-die only
+    yields to post-silicon tuning like {!Adaptive}). *)
+
+type t = {
+  total_variance : float;
+  inter : float;  (** leave-one-out share of the inter-die component *)
+  systematic : float;
+  random : float;
+  interaction : float;  (** total - (inter + systematic + random) *)
+}
+
+val of_pipeline : Pipeline.t -> t
+(** Requires decomposed stages ({!Pipeline.of_stages} /
+    {!Pipeline.of_circuits}); a moments-only pipeline reports all of
+    its variance as random. *)
+
+val fractions : t -> float * float * float
+(** (inter, systematic, random) shares of the attributed variance
+    (normalised to exclude the interaction term); all in [0,1],
+    summing to 1 when any variance exists. *)
+
+val pp : Format.formatter -> t -> unit

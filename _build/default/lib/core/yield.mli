@@ -1,0 +1,55 @@
+(** Yield estimation (Section 2.3): the probability that the pipeline
+    meets a target delay, [P_D = Pr{max_i SD_i <= T_target}]. *)
+
+val independent_exact : Pipeline.t -> t_target:float -> float
+(** Eq. 8: [prod_i Phi((T - mu_i) / sigma_i)].  Exact when the stage
+    delays are independent; ignores the pipeline's correlation matrix. *)
+
+val clark_gaussian : ?order:Clark.order -> Pipeline.t -> t_target:float -> float
+(** Eq. 9: approximate the overall delay as Gaussian with the
+    Clark-estimated (mu_T, sigma_T) and evaluate
+    [Phi((T - mu_T) / sigma_T)].  Valid for correlated stages. *)
+
+val estimate : Pipeline.t -> t_target:float -> float
+(** The paper's recommended estimator: [independent_exact] when all
+    off-diagonal correlations are (near) zero, [clark_gaussian]
+    otherwise. *)
+
+val target_delay_for_yield : ?order:Clark.order -> Pipeline.t -> yield:float -> float
+(** Smallest T with [clark_gaussian >= yield]:
+    [mu_T + sigma_T * Phi^-1(yield)].  Requires yield in (0,1). *)
+
+val per_stage_yield_target : yield:float -> n_stages:int -> float
+(** Eq. 12's per-stage budget under independence and equal stages:
+    [yield ** (1 / n_stages)] — e.g. 0.80^(1/3) = 0.9283 in the
+    paper's 3-stage example. *)
+
+val stage_yields : Pipeline.t -> t_target:float -> float array
+(** Per-stage standalone yields [Phi((T - mu_i)/sigma_i)]. *)
+
+val monte_carlo :
+  Pipeline.t -> Spv_stats.Rng.t -> n:int -> t_target:float -> float
+(** Empirical yield from [n] joint stage-delay draws. *)
+
+val monte_carlo_distribution :
+  Pipeline.t -> Spv_stats.Rng.t -> n:int -> float array
+(** Raw pipeline-delay samples (for histograms and moment checks). *)
+
+val monte_carlo_lhs :
+  Pipeline.t -> Spv_stats.Rng.t -> n:int -> t_target:float -> float
+(** Yield with Latin-hypercube-stratified stage draws
+    ({!Spv_stats.Sampling.mvn_lhs}): same estimand as {!monte_carlo}
+    with markedly lower variance at equal [n]. *)
+
+val wilson_interval : successes:int -> trials:int -> confidence:float ->
+  float * float
+(** Wilson score interval for a Monte-Carlo yield estimate — the
+    honest error bar to print next to [monte_carlo] results.
+    [confidence] in (0,1), e.g. 0.95. *)
+
+val failure_importance :
+  Pipeline.t -> Spv_stats.Rng.t -> n:int -> t_target:float ->
+  Spv_stats.Importance.estimate
+(** Rare-event yield loss [1 - yield] by mean-shifted importance
+    sampling — usable deep in the tail (e.g. 4-sigma targets) where
+    {!monte_carlo} sees no failures at any affordable [n]. *)

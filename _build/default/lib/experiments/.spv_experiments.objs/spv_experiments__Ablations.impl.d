@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Common Fig7_8 Format List Printf Spv_circuit Spv_core Spv_process Spv_sizing Spv_stats String

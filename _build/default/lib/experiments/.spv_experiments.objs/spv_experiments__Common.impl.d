@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array List Printf Spv_process Spv_stats String

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Spv_process Spv_stats

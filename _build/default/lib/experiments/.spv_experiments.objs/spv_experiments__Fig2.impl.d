@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Common List Printf Spv_circuit Spv_core Spv_process Spv_stats

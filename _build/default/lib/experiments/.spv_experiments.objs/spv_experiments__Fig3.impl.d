@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Common List Printf Spv_core Spv_stats

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Common List Printf Spv_core

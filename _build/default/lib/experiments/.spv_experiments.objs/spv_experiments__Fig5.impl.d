@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Common List Printf Spv_core Spv_process Spv_stats

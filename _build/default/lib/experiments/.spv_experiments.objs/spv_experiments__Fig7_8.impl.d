@@ -1,0 +1,1 @@
+lib/experiments/fig7_8.ml: Array Common Float List Printf Spv_circuit Spv_core Spv_process Spv_sizing Spv_stats String

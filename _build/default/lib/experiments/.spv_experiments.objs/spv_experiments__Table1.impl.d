@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Common Float List Printf Spv_circuit Spv_core Spv_process Spv_stats

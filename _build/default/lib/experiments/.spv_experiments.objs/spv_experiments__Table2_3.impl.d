@@ -1,0 +1,1 @@
+lib/experiments/table2_3.ml: Array Common Printf Spv_circuit Spv_core Spv_process Spv_sizing Spv_stats

@@ -1,0 +1,1 @@
+lib/experiments/table2_3.mli: Spv_sizing

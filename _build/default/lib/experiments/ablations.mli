@@ -1,0 +1,55 @@
+(** Ablation and extension studies beyond the paper's figures.
+
+    - {b criticality}: quantifies the paper's §3.2 argument — a
+      balanced pipeline spreads the probability of being the critical
+      stage (high entropy), the yield-optimal unbalanced design
+      concentrates it;
+    - {b correlation length}: how the spatial-correlation length of the
+      systematic component moves pipeline sigma and yield (the paper
+      fixes one value);
+    - {b sizer policy}: sensitivity of the Lagrangian sizer's area and
+      iteration count to its criticality temperature;
+    - {b leakage tax}: mean-vs-nominal leakage ratio as random Vth
+      sigma grows (the "power" half of the paper's area/power claim). *)
+
+val criticality_study :
+  unit ->
+  (string * float array * float) list
+(** For balanced / best-unbalanced ALU-decoder designs: label,
+    per-stage criticality probabilities, entropy. *)
+
+val correlation_length_sweep :
+  ?lengths:float array -> unit -> (float * float * float) array
+(** (corr_length, pipeline sigma, yield at a fixed target) for the
+    5x8 inverter-chain pipeline under mixed variation. *)
+
+val sizer_policy_sweep :
+  ?thetas:float array -> unit -> (float * float * int * bool) array
+(** (theta_fraction, area, iterations, converged) sizing c432 to a
+    fixed mid-range target. *)
+
+val ssta_method_study :
+  unit -> (string * Spv_stats.Gaussian.t * Spv_stats.Gaussian.t * float * float) list
+(** Per benchmark: (name, path-based stage Gaussian, block-based stage
+    Gaussian, MC mean, MC std) — quantifies what the canonical-form max
+    buys over critical-path composition. *)
+
+val leakage_tax_sweep :
+  ?sigmas_mv:float array -> unit -> (float * float * float) array
+(** (sigma_vth_rand in mV, analytic mean/nominal leakage ratio,
+    MC mean/nominal ratio) for c432. *)
+
+val dual_vth_study :
+  unit -> (float * int * float) list
+(** For timing-slack factors 1.00 / 1.05 / 1.15 over the all-low-Vth
+    c432 design: (slack factor, gates moved to high Vth out of 160,
+    leakage saving fraction). *)
+
+val node_scaling_study :
+  unit -> (string * float * float * float) list
+(** Per technology node (130/90/70/45 nm-like): (name, stage sigma/mu %,
+    pipeline sigma/mu %, yield % at a 5%-guardband clock) for the same
+    5x8 inverter-chain pipeline — the title's "sub-100nm" motivation
+    quantified. *)
+
+val run : unit -> unit

@@ -1,0 +1,72 @@
+module Tech = Spv_process.Tech
+
+let base_tech = Tech.bptm70
+
+let random_only_tech =
+  let t = Tech.with_inter_vth base_tech ~sigma_mv:0.0 in
+  let t = Tech.with_sys_vth t ~sigma_mv:0.0 in
+  { t with Tech.sigma_leff_rel_inter = 0.0; sigma_leff_rel_sys = 0.0 }
+
+let inter_only_tech ?(sigma_mv = 40.0) () =
+  let t = Tech.with_random_vth base_tech ~sigma_mv:0.0 in
+  let t = Tech.with_sys_vth t ~sigma_mv:0.0 in
+  let t = Tech.with_inter_vth t ~sigma_mv in
+  { t with Tech.sigma_leff_rel_sys = 0.0 }
+
+let mixed_tech ?(inter_mv = 40.0) () = Tech.with_inter_vth base_tech ~sigma_mv:inter_mv
+
+let optimisation_tech =
+  let t = Tech.with_inter_vth base_tech ~sigma_mv:10.0 in
+  let t = Tech.with_sys_vth t ~sigma_mv:10.0 in
+  let t = Tech.with_random_vth t ~sigma_mv:45.0 in
+  { t with Tech.sigma_leff_rel_inter = 0.01; sigma_leff_rel_sys = 0.005 }
+
+let seed = 20050307 (* DATE'05 session date *)
+
+let rng () = Spv_stats.Rng.create ~seed
+
+(* Printing ---------------------------------------------------------- *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') title (String.make 72 '=')
+
+let subsection title =
+  Printf.printf "\n-- %s --\n" title
+
+let series ~header pts =
+  Printf.printf "%s\n" header;
+  Array.iter (fun (x, y) -> Printf.printf "  %12.4f  %12.6f\n" x y) pts
+
+let multi_series ~header ~labels ~x ys =
+  Printf.printf "%s\n" header;
+  Printf.printf "  %12s" "x";
+  Array.iter (fun l -> Printf.printf "  %12s" l) labels;
+  print_newline ();
+  Array.iteri
+    (fun i xi ->
+      Printf.printf "  %12.4f" xi;
+      Array.iter (fun col -> Printf.printf "  %12.6f" col.(i)) ys;
+      print_newline ())
+    x
+
+let row s = print_string s; print_newline ()
+
+let cell s = Printf.sprintf "%14s" s
+
+let table_header cells =
+  row (String.concat " | " (List.map cell cells));
+  row (String.make ((17 * List.length cells) - 3) '-')
+
+let table_row cells = row (String.concat " | " (List.map cell cells))
+
+let histogram_vs_pdf ?(bins = 30) ~samples ~pdf () =
+  let h = Spv_stats.Histogram.of_samples ~bins samples in
+  Printf.printf "  %12s  %12s  %12s\n" "delay(ps)" "mc-density" "model-pdf";
+  for i = 0 to Spv_stats.Histogram.bins h - 1 do
+    let c = Spv_stats.Histogram.bin_center h i in
+    Printf.printf "  %12.2f  %12.6f  %12.6f\n" c
+      (Spv_stats.Histogram.density h i)
+      (pdf c)
+  done
+
+let pct p = Printf.sprintf "%.1f" (100.0 *. p)

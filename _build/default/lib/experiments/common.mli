@@ -1,0 +1,54 @@
+(** Shared experiment infrastructure: calibrated technology settings,
+    fixed seeds, and plain-text table/series printers used by the bench
+    harness and the CLI. *)
+
+val base_tech : Spv_process.Tech.t
+(** The default 70nm-like node (all three variation components). *)
+
+val random_only_tech : Spv_process.Tech.t
+(** Only intra-die random variation (Fig. 2a / Fig. 5a "only random"). *)
+
+val inter_only_tech : ?sigma_mv:float -> unit -> Spv_process.Tech.t
+(** Only inter-die variation (Fig. 2b), default 40 mV. *)
+
+val mixed_tech : ?inter_mv:float -> unit -> Spv_process.Tech.t
+(** Inter + intra (random and systematic) — Fig. 2c and the Fig. 5
+    sweeps; [inter_mv] defaults to 40. *)
+
+val optimisation_tech : Spv_process.Tech.t
+(** Random-dominant setting used for the Table II/III sizing
+    experiments (the paper's per-stage yield arithmetic assumes weakly
+    correlated stages). *)
+
+val seed : int
+(** Global experiment seed (every experiment derives sub-seeds from
+    it, so the whole harness is deterministic). *)
+
+val rng : unit -> Spv_stats.Rng.t
+
+(* Printing helpers ------------------------------------------------- *)
+
+val section : string -> unit
+(** Prints a banner for one table/figure. *)
+
+val subsection : string -> unit
+
+val series : header:string -> (float * float) array -> unit
+(** Two-column numeric series with a labelled header. *)
+
+val multi_series : header:string -> labels:string array -> x:float array ->
+  float array array -> unit
+(** x plus one column per label. *)
+
+val row : string -> unit
+val table_header : string list -> unit
+val table_row : string list -> unit
+(** Pipe-separated fixed-width table cells. *)
+
+val histogram_vs_pdf :
+  ?bins:int -> samples:float array -> pdf:(float -> float) -> unit -> unit
+(** Prints bin centers with the empirical density next to the analytic
+    density (the Fig. 2 / Fig. 7a comparison format). *)
+
+val pct : float -> string
+(** Format a probability as a percentage with one decimal. *)

@@ -1,0 +1,59 @@
+module G = Spv_stats.Gaussian
+
+type variant = Random_only | Inter_only | Mixed
+
+let variant_name = function
+  | Random_only -> "(a) only random intra-die"
+  | Inter_only -> "(b) only inter-die"
+  | Mixed -> "(c) inter + intra (random + systematic)"
+
+let tech_of = function
+  | Random_only -> Common.random_only_tech
+  | Inter_only -> Common.inter_only_tech ()
+  | Mixed -> Common.mixed_tech ()
+
+type result = {
+  variant : variant;
+  samples : float array;
+  mc_mean : float;
+  mc_std : float;
+  model : G.t;
+  ks : Spv_stats.Kstest.result;
+}
+
+let compute ?(stages = 12) ?(depth = 10) ?(n_samples = 4000) variant =
+  let tech = tech_of variant in
+  let ff = Spv_process.Flipflop.default tech in
+  let nets =
+    Spv_circuit.Generators.inverter_chain_pipeline ~stages ~depth ()
+  in
+  let rng = Common.rng () in
+  let samples = Spv_circuit.Ssta.mc_pipeline_delays ~ff tech nets rng ~n:n_samples in
+  let pipeline = Spv_core.Pipeline.of_circuits ~ff tech nets in
+  let model = Spv_core.Pipeline.delay_distribution pipeline in
+  {
+    variant;
+    samples;
+    mc_mean = Spv_stats.Descriptive.mean samples;
+    mc_std = Spv_stats.Descriptive.std samples;
+    model;
+    ks = Spv_stats.Kstest.against_gaussian samples model;
+  }
+
+let run () =
+  Common.section
+    "Figure 2: delay distribution of a 12-stage (depth-10) inverter-chain \
+     pipeline - Monte-Carlo vs analytical";
+  List.iter
+    (fun variant ->
+      let r = compute variant in
+      Common.subsection (variant_name variant);
+      Printf.printf
+        "  MC:    mean = %8.2f ps   std = %6.2f ps   (n = %d)\n\
+        \  model: mean = %8.2f ps   std = %6.2f ps\n\
+        \  KS distance = %.4f (p = %.3f)\n"
+        r.mc_mean r.mc_std (Array.length r.samples) (G.mu r.model)
+        (G.sigma r.model) r.ks.Spv_stats.Kstest.statistic
+        r.ks.Spv_stats.Kstest.p_value;
+      Common.histogram_vs_pdf ~samples:r.samples ~pdf:(G.pdf r.model) ())
+    [ Random_only; Inter_only; Mixed ]

@@ -1,0 +1,25 @@
+(** Fig. 2: pipeline delay distribution, gate-level Monte-Carlo vs the
+    analytical model, for a 12-stage inverter-chain pipeline with logic
+    depth 10 under (a) random intra-die only, (b) inter-die only,
+    (c) inter + intra with spatial correlation. *)
+
+type variant = Random_only | Inter_only | Mixed
+
+val variant_name : variant -> string
+
+type result = {
+  variant : variant;
+  samples : float array;  (** gate-level Monte-Carlo pipeline delays *)
+  mc_mean : float;
+  mc_std : float;
+  model : Spv_stats.Gaussian.t;  (** Clark-propagated analytic distribution *)
+  ks : Spv_stats.Kstest.result;  (** MC sample vs the analytic Gaussian *)
+}
+
+val compute :
+  ?stages:int -> ?depth:int -> ?n_samples:int -> variant -> result
+(** Defaults: 12 stages, depth 10, 4000 samples. *)
+
+val run : unit -> unit
+(** Print all three panels as histogram-vs-pdf series plus summary
+    moments. *)

@@ -1,0 +1,33 @@
+module Ds = Spv_core.Design_space
+
+let default_t_target = 120.0
+let default_yield = 0.8
+
+let compute ?(t_target = default_t_target) ?(yield = default_yield)
+    ?(stage_counts = [ 4; 12 ]) () =
+  Ds.curves ~tech:Common.base_tech ~t_target ~yield ~stage_counts
+    ~n_points:40 ()
+
+let run () =
+  Common.section
+    "Figure 4: permissible mean/sigma design space per stage \
+     (T_target, yield constraint)";
+  let c = compute () in
+  Printf.printf
+    "  T_target = %.0f ps, yield = %.0f%%; minimum stage mean %.2f ps \
+     (sigma floor %.3f ps)\n"
+    default_t_target (100.0 *. default_yield) c.Ds.mu_min c.Ds.sigma_min;
+  let labels =
+    Array.of_list
+      ([ "relaxed(11)" ]
+      @ List.map (fun (n, _) -> Printf.sprintf "equality(Ns=%d)" n) c.Ds.equality
+      @ [ "realiz-min(13)"; "realiz-max(13)" ])
+  in
+  let columns =
+    Array.of_list
+      ([ c.Ds.relaxed ]
+      @ List.map snd c.Ds.equality
+      @ [ c.Ds.realizable_min; c.Ds.realizable_max ])
+  in
+  Common.multi_series ~header:"mu (ps) vs sigma bounds (ps)" ~labels
+    ~x:c.Ds.mus columns

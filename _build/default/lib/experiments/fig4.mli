@@ -1,0 +1,13 @@
+(** Fig. 4: permissible (mu, sigma) design region of a pipe stage for a
+    target delay and yield — the relaxed bound (eq. 11), equality
+    bounds for two stage counts (eq. 12) and the realizable
+    inverter-chain corridor (eq. 13). *)
+
+val default_t_target : float
+val default_yield : float
+
+val compute :
+  ?t_target:float -> ?yield:float -> ?stage_counts:int list -> unit ->
+  Spv_core.Design_space.curves
+
+val run : unit -> unit

@@ -1,0 +1,137 @@
+module Balance = Spv_core.Balance
+module G = Spv_stats.Gaussian
+
+type setup = {
+  models : Balance.stage_model array;
+  t_target : float;
+  z : float;
+  tech : Spv_process.Tech.t;
+}
+
+let setup ?(bits = 8) () =
+  let tech = Common.optimisation_tech in
+  let ff = Spv_process.Flipflop.default tech in
+  let z =
+    Spv_stats.Special.big_phi_inv
+      (Spv_core.Yield.per_stage_yield_target ~yield:0.8 ~n_stages:3)
+  in
+  let nets = Spv_circuit.Generators.alu_decoder_stages ~bits in
+  let models =
+    Array.map (fun net -> Spv_sizing.Area_delay.stage_model ~ff ~n_points:9 tech net ~z) nets
+  in
+  (* A feasible common target: every stage must be able to reach it,
+     with trading room on both sides. *)
+  let slowest_fast =
+    Array.fold_left (fun acc m -> Float.max acc (fst (Balance.delay_bounds m))) neg_infinity models
+  in
+  let fastest_slow =
+    Array.fold_left (fun acc m -> Float.min acc (snd (Balance.delay_bounds m))) infinity models
+  in
+  let t_target = slowest_fast +. (0.45 *. (fastest_slow -. slowest_fast)) in
+  { models; t_target; z; tech }
+
+type comparison = {
+  balanced : Balance.solution;
+  unbalanced_best : Balance.solution;
+  unbalanced_worst : Balance.solution;
+  ri : float array;
+}
+
+(* Common stage delay at which the balanced design achieves exactly the
+   target yield at the setup's delay target (yield decreases with the
+   common delay, so plain bisection applies). *)
+let balanced_delay_for_yield s ~target_yield =
+  let n = Array.length s.models in
+  let lo =
+    Array.fold_left (fun acc m -> Float.max acc (fst (Balance.delay_bounds m))) neg_infinity s.models
+  in
+  let hi =
+    Array.fold_left (fun acc m -> Float.min acc (snd (Balance.delay_bounds m))) infinity s.models
+  in
+  let yield_at d =
+    (Balance.evaluate s.models ~delays:(Array.make n d) ~t_target:s.t_target)
+      .Balance.yield
+  in
+  if yield_at lo < target_yield then
+    invalid_arg "Fig7_8: target yield unreachable even at fastest balanced design";
+  let rec bisect lo hi iters =
+    if iters = 0 then (lo +. hi) /. 2.0
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if yield_at mid >= target_yield then bisect mid hi (iters - 1)
+      else bisect lo mid (iters - 1)
+  in
+  if yield_at hi >= target_yield then hi else bisect lo hi 60
+
+let compare_at s ~target_yield =
+  let n = Array.length s.models in
+  let d_bal = balanced_delay_for_yield s ~target_yield in
+  let delays = Array.make n d_bal in
+  let balanced = Balance.evaluate s.models ~delays ~t_target:s.t_target in
+  let total_area = balanced.Balance.area in
+  let unbalanced_best =
+    Balance.optimise_constant_area s.models ~total_area ~t_target:s.t_target
+  in
+  let unbalanced_worst =
+    Balance.pessimise_constant_area s.models ~total_area ~t_target:s.t_target
+  in
+  let ri = Array.map (fun m -> Balance.ri m ~delay:d_bal) s.models in
+  { balanced; unbalanced_best; unbalanced_worst; ri }
+
+let delay_samples s solution ~n =
+  let pipeline =
+    Balance.pipeline_of s.models ~delays:solution.Balance.delays
+  in
+  Spv_core.Yield.monte_carlo_distribution pipeline (Common.rng ()) ~n
+
+let print_solution label (sol : Balance.solution) =
+  Printf.printf "  %-18s area = %8.1f  yield = %6.2f%%  delays = [%s]\n" label
+    sol.Balance.area
+    (100.0 *. sol.Balance.yield)
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.1f") sol.Balance.delays)))
+
+let run () =
+  let s = setup () in
+  Common.section
+    "Figure 8: area vs delay curves of the 3-stage ALU-decoder pipeline";
+  Array.iter
+    (fun m ->
+      Common.subsection (Balance.name m);
+      Common.series ~header:"delay(norm) vs area(norm)"
+        (Spv_sizing.Area_delay.normalised (Balance.points m)))
+    s.models;
+  Common.section
+    "Figure 7: balanced vs unbalanced pipeline at constant area";
+  Printf.printf "  pipeline delay target T = %.1f ps, per-stage z = %.3f\n"
+    s.t_target s.z;
+  let c80 = compare_at s ~target_yield:0.8 in
+  Printf.printf "  eq.14 R_i at balanced point: [%s]\n"
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.2f") c80.ri)));
+  Common.subsection "(a) delay distributions at constant area (target 80%)";
+  let bal_samples = delay_samples s c80.balanced ~n:20000 in
+  let unb_samples = delay_samples s c80.unbalanced_best ~n:20000 in
+  Printf.printf "  balanced:   %s\n" (Spv_stats.Descriptive.summary bal_samples);
+  Printf.printf "  unbalanced: %s\n" (Spv_stats.Descriptive.summary unb_samples);
+  Common.subsection "(b) achieved yield with the same area";
+  Common.table_header
+    [ "target-yield%"; "balanced%"; "unbal-best%"; "unbal-worst%" ];
+  List.iter
+    (fun ty ->
+      let c = compare_at s ~target_yield:ty in
+      Common.table_row
+        [
+          Common.pct ty;
+          Common.pct c.balanced.Balance.yield;
+          Common.pct c.unbalanced_best.Balance.yield;
+          Common.pct c.unbalanced_worst.Balance.yield;
+        ])
+    [ 0.70; 0.75; 0.80 ];
+  List.iter
+    (fun (label, sol) -> print_solution label sol)
+    [
+      ("balanced", c80.balanced);
+      ("unbalanced-best", c80.unbalanced_best);
+      ("unbalanced-worst", c80.unbalanced_worst);
+    ]

@@ -1,0 +1,85 @@
+module G = Spv_stats.Gaussian
+
+type config = {
+  label : string;
+  depths : int array;
+  tech : Spv_process.Tech.t;
+}
+
+let default_configs () =
+  [
+    { label = "8 x 5"; depths = Array.make 8 5; tech = Common.random_only_tech };
+    { label = "5 x 8"; depths = Array.make 5 8; tech = Common.random_only_tech };
+    {
+      label = "5 x *";
+      depths = [| 6; 7; 8; 9; 10 |];
+      tech = Common.random_only_tech;
+    };
+    {
+      label = "5 x 8 inter";
+      depths = Array.make 5 8;
+      tech = Common.inter_only_tech ();
+    };
+    {
+      label = "5 x 8 inter+intra";
+      depths = Array.make 5 8;
+      tech = Common.mixed_tech ();
+    };
+  ]
+
+type row = {
+  config : config;
+  t_target : float;
+  mc_mu : float;
+  mc_sigma : float;
+  mc_yield : float;
+  model_mu : float;
+  model_sigma : float;
+  model_yield : float;
+}
+
+let compute ?(n_samples = 8000) config =
+  let tech = config.tech in
+  let ff = Spv_process.Flipflop.default tech in
+  let nets =
+    Spv_circuit.Generators.variable_depth_pipeline ~depths:config.depths ()
+  in
+  let pipeline = Spv_core.Pipeline.of_circuits ~ff tech nets in
+  let model = Spv_core.Pipeline.delay_distribution pipeline in
+  (* Delay target near the upper tail, rounded to a readable grid. *)
+  let t_target = 5.0 *. Float.round (G.quantile model ~p:0.90 /. 5.0) in
+  let rng = Common.rng () in
+  let samples = Spv_circuit.Ssta.mc_pipeline_delays ~ff tech nets rng ~n:n_samples in
+  {
+    config;
+    t_target;
+    mc_mu = Spv_stats.Descriptive.mean samples;
+    mc_sigma = Spv_stats.Descriptive.std samples;
+    mc_yield = Spv_stats.Descriptive.fraction_below samples ~threshold:t_target;
+    model_mu = G.mu model;
+    model_sigma = G.sigma model;
+    model_yield = Spv_core.Yield.clark_gaussian pipeline ~t_target;
+  }
+
+let run () =
+  Common.section
+    "Table I: modelling vs Monte-Carlo for pipeline configurations \
+     (stages x logic depth)";
+  Common.table_header
+    [ "config"; "target(ps)"; "MC mu"; "MC sigma"; "MC yield%"; "mdl mu";
+      "mdl sigma"; "mdl yield%" ];
+  List.iter
+    (fun config ->
+      let r = compute config in
+      Common.table_row
+        [
+          r.config.label;
+          Printf.sprintf "%.0f" r.t_target;
+          Printf.sprintf "%.1f" r.mc_mu;
+          Printf.sprintf "%.2f" r.mc_sigma;
+          Common.pct r.mc_yield;
+          Printf.sprintf "%.1f" r.model_mu;
+          Printf.sprintf "%.2f" r.model_sigma;
+          Common.pct r.model_yield;
+        ])
+    (default_configs ())

@@ -1,0 +1,29 @@
+(** Table I: modelling vs gate-level Monte-Carlo for several pipeline
+    configurations (stages x logic depth, and variation mixes). *)
+
+type config = {
+  label : string;
+  depths : int array;  (** one entry per stage *)
+  tech : Spv_process.Tech.t;
+}
+
+val default_configs : unit -> config list
+(** The paper's five rows: 8x5, 5x8, 5x(variable), 5x8 inter-only,
+    5x8 inter+intra. *)
+
+type row = {
+  config : config;
+  t_target : float;
+  mc_mu : float;
+  mc_sigma : float;
+  mc_yield : float;
+  model_mu : float;
+  model_sigma : float;
+  model_yield : float;
+}
+
+val compute : ?n_samples:int -> config -> row
+(** The delay target is set at the analytic 90% quantile rounded to
+    5 ps (the paper likewise reports targets near the upper tail). *)
+
+val run : unit -> unit

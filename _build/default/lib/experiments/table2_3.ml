@@ -1,0 +1,95 @@
+module GO = Spv_sizing.Global_opt
+module L = Spv_sizing.Lagrangian
+
+type scenario = Ensure_yield | Minimise_area
+
+type table = {
+  scenario : scenario;
+  t_target : float;
+  yield_target : float;
+  baseline : GO.result;
+  proposed : GO.result;
+  mc_yield_baseline : float;
+  mc_yield_proposed : float;
+}
+
+let mc_yield result ~t_target =
+  Spv_core.Yield.monte_carlo result.GO.pipeline (Common.rng ()) ~n:40000
+    ~t_target
+
+let compute ?(yield_target = 0.8) scenario =
+  let tech = Common.optimisation_tech in
+  let ff = Spv_process.Flipflop.default tech in
+  let nets = Spv_circuit.Generators.iscas_pipeline () in
+  let z =
+    Spv_stats.Special.big_phi_inv
+      (Spv_core.Yield.per_stage_yield_target ~yield:yield_target
+         ~n_stages:(Array.length nets))
+  in
+  let fast_critical = L.minimum_achievable_delay ~ff tech nets.(0) ~z in
+  let t_target =
+    match scenario with
+    | Ensure_yield -> fast_critical *. 0.985
+    | Minimise_area -> fast_critical *. 1.02
+  in
+  let baseline =
+    GO.individually_optimised ~ff tech nets ~t_target ~yield_target
+  in
+  let proposed =
+    match scenario with
+    | Ensure_yield -> GO.ensure_yield ~ff tech nets ~t_target ~yield_target
+    | Minimise_area -> GO.minimise_area ~ff tech nets ~t_target ~yield_target
+  in
+  {
+    scenario;
+    t_target;
+    yield_target;
+    baseline;
+    proposed;
+    mc_yield_baseline = mc_yield baseline ~t_target;
+    mc_yield_proposed = mc_yield proposed ~t_target;
+  }
+
+let print_table t =
+  let base_total = t.baseline.GO.total_area in
+  Printf.printf
+    "  T_target = %.0f ps, pipeline yield target = %.0f%% \
+     (per-stage budget %.2f%%)\n"
+    t.t_target
+    (100.0 *. t.yield_target)
+    (100.0
+    *. Spv_core.Yield.per_stage_yield_target ~yield:t.yield_target
+         ~n_stages:(Array.length t.baseline.GO.nets));
+  Common.table_header
+    [ "stage"; "indiv area%"; "indiv yield%"; "prop area%"; "prop yield%" ];
+  Array.iteri
+    (fun i net ->
+      Common.table_row
+        [
+          Spv_circuit.Netlist.name net;
+          Printf.sprintf "%.1f" (100.0 *. t.baseline.GO.stage_areas.(i) /. base_total);
+          Common.pct t.baseline.GO.stage_yields.(i);
+          Printf.sprintf "%.1f" (100.0 *. t.proposed.GO.stage_areas.(i) /. base_total);
+          Common.pct t.proposed.GO.stage_yields.(i);
+        ])
+    t.baseline.GO.nets;
+  Common.table_row
+    [
+      "pipeline";
+      "100.0";
+      Common.pct t.baseline.GO.pipeline_yield;
+      Printf.sprintf "%.1f" (100.0 *. t.proposed.GO.total_area /. base_total);
+      Common.pct t.proposed.GO.pipeline_yield;
+    ];
+  Printf.printf
+    "  Monte-Carlo yield check: baseline %.1f%%, proposed %.1f%% \
+     (40k joint samples)\n"
+    (100.0 *. t.mc_yield_baseline)
+    (100.0 *. t.mc_yield_proposed)
+
+let run () =
+  Common.section
+    "Table II: ensuring the 80%% yield target with small area penalty";
+  print_table (compute Ensure_yield);
+  Common.section "Table III: area reduction at the 80%% yield target";
+  print_table (compute Minimise_area)

@@ -1,0 +1,28 @@
+(** Tables II and III: global pipeline sizing on the 4-stage ISCAS85
+    pipeline (c3540, c2670, c1908, c432).
+
+    Table II: ensure the 80% pipeline yield target that the
+    conventionally (per-stage) optimised design misses, at a small area
+    penalty.  Table III: recover area while holding the 80% target. *)
+
+type scenario = Ensure_yield | Minimise_area
+
+type table = {
+  scenario : scenario;
+  t_target : float;
+  yield_target : float;
+  baseline : Spv_sizing.Global_opt.result;
+  proposed : Spv_sizing.Global_opt.result;
+  mc_yield_baseline : float;  (** Monte-Carlo check of the joint model *)
+  mc_yield_proposed : float;
+}
+
+val compute : ?yield_target:float -> scenario -> table
+(** The delay target is derived from the critical stage (c3540):
+    0.985x its fastest achievable statistical delay for
+    [Ensure_yield] (so the conventional flow misses the target), and
+    1.02x for [Minimise_area] (so the conventional flow meets it with
+    recoverable slack). *)
+
+val print_table : table -> unit
+val run : unit -> unit

@@ -1,0 +1,1 @@
+lib/process/alpha_power.mli: Tech

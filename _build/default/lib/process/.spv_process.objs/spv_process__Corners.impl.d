@@ -1,0 +1,1 @@
+lib/process/corners.ml: Tech Variation

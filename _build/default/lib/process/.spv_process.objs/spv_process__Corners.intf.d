@@ -1,0 +1,1 @@
+lib/process/corners.mli: Tech Variation

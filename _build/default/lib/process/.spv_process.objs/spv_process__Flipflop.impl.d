@@ -1,0 +1,1 @@
+lib/process/flipflop.ml: Gate_delay Tech

@@ -1,0 +1,1 @@
+lib/process/flipflop.mli: Gate_delay Tech

@@ -1,0 +1,1 @@
+lib/process/gate_delay.ml: Float Format List Spv_stats Variation

@@ -1,0 +1,1 @@
+lib/process/gate_delay.mli: Format Spv_stats Tech

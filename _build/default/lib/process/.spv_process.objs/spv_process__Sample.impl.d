@@ -1,0 +1,1 @@
+lib/process/sample.ml: Array Spatial Tech Variation

@@ -1,0 +1,1 @@
+lib/process/sample.mli: Spatial Spv_stats Tech Variation

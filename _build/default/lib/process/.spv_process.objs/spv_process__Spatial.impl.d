@@ -1,0 +1,1 @@
+lib/process/spatial.ml: Array Spv_stats Tech

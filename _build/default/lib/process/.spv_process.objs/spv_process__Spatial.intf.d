@@ -1,0 +1,1 @@
+lib/process/spatial.mli: Spv_stats Tech

@@ -1,0 +1,1 @@
+lib/process/variation.ml: Alpha_power Spv_stats Tech

@@ -1,0 +1,1 @@
+lib/process/variation.mli: Spv_stats Tech

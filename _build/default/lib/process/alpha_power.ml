@@ -1,0 +1,23 @@
+(* A shorter channel lowers Vth through roll-off/DIBL, so Vth moves
+   *with* the relative Leff deviation. *)
+let drive_current_rel (tech : Tech.t) ~dvth ~dleff_rel =
+  let vth = tech.vth0 +. dvth +. (tech.vth_leff_coupling *. dleff_rel) in
+  let overdrive = tech.vdd -. vth in
+  if overdrive <= 0.0 then 0.0
+  else
+    let nominal = (tech.vdd -. tech.vth0) ** tech.alpha in
+    (overdrive ** tech.alpha) /. ((1.0 +. dleff_rel) *. nominal)
+
+let delay_factor tech ~dvth ~dleff_rel =
+  let i_rel = drive_current_rel tech ~dvth ~dleff_rel in
+  if i_rel <= 0.0 then infinity else 1.0 /. i_rel
+
+let delay_factor_linear (tech : Tech.t) ~dvth ~dleff_rel =
+  1.0
+  +. (Tech.delay_sensitivity_vth tech *. dvth)
+  +. (Tech.delay_sensitivity_leff tech *. dleff_rel)
+
+let linearisation_error tech ~dvth =
+  abs_float
+    (delay_factor tech ~dvth ~dleff_rel:0.0
+    -. delay_factor_linear tech ~dvth ~dleff_rel:0.0)

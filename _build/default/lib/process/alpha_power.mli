@@ -1,0 +1,27 @@
+(** Alpha-power-law MOSFET delay model (Sakurai–Newton).
+
+    The saturation drain current of a short-channel device is
+    [I_d ∝ (W / Leff) * (Vdd - Vth)^alpha] and a gate delay is
+    [d ∝ C_L * Vdd / I_d].  This module evaluates relative delay as a
+    function of the varying parameters (Vth, Leff) around the nominal
+    point — exactly the dependence the paper extracts from SPICE
+    Monte-Carlo. *)
+
+val drive_current_rel : Tech.t -> dvth:float -> dleff_rel:float -> float
+(** Drain current relative to nominal for a threshold shift [dvth] (V)
+    and a relative channel-length deviation [dleff_rel]. *)
+
+val delay_factor : Tech.t -> dvth:float -> dleff_rel:float -> float
+(** Multiplicative delay factor relative to nominal delay: exact
+    alpha-power evaluation, including the Leff-induced Vth shift
+    (DIBL/roll-off, first order). [= 1.0] at [dvth = 0, dleff_rel = 0]. *)
+
+val delay_factor_linear : Tech.t -> dvth:float -> dleff_rel:float -> float
+(** First-order (linearised) delay factor
+    [1 + S_vth * dvth + S_leff * dleff_rel]; the SSTA engine uses this
+    form to keep gate delays Gaussian. *)
+
+val linearisation_error : Tech.t -> dvth:float -> float
+(** |exact - linear| delay-factor discrepancy at a given Vth shift —
+    used in tests to confirm the Gaussian approximation is adequate
+    over +-3 sigma. *)

@@ -1,0 +1,37 @@
+type corner = Typical | Fast | Slow
+
+let corner_name = function
+  | Typical -> "TT"
+  | Fast -> "FF"
+  | Slow -> "SS"
+
+let corner_shift ?(sigma_level = 3.0) (tech : Tech.t) corner =
+  let sign = match corner with Typical -> 0.0 | Slow -> 1.0 | Fast -> -1.0 in
+  let k = sign *. sigma_level in
+  {
+    Variation.dvth =
+      k
+      *. (tech.Tech.sigma_vth_inter +. tech.Tech.sigma_vth_sys
+        +. tech.Tech.sigma_vth_rand);
+    dleff_rel =
+      k *. (tech.Tech.sigma_leff_rel_inter +. tech.Tech.sigma_leff_rel_sys);
+  }
+
+let delay_factor ?sigma_level tech corner =
+  Variation.delay_factor_linear tech (corner_shift ?sigma_level tech corner)
+
+let guardband_ratio ?(sigma_level = 3.0) tech ~path_depth =
+  if path_depth <= 0 then invalid_arg "Corners.guardband_ratio: depth <= 0";
+  let n = float_of_int path_depth in
+  (* Per-gate relative sigmas at minimum size. *)
+  let s_inter = Variation.rel_sigma_inter tech in
+  let s_sys = Variation.rel_sigma_sys tech in
+  let s_rand = Variation.rel_sigma_rand tech ~size:1.0 in
+  (* Path of n nominally-identical gates: shared parts scale the whole
+     path; the random part averages as 1/sqrt(n). *)
+  let path_sigma_rel =
+    sqrt ((s_inter ** 2.0) +. (s_sys ** 2.0) +. (s_rand *. s_rand /. n))
+  in
+  let statistical = 1.0 +. (sigma_level *. path_sigma_rel) in
+  let corner = delay_factor ~sigma_level tech Slow in
+  corner /. statistical

@@ -1,0 +1,30 @@
+(** Process corners, and what they cost relative to statistical design.
+
+    Corner methodology slows {e every} device by k sigma of {e all} its
+    variation simultaneously — including the random component that in
+    reality averages out along a logic path.  Statistical design needs
+    only [mu + z * sigma_actual] of the path.  The gap between the two
+    is the clock-period guardband the paper's methodology recovers. *)
+
+type corner = Typical | Fast | Slow
+
+val corner_name : corner -> string
+
+val corner_shift : ?sigma_level:float -> Tech.t -> corner -> Variation.shift
+(** Parameter displacement of a corner: every sigma source (inter-die,
+    systematic, and the minimum-size random) stacked at [sigma_level]
+    (default 3.0) in the slow (+) or fast (-) direction. *)
+
+val delay_factor : ?sigma_level:float -> Tech.t -> corner -> float
+(** Relative gate-delay multiplier at a corner (linearised model,
+    matching the SSTA engine). [Typical] is 1.0. *)
+
+val guardband_ratio : ?sigma_level:float -> Tech.t -> path_depth:int -> float
+(** [slow-corner path delay / statistical path delay] for a path of
+    [path_depth] minimum-size gates at the yield implied by
+    [sigma_level] (e.g. 3 sigma ~ 99.87%): the corner's overhead
+    factor.  Always >= 1, for two stacked reasons: the corner adds
+    independent sigma sources linearly where the statistical path
+    combines them in quadrature (depth-independent pessimism), and it
+    refuses to let the random component average along the path
+    (pessimism growing with depth). *)

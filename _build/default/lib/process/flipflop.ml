@@ -1,0 +1,16 @@
+type t = { clk_to_q : Gate_delay.t; setup : Gate_delay.t }
+
+let make tech ~clk_to_q_ps ~setup_ps ~size =
+  if clk_to_q_ps < 0.0 || setup_ps < 0.0 then
+    invalid_arg "Flipflop.make: negative timing";
+  if size <= 0.0 then invalid_arg "Flipflop.make: non-positive size";
+  {
+    clk_to_q = Gate_delay.of_nominal tech ~nominal:clk_to_q_ps ~size;
+    setup = Gate_delay.of_nominal tech ~nominal:setup_ps ~size;
+  }
+
+let default (tech : Tech.t) =
+  make tech ~clk_to_q_ps:(4.0 *. tech.tau) ~setup_ps:(2.0 *. tech.tau) ~size:2.0
+
+let overhead t = Gate_delay.add t.clk_to_q t.setup
+let nominal_overhead t = (overhead t).Gate_delay.nominal

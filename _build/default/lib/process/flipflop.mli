@@ -1,0 +1,23 @@
+(** Sequencing-element timing (transmission-gate master–slave flip-flop
+    stand-in).
+
+    Eq. (1) of the paper: a stage delay is
+    [T_C-Q + T_comb + T_setup]; this module supplies the two latch
+    terms, subject to the same variation model as logic gates. *)
+
+type t = {
+  clk_to_q : Gate_delay.t;
+  setup : Gate_delay.t;
+}
+
+val default : Tech.t -> t
+(** Transmission-gate MSFF: clk-to-Q ≈ 4 tau, setup ≈ 2 tau, at size 2
+    (flip-flops are built from larger-than-minimum devices). *)
+
+val make : Tech.t -> clk_to_q_ps:float -> setup_ps:float -> size:float -> t
+
+val overhead : t -> Gate_delay.t
+(** [clk_to_q + setup] composed as one decomposed delay (they sit in
+    the same die locale). *)
+
+val nominal_overhead : t -> float

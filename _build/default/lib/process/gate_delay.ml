@@ -1,0 +1,76 @@
+type t = {
+  nominal : float;
+  sigma_inter : float;
+  sigma_sys : float;
+  sigma_rand : float;
+}
+
+let zero = { nominal = 0.0; sigma_inter = 0.0; sigma_sys = 0.0; sigma_rand = 0.0 }
+
+let make ~nominal ~sigma_inter ~sigma_sys ~sigma_rand =
+  let check name v =
+    if not (Float.is_finite v) then
+      invalid_arg ("Gate_delay.make: non-finite " ^ name)
+  in
+  check "nominal" nominal;
+  check "sigma_inter" sigma_inter;
+  check "sigma_sys" sigma_sys;
+  check "sigma_rand" sigma_rand;
+  if sigma_inter < 0.0 || sigma_sys < 0.0 || sigma_rand < 0.0 then
+    invalid_arg "Gate_delay.make: negative sigma";
+  { nominal; sigma_inter; sigma_sys; sigma_rand }
+
+let of_nominal tech ~nominal ~size =
+  make ~nominal
+    ~sigma_inter:(nominal *. Variation.rel_sigma_inter tech)
+    ~sigma_sys:(nominal *. Variation.rel_sigma_sys tech)
+    ~sigma_rand:(nominal *. Variation.rel_sigma_rand tech ~size)
+
+let total_sigma t =
+  sqrt
+    ((t.sigma_inter *. t.sigma_inter)
+    +. (t.sigma_sys *. t.sigma_sys)
+    +. (t.sigma_rand *. t.sigma_rand))
+
+let to_gaussian t = Spv_stats.Gaussian.make ~mu:t.nominal ~sigma:(total_sigma t)
+
+let variability t =
+  if t.nominal = 0.0 then invalid_arg "Gate_delay.variability: zero nominal";
+  total_sigma t /. t.nominal
+
+let add a b =
+  {
+    nominal = a.nominal +. b.nominal;
+    sigma_inter = a.sigma_inter +. b.sigma_inter;
+    sigma_sys = a.sigma_sys +. b.sigma_sys;
+    sigma_rand =
+      sqrt ((a.sigma_rand *. a.sigma_rand) +. (b.sigma_rand *. b.sigma_rand));
+  }
+
+let sum ts = List.fold_left add zero ts
+
+let scale t k =
+  if k < 0.0 then invalid_arg "Gate_delay.scale: negative factor";
+  {
+    nominal = t.nominal *. k;
+    sigma_inter = t.sigma_inter *. k;
+    sigma_sys = t.sigma_sys *. k;
+    sigma_rand = t.sigma_rand *. k;
+  }
+
+let correlation a b ~sys_rho =
+  if sys_rho < -1.0 || sys_rho > 1.0 then
+    invalid_arg "Gate_delay.correlation: sys_rho outside [-1,1]";
+  let sa = total_sigma a and sb = total_sigma b in
+  if sa = 0.0 || sb = 0.0 then 0.0
+  else
+    let cov =
+      (a.sigma_inter *. b.sigma_inter)
+      +. (sys_rho *. a.sigma_sys *. b.sigma_sys)
+    in
+    (* Numerical guard: the ratio is a correlation by construction. *)
+    Float.max (-1.0) (Float.min 1.0 (cov /. (sa *. sb)))
+
+let pp fmt t =
+  Format.fprintf fmt "%.3gps (inter %.3g, sys %.3g, rand %.3g)" t.nominal
+    t.sigma_inter t.sigma_sys t.sigma_rand

@@ -1,0 +1,50 @@
+(** Component-decomposed Gaussian delays.
+
+    A delay is carried as a nominal value plus one sigma per variation
+    component.  The decomposition composes along a path (nominal and
+    the correlated components add linearly, the random component in
+    quadrature) and yields the stage-to-stage correlation coefficients
+    the paper's pipeline model needs. *)
+
+type t = {
+  nominal : float;  (** ps *)
+  sigma_inter : float;  (** inter-die contribution, perfectly correlated die-wide *)
+  sigma_sys : float;  (** systematic contribution, spatially correlated *)
+  sigma_rand : float;  (** random contribution, independent per device *)
+}
+
+val zero : t
+
+val make :
+  nominal:float -> sigma_inter:float -> sigma_sys:float -> sigma_rand:float -> t
+(** All fields must be finite; sigmas non-negative. *)
+
+val of_nominal : Tech.t -> nominal:float -> size:float -> t
+(** Decomposed delay of a gate with the given nominal delay and size
+    factor, using the technology's relative sigmas. *)
+
+val total_sigma : t -> float
+(** sqrt(inter^2 + sys^2 + rand^2). *)
+
+val to_gaussian : t -> Spv_stats.Gaussian.t
+
+val variability : t -> float
+(** total_sigma / nominal. *)
+
+val add : t -> t -> t
+(** Series composition along one path at one die locale: nominals,
+    inter and sys sigmas add linearly; random sigmas in quadrature. *)
+
+val sum : t list -> t
+
+val scale : t -> float -> t
+(** Multiply every field by a non-negative factor. *)
+
+val correlation : t -> t -> sys_rho:float -> float
+(** Correlation coefficient between two decomposed delays whose
+    systematic fields are correlated with [sys_rho] (e.g. two pipeline
+    stages at distance d):
+    [(si_a * si_b + sys_rho * ss_a * ss_b) / (sigma_a * sigma_b)].
+    Returns 0 when either total sigma is 0. *)
+
+val pp : Format.formatter -> t -> unit

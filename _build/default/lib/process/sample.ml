@@ -1,0 +1,37 @@
+type world = { inter : Variation.shift; sys_field : float array }
+
+type t = {
+  tech : Tech.t;
+  field_sampler : Spatial.field_sampler;
+  n : int;
+}
+
+let create tech ~positions =
+  {
+    tech;
+    field_sampler = Spatial.make_sampler tech positions;
+    n = Array.length positions;
+  }
+
+let tech t = t.tech
+let n_locations t = t.n
+
+let draw t rng =
+  {
+    inter = Variation.sample_inter t.tech rng;
+    sys_field = Spatial.sample_field t.field_sampler rng;
+  }
+
+let shift_at t world ~location ~size rng =
+  if location < 0 || location >= t.n then
+    invalid_arg "Sample.shift_at: location out of range";
+  let sys =
+    Variation.sample_sys_scaled t.tech ~field:world.sys_field.(location)
+  in
+  let rand = Variation.sample_rand t.tech ~size rng in
+  Variation.(add_shift world.inter (add_shift sys rand))
+
+let delay_factor ?(exact = false) t world ~location ~size rng =
+  let shift = shift_at t world ~location ~size rng in
+  if exact then Variation.delay_factor_exact t.tech shift
+  else Variation.delay_factor_linear t.tech shift

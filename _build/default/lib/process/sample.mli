@@ -1,0 +1,34 @@
+(** Monte-Carlo sampling of whole-die variation assignments.
+
+    One [world] is one fabricated die: a shared inter-die shift plus a
+    realisation of the systematic spatial field over a set of
+    locations.  Per-device random shifts are drawn on demand because
+    they are independent. *)
+
+type world = {
+  inter : Variation.shift;  (** common to every gate on the die *)
+  sys_field : float array;  (** unit-variance field value per location *)
+}
+
+type t
+(** A sampler bound to a technology and a fixed set of die locations. *)
+
+val create : Tech.t -> positions:Spatial.position array -> t
+val tech : t -> Tech.t
+val n_locations : t -> int
+
+val draw : t -> Spv_stats.Rng.t -> world
+(** Sample one die. *)
+
+val shift_at :
+  t -> world -> location:int -> size:float -> Spv_stats.Rng.t ->
+  Variation.shift
+(** Total parameter shift of one device: inter + systematic (at its
+    location) + a fresh random draw scaled to its size. *)
+
+val delay_factor :
+  ?exact:bool -> t -> world -> location:int -> size:float ->
+  Spv_stats.Rng.t -> float
+(** Relative delay multiplier for a device on this die.  [exact]
+    selects the exact alpha-power evaluation instead of the linearised
+    one (default false, matching the SSTA Gaussian model). *)

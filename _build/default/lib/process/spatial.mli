@@ -1,0 +1,27 @@
+(** Spatially correlated systematic variation.
+
+    Die locations carry a zero-mean, unit-variance Gaussian field with
+    exponentially decaying correlation [exp(-d / corr_length)]; stage
+    or gate systematic shifts are this field scaled by the technology's
+    systematic sigmas. *)
+
+type position = { x : float; y : float }
+
+val position : x:float -> y:float -> position
+val distance : position -> position -> float
+
+val row_positions : n:int -> pitch:float -> position array
+(** [n] locations in a row at the given pitch — how pipeline stages are
+    laid out across the die in the experiments. *)
+
+val correlation : Tech.t -> position -> position -> float
+(** [exp (-distance / corr_length)]. *)
+
+val correlation_matrix : Tech.t -> position array -> Spv_stats.Correlation.t
+
+type field_sampler
+(** Precomputed Cholesky factor for repeated field draws. *)
+
+val make_sampler : Tech.t -> position array -> field_sampler
+val sample_field : field_sampler -> Spv_stats.Rng.t -> float array
+(** Unit-variance correlated normals, one per position. *)

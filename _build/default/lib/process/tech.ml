@@ -1,0 +1,120 @@
+type t = {
+  name : string;
+  vdd : float;
+  vth0 : float;
+  alpha : float;
+  tau : float;
+  leff0 : float;
+  sigma_vth_inter : float;
+  sigma_vth_rand : float;
+  sigma_vth_sys : float;
+  sigma_leff_rel_inter : float;
+  sigma_leff_rel_sys : float;
+  vth_leff_coupling : float;
+  corr_length : float;
+}
+
+let bptm70 =
+  {
+    name = "bptm70";
+    vdd = 1.0;
+    vth0 = 0.20;
+    alpha = 1.3;
+    tau = 5.0;
+    leff0 = 45.0;
+    sigma_vth_inter = 0.040;
+    sigma_vth_rand = 0.030;
+    sigma_vth_sys = 0.020;
+    sigma_leff_rel_inter = 0.04;
+    sigma_leff_rel_sys = 0.02;
+    vth_leff_coupling = 0.08;
+    corr_length = 2.0;
+  }
+
+let node_130 =
+  {
+    name = "node130";
+    vdd = 1.3;
+    vth0 = 0.33;
+    alpha = 1.4;
+    tau = 11.0;
+    leff0 = 80.0;
+    sigma_vth_inter = 0.015;
+    sigma_vth_rand = 0.012;
+    sigma_vth_sys = 0.008;
+    sigma_leff_rel_inter = 0.025;
+    sigma_leff_rel_sys = 0.012;
+    vth_leff_coupling = 0.05;
+    corr_length = 2.0;
+  }
+
+let node_90 =
+  {
+    name = "node90";
+    vdd = 1.2;
+    vth0 = 0.26;
+    alpha = 1.35;
+    tau = 7.0;
+    leff0 = 60.0;
+    sigma_vth_inter = 0.025;
+    sigma_vth_rand = 0.020;
+    sigma_vth_sys = 0.013;
+    sigma_leff_rel_inter = 0.03;
+    sigma_leff_rel_sys = 0.015;
+    vth_leff_coupling = 0.06;
+    corr_length = 2.0;
+  }
+
+let node_45 =
+  {
+    name = "node45";
+    vdd = 0.9;
+    vth0 = 0.18;
+    alpha = 1.25;
+    tau = 3.5;
+    leff0 = 30.0;
+    sigma_vth_inter = 0.055;
+    sigma_vth_rand = 0.045;
+    sigma_vth_sys = 0.028;
+    sigma_leff_rel_inter = 0.05;
+    sigma_leff_rel_sys = 0.025;
+    vth_leff_coupling = 0.10;
+    corr_length = 2.0;
+  }
+
+let scaling_nodes = [ node_130; node_90; bptm70; node_45 ]
+
+let with_inter_vth t ~sigma_mv =
+  if sigma_mv < 0.0 then invalid_arg "Tech.with_inter_vth: negative sigma";
+  { t with sigma_vth_inter = sigma_mv /. 1000.0 }
+
+let with_random_vth t ~sigma_mv =
+  if sigma_mv < 0.0 then invalid_arg "Tech.with_random_vth: negative sigma";
+  { t with sigma_vth_rand = sigma_mv /. 1000.0 }
+
+let with_sys_vth t ~sigma_mv =
+  if sigma_mv < 0.0 then invalid_arg "Tech.with_sys_vth: negative sigma";
+  { t with sigma_vth_sys = sigma_mv /. 1000.0 }
+
+let no_variation t =
+  {
+    t with
+    sigma_vth_inter = 0.0;
+    sigma_vth_rand = 0.0;
+    sigma_vth_sys = 0.0;
+    sigma_leff_rel_inter = 0.0;
+    sigma_leff_rel_sys = 0.0;
+  }
+
+let delay_sensitivity_vth t = t.alpha /. (t.vdd -. t.vth0)
+
+let delay_sensitivity_leff t =
+  1.0 +. (t.vth_leff_coupling *. delay_sensitivity_vth t)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s: Vdd=%gV Vth=%gV alpha=%g tau=%gps sigmaVth(inter/rand/sys)=%g/%g/%g mV"
+    t.name t.vdd t.vth0 t.alpha t.tau
+    (t.sigma_vth_inter *. 1000.0)
+    (t.sigma_vth_rand *. 1000.0)
+    (t.sigma_vth_sys *. 1000.0)

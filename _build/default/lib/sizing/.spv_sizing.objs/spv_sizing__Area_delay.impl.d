@@ -1,0 +1,1 @@
+lib/sizing/area_delay.ml: Array Lagrangian List Spv_circuit Spv_core Spv_process

@@ -1,0 +1,1 @@
+lib/sizing/area_delay.mli: Lagrangian Spv_circuit Spv_core Spv_process

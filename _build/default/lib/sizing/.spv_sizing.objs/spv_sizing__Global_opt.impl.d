@@ -1,0 +1,1 @@
+lib/sizing/global_opt.ml: Area_delay Array Float Lagrangian List Logs Option Spv_circuit Spv_core Spv_process Spv_stats

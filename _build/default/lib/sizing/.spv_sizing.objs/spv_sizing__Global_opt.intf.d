@@ -1,0 +1,1 @@
+lib/sizing/global_opt.mli: Lagrangian Spv_circuit Spv_core Spv_process

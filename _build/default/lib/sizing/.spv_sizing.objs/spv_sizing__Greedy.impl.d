@@ -1,0 +1,1 @@
+lib/sizing/greedy.ml: Array Float Hashtbl Lagrangian List Option Spv_circuit Spv_process

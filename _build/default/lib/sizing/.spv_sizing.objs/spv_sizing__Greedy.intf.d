@@ -1,0 +1,1 @@
+lib/sizing/greedy.mli: Lagrangian Spv_circuit Spv_process

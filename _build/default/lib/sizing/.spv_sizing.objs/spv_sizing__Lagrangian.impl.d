@@ -1,0 +1,1 @@
+lib/sizing/lagrangian.ml: Array Float List Option Spv_circuit Spv_process

@@ -1,0 +1,1 @@
+lib/sizing/lagrangian.mli: Spv_circuit Spv_process

@@ -1,0 +1,1 @@
+lib/sizing/multi_vth.ml: Array List Spv_circuit Spv_process

@@ -1,0 +1,1 @@
+lib/sizing/multi_vth.mli: Spv_circuit Spv_process

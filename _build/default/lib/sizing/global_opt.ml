@@ -1,0 +1,247 @@
+module Net = Spv_circuit.Netlist
+module Pipeline = Spv_core.Pipeline
+module Yield = Spv_core.Yield
+module Balance = Spv_core.Balance
+module Gd = Spv_process.Gate_delay
+
+let log_src = Logs.Src.create "spv.global_opt" ~doc:"Fig. 9 global optimiser"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type yield_model = Independent | Clark_gaussian
+
+type result = {
+  nets : Net.t array;
+  pipeline : Pipeline.t;
+  stage_targets : float array;
+  stage_areas : float array;
+  stage_yields : float array;
+  total_area : float;
+  pipeline_yield : float;
+  order : int array;
+}
+
+let build_pipeline ?options ?ff ~pitch tech nets =
+  let output_load =
+    (Option.value options ~default:Lagrangian.default_options)
+      .Lagrangian.output_load
+  in
+  Pipeline.of_circuits ~output_load ~pitch ?ff tech nets
+
+let eval_yield yield_model pipeline ~t_target =
+  match yield_model with
+  | Independent -> Yield.independent_exact pipeline ~t_target
+  | Clark_gaussian -> Yield.clark_gaussian pipeline ~t_target
+
+let build_result ?options ?ff ~pitch ~yield_model tech nets ~targets ~t_target
+    ~order =
+  let pipeline = build_pipeline ?options ?ff ~pitch tech nets in
+  {
+    nets;
+    pipeline;
+    stage_targets = Array.copy targets;
+    stage_areas = Array.map Net.area nets;
+    stage_yields = Yield.stage_yields pipeline ~t_target;
+    total_area = Array.fold_left (fun acc n -> acc +. Net.area n) 0.0 nets;
+    pipeline_yield = eval_yield yield_model pipeline ~t_target;
+    order = Array.copy order;
+  }
+
+let per_stage_z ~yield_target ~n =
+  Spv_stats.Special.big_phi_inv
+    (Yield.per_stage_yield_target ~yield:yield_target ~n_stages:n)
+
+let individually_optimised ?options ?ff ?(pitch = 1.0)
+    ?(yield_model = Independent) tech nets ~t_target ~yield_target =
+  let n = Array.length nets in
+  if n = 0 then invalid_arg "Global_opt: no stages";
+  let nets = Array.map Net.copy nets in
+  let z = per_stage_z ~yield_target ~n in
+  Array.iter
+    (fun net -> ignore (Lagrangian.size_stage ?options ?ff tech net ~t_target ~z))
+    nets;
+  let targets = Array.make n t_target in
+  let order = Array.init n (fun i -> i) in
+  build_result ?options ?ff ~pitch ~yield_model tech nets ~targets ~t_target
+    ~order
+
+(* Slope order (eq. 14) from per-stage area-delay curves evaluated at
+   each stage's current nominal delay. *)
+let ri_order ?options ?ff tech nets ~z ~ascending =
+  let n = Array.length nets in
+  let ri =
+    Array.map
+      (fun net ->
+        let model = Area_delay.stage_model ?options ?ff ~n_points:7 tech net ~z in
+        let current = (Lagrangian.statistical_delay ?options ?ff tech net ~z) in
+        let lo, hi = Balance.delay_bounds model in
+        let at = Float.max lo (Float.min hi current) in
+        Balance.ri model ~delay:at)
+      nets
+  in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j -> if ascending then compare ri.(i) ri.(j) else compare ri.(j) ri.(i))
+    order;
+  order
+
+let pipeline_yield_of ?options ?ff ~pitch ~yield_model tech nets ~t_target =
+  eval_yield yield_model (build_pipeline ?options ?ff ~pitch tech nets)
+    ~t_target
+
+let ensure_yield ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25)
+    ?(tighten = 0.03) ?(yield_model = Independent) tech nets ~t_target
+    ~yield_target =
+  let base =
+    individually_optimised ?options ?ff ~pitch ~yield_model tech nets ~t_target
+      ~yield_target
+  in
+  let n = Array.length base.nets in
+  let z = per_stage_z ~yield_target ~n in
+  let nets = base.nets in
+  let targets = Array.copy base.stage_targets in
+  let min_achievable =
+    Array.map
+      (fun net -> Lagrangian.minimum_achievable_delay ?options ?ff tech net ~z)
+      nets
+  in
+  let order = ri_order ?options ?ff tech nets ~z ~ascending:true in
+  let rec rounds remaining =
+    if remaining = 0 then ()
+    else begin
+      let current =
+        pipeline_yield_of ?options ?ff ~pitch ~yield_model tech nets ~t_target
+      in
+      if current >= yield_target then ()
+      else begin
+        (* One pass over stages, cheapest delay first; accept the first
+           move that improves the pipeline yield. *)
+        let improved = ref false in
+        Array.iter
+          (fun s ->
+            if not !improved then begin
+              let candidate = targets.(s) *. (1.0 -. tighten) in
+              if candidate > min_achievable.(s) then begin
+                let snapshot = Net.sizes_snapshot nets.(s) in
+                ignore
+                  (Lagrangian.size_stage ?options ?ff tech nets.(s)
+                     ~t_target:candidate ~z);
+                let trial =
+                  pipeline_yield_of ?options ?ff ~pitch ~yield_model tech nets
+                    ~t_target
+                in
+                if trial > current +. 1e-9 then begin
+                  Log.debug (fun m ->
+                      m "tighten stage %d to %.1f ps: yield %.4f -> %.4f" s
+                        candidate current trial);
+                  targets.(s) <- candidate;
+                  improved := true
+                end
+                else Net.restore_sizes nets.(s) snapshot
+              end
+            end)
+          order;
+        if !improved then rounds (remaining - 1)
+      end
+    end
+  in
+  rounds max_rounds;
+  build_result ?options ?ff ~pitch ~yield_model tech nets ~targets ~t_target
+    ~order
+
+let minimise_area ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25) ?(relax = 0.015)
+    ?(yield_model = Independent) tech nets ~t_target ~yield_target =
+  let ensured =
+    ensure_yield ?options ?ff ~pitch ~max_rounds ~yield_model tech nets
+      ~t_target ~yield_target
+  in
+  let n = Array.length ensured.nets in
+  let z = per_stage_z ~yield_target ~n in
+  let nets = ensured.nets in
+  let targets = Array.copy ensured.stage_targets in
+  let min_achievable =
+    Array.map
+      (fun net -> Lagrangian.minimum_achievable_delay ?options ?ff tech net ~z)
+      nets
+  in
+  let order = ri_order ?options ?ff tech nets ~z ~ascending:false in
+  let tighten_step = 0.015 in
+  let resize s target =
+    ignore (Lagrangian.size_stage ?options ?ff tech nets.(s) ~t_target:target ~z)
+  in
+  let current_yield () =
+    pipeline_yield_of ?options ?ff ~pitch ~yield_model tech nets ~t_target
+  in
+  let total_area () =
+    Array.fold_left (fun acc net -> acc +. Net.area net) 0.0 nets
+  in
+  (* A move relaxes one stage (big area saving, yield drop) and, if the
+     yield target breaks, buys the yield back by tightening the other
+     stages (small area cost each), cheapest-delay first, cycling until
+     the target is met or every stage is maxed out — the Fig. 8 area
+     exchange in reverse. *)
+  let try_move s_relax ~with_recovery =
+    let snapshots = Array.map Net.sizes_snapshot nets in
+    let saved_targets = Array.copy targets in
+    let area_before = total_area () in
+    let relaxed = targets.(s_relax) *. (1.0 +. relax) in
+    resize s_relax relaxed;
+    targets.(s_relax) <- relaxed;
+    let tighten_candidates =
+      Array.of_list
+        (List.filter (fun s -> s <> s_relax)
+           (List.rev (Array.to_list order)))
+    in
+    let rec recover steps cursor =
+      if current_yield () >= yield_target then true
+      else if (not with_recovery) || steps = 0 then false
+      else begin
+        (* Find the next stage (cyclically) that can still tighten. *)
+        let m = Array.length tighten_candidates in
+        let rec next attempts k =
+          if attempts = 0 then None
+          else
+            let st = tighten_candidates.(k mod m) in
+            let candidate = targets.(st) *. (1.0 -. tighten_step) in
+            if candidate > min_achievable.(st) then Some (st, candidate, k)
+            else next (attempts - 1) (k + 1)
+        in
+        match next m cursor with
+        | None -> false
+        | Some (st, candidate, k) ->
+            resize st candidate;
+            targets.(st) <- candidate;
+            recover (steps - 1) (k + 1)
+      end
+    in
+    let ok = recover 12 0 in
+    if ok && total_area () < area_before -. 1e-6 then begin
+      Log.debug (fun m ->
+          m "relax stage %d to %.1f ps: area %.1f -> %.1f" s_relax
+            targets.(s_relax) area_before (total_area ()));
+      true
+    end
+    else begin
+      Array.iteri (fun i net -> Net.restore_sizes net snapshots.(i)) nets;
+      Array.blit saved_targets 0 targets 0 n;
+      false
+    end
+  in
+  let rec rounds remaining =
+    if remaining = 0 then ()
+    else begin
+      let improved = ref false in
+      (* Pure relaxations first (free wins when slack exists), then
+         relax+recover exchanges. *)
+      Array.iter
+        (fun s -> if try_move s ~with_recovery:false then improved := true)
+        order;
+      Array.iter
+        (fun s -> if try_move s ~with_recovery:true then improved := true)
+        order;
+      if !improved then rounds (remaining - 1)
+    end
+  in
+  rounds max_rounds;
+  build_result ?options ?ff ~pitch ~yield_model tech nets ~targets ~t_target
+    ~order

@@ -1,0 +1,201 @@
+module Net = Spv_circuit.Netlist
+module Sta = Spv_circuit.Sta
+module Cell = Spv_circuit.Cell
+module Gd = Spv_process.Gate_delay
+
+type options = {
+  min_size : float;
+  max_size : float;
+  max_iterations : int;
+  tolerance : float;
+  theta_fraction : float;
+  output_load : float;
+  wire : Spv_circuit.Wire.model option;
+}
+
+let default_options =
+  {
+    min_size = 1.0;
+    max_size = 16.0;
+    max_iterations = 120;
+    tolerance = 5e-3;
+    theta_fraction = 0.05;
+    output_load = 4.0;
+    wire = None;
+  }
+
+type report = {
+  iterations : int;
+  converged : bool;
+  achieved : Gd.t;
+  stat_delay : float;
+  area : float;
+  lambda : float;
+}
+
+let analyse ?options ?ff tech net =
+  let options = Option.value options ~default:default_options in
+  match options.wire with
+  | None ->
+      (Spv_circuit.Ssta.analyse_stage ~output_load:options.output_load ?ff tech
+         net)
+        .Spv_circuit.Ssta.total
+  | Some wire ->
+      (* Wire-aware: compose the decomposition along the wire-aware
+         critical path (wire delay carries the same relative process
+         sensitivity as the gate driving it - first order). *)
+      let sta = Sta.run ~output_load:options.output_load ~wire tech net in
+      let comb =
+        List.fold_left
+          (fun acc i ->
+            let d = sta.Sta.gate_delays.(i) in
+            Gd.add acc
+              (Gd.of_nominal tech ~nominal:d ~size:(Net.size net i)))
+          Gd.zero sta.Sta.critical_path
+      in
+      (match ff with
+      | None -> comb
+      | Some ff -> Gd.add comb (Spv_process.Flipflop.overhead ff))
+
+let statistical_delay ?options ?ff tech net ~z =
+  let total = analyse ?options ?ff tech net in
+  total.Gd.nominal +. (z *. Gd.total_sigma total)
+
+(* Backward pass: required times and slacks given an STA result.  The
+   required time at every primary output is the overall delay, so the
+   global critical path has zero slack. *)
+let slacks net (sta : Sta.result) =
+  let n = Net.n_nodes net in
+  let required = Array.make n infinity in
+  Array.iter (fun o -> required.(o) <- sta.Sta.delay) (Net.outputs net);
+  for i = n - 1 downto 0 do
+    List.iter
+      (fun j ->
+        let candidate = required.(j) -. sta.Sta.gate_delays.(j) in
+        if candidate < required.(i) then required.(i) <- candidate)
+      (Net.fanouts net i)
+  done;
+  Array.init n (fun i ->
+      if required.(i) = infinity then infinity
+      else required.(i) -. sta.Sta.arrival.(i))
+
+let size_stage ?options ?ff tech net ~t_target ~z =
+  let opts = Option.value options ~default:default_options in
+  if t_target <= 0.0 then invalid_arg "Lagrangian.size_stage: t_target <= 0";
+  let gate_ids = Net.gate_ids net in
+  (* Fresh start from minimum sizes keeps runs deterministic and
+     reproducible regardless of the netlist's previous state. *)
+  Array.iter (fun i -> Net.set_size net i opts.min_size) gate_ids;
+  let tau = tech.Spv_process.Tech.tau in
+  let stat () = statistical_delay ~options:opts ?ff tech net ~z in
+  let best_sizes = ref (Net.sizes_snapshot net) in
+  let best_feasible = ref None in
+  let best_delay = ref (stat ()) in
+  let lambda = ref 1.0 in
+  let iterations = ref 0 in
+  let is_output = Array.make (Net.n_nodes net) false in
+  Array.iter (fun o -> is_output.(o) <- true) (Net.outputs net);
+  let clamp x = Float.max opts.min_size (Float.min opts.max_size x) in
+  (try
+     for iter = 1 to opts.max_iterations do
+       iterations := iter;
+       let sta = Sta.run ~output_load:opts.output_load ?wire:opts.wire tech net in
+       let slack = slacks net sta in
+       let theta = Float.max (opts.theta_fraction *. sta.Sta.delay) 1e-9 in
+       let weight i =
+         if slack.(i) = infinity then 0.0 else exp (-.slack.(i) /. theta)
+       in
+       (* Gauss-Seidel coordinate pass in reverse topological order:
+          loads of downstream gates are already refreshed when their
+          drivers update. *)
+       for k = Array.length gate_ids - 1 downto 0 do
+         let i = gate_ids.(k) in
+         match Net.node net i with
+         | Net.Primary_input _ -> ()
+         | Net.Gate { kind; fanin } ->
+             let area_coeff = Cell.area_per_size kind in
+             let g_i = Cell.logical_effort kind in
+             let fanin_pressure =
+               Array.fold_left
+                 (fun acc f ->
+                   if Net.is_gate net f then
+                     acc +. (weight f *. g_i /. Net.size net f)
+                   else acc)
+                 0.0 fanin
+             in
+             (* Refresh this gate's load under current fanout sizes. *)
+             let load =
+               List.fold_left
+                 (fun acc j ->
+                   match Net.node net j with
+                   | Net.Gate { kind = kj; _ } ->
+                       acc +. Cell.input_cap kj ~size:(Net.size net j)
+                   | Net.Primary_input _ -> acc)
+                 (if is_output.(i) then opts.output_load else 0.0)
+                 (Net.fanouts net i)
+             in
+             let numerator = !lambda *. tau *. weight i *. load in
+             let denominator =
+               area_coeff +. (!lambda *. tau *. fanin_pressure)
+             in
+             let x_star =
+               if numerator <= 0.0 then opts.min_size
+               else sqrt (numerator /. denominator)
+             in
+             let x_new = clamp (0.5 *. (Net.size net i +. x_star)) in
+             Net.set_size net i x_new
+       done;
+       let d = stat () in
+       let area = Net.area net in
+       (match !best_feasible with
+       | Some (_, best_area) when d <= t_target && area < best_area ->
+           best_feasible := Some (Net.sizes_snapshot net, area)
+       | None when d <= t_target ->
+           best_feasible := Some (Net.sizes_snapshot net, area)
+       | _ -> ());
+       if d < !best_delay then begin
+         best_delay := d;
+         best_sizes := Net.sizes_snapshot net
+       end;
+       (* Multiplicative subgradient on the dual variable. *)
+       let ratio = d /. t_target in
+       let factor = Float.max 0.5 (Float.min 2.0 (ratio *. ratio)) in
+       lambda := Float.max 1e-6 (Float.min 1e9 (!lambda *. factor));
+       if
+         abs_float (d -. t_target) /. t_target < opts.tolerance
+         && !best_feasible <> None && iter > 10
+       then raise Exit
+     done
+   with Exit -> ());
+  (match !best_feasible with
+  | Some (sizes, _) -> Net.restore_sizes net sizes
+  | None -> Net.restore_sizes net !best_sizes);
+  let achieved = analyse ~options:opts ?ff tech net in
+  let stat_delay = achieved.Gd.nominal +. (z *. Gd.total_sigma achieved) in
+  {
+    iterations = !iterations;
+    converged = stat_delay <= t_target *. (1.0 +. opts.tolerance);
+    achieved;
+    stat_delay;
+    area = Net.area net;
+    lambda = !lambda;
+  }
+
+let minimum_achievable_delay ?options ?ff tech net ~z =
+  let snapshot = Net.sizes_snapshot net in
+  let opts = Option.value options ~default:default_options in
+  (* An unreachable target drives the sizer to its fastest design. *)
+  let tiny = 1e-3 in
+  let report = size_stage ~options:opts ?ff tech net ~t_target:tiny ~z in
+  Net.restore_sizes net snapshot;
+  report.stat_delay
+
+let relaxed_delay ?options ?ff tech net ~z =
+  let opts = Option.value options ~default:default_options in
+  let snapshot = Net.sizes_snapshot net in
+  Array.iter
+    (fun i -> Net.set_size net i opts.min_size)
+    (Net.gate_ids net);
+  let d = statistical_delay ~options:opts ?ff tech net ~z in
+  Net.restore_sizes net snapshot;
+  d

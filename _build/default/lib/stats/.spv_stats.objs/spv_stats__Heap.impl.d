@@ -1,0 +1,1 @@
+lib/stats/heap.ml: Array Stdlib

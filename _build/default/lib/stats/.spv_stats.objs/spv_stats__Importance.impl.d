@@ -1,0 +1,1 @@
+lib/stats/importance.ml: Array Descriptive Float Gaussian Mvn Rng

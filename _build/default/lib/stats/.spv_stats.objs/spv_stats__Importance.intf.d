@@ -1,0 +1,1 @@
+lib/stats/importance.mli: Mvn Rng

@@ -1,0 +1,1 @@
+lib/stats/mvn.ml: Array Correlation Float Gaussian Matrix Rng

@@ -1,0 +1,1 @@
+lib/stats/mvn.mli: Correlation Gaussian Rng

@@ -1,0 +1,1 @@
+lib/stats/quadrature.ml: Array Float Special

@@ -1,0 +1,67 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty array")
+
+let mean a =
+  check_nonempty "Descriptive.mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+(* Two-pass algorithm: numerically stable for the tight sigma/mu ratios
+   (~1e-2) this library works with. *)
+let variance a =
+  let n = Array.length a in
+  if n < 2 then invalid_arg "Descriptive.variance: need >= 2 samples";
+  let m = mean a in
+  let acc = Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0.0 a in
+  acc /. float_of_int (n - 1)
+
+let std a = sqrt (variance a)
+
+let min_max a =
+  check_nonempty "Descriptive.min_max" a;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0))
+    a
+
+let quantile a ~p =
+  check_nonempty "Descriptive.quantile" a;
+  if p < 0.0 || p > 1.0 then invalid_arg "Descriptive.quantile: p outside [0,1]";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let h = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor h) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median a = quantile a ~p:0.5
+
+let central_moment a k =
+  let m = mean a in
+  Array.fold_left (fun s x -> s +. ((x -. m) ** float_of_int k)) 0.0 a
+  /. float_of_int (Array.length a)
+
+let skewness a =
+  if Array.length a < 3 then invalid_arg "Descriptive.skewness: need >= 3";
+  let m2 = central_moment a 2 in
+  if m2 = 0.0 then invalid_arg "Descriptive.skewness: zero variance";
+  central_moment a 3 /. (m2 ** 1.5)
+
+let kurtosis_excess a =
+  if Array.length a < 4 then invalid_arg "Descriptive.kurtosis_excess: need >= 4";
+  let m2 = central_moment a 2 in
+  if m2 = 0.0 then invalid_arg "Descriptive.kurtosis_excess: zero variance";
+  (central_moment a 4 /. (m2 *. m2)) -. 3.0
+
+let fraction_below a ~threshold =
+  check_nonempty "Descriptive.fraction_below" a;
+  let hits = Array.fold_left (fun c x -> if x <= threshold then c + 1 else c) 0 a in
+  float_of_int hits /. float_of_int (Array.length a)
+
+let standard_error_of_mean a = std a /. sqrt (float_of_int (Array.length a))
+
+let summary a =
+  let lo, hi = min_max a in
+  Printf.sprintf "n=%d mean=%.4g std=%.4g min=%.4g max=%.4g"
+    (Array.length a) (mean a) (std a) lo hi

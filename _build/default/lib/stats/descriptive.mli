@@ -1,0 +1,34 @@
+(** Descriptive statistics over float arrays (Monte-Carlo post-processing). *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator). Requires length >= 2. *)
+
+val std : float array -> float
+(** Unbiased sample standard deviation. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element. Requires a non-empty array. *)
+
+val quantile : float array -> p:float -> float
+(** Empirical quantile with linear interpolation (type-7).  [p] in
+    [0, 1].  Sorts a copy; O(n log n). *)
+
+val median : float array -> float
+
+val skewness : float array -> float
+(** Sample skewness (g1). Requires length >= 3 and non-zero variance. *)
+
+val kurtosis_excess : float array -> float
+(** Sample excess kurtosis (g2). Requires length >= 4 and non-zero
+    variance. *)
+
+val fraction_below : float array -> threshold:float -> float
+(** Empirical Pr{X <= threshold} — the Monte-Carlo yield estimator. *)
+
+val standard_error_of_mean : float array -> float
+
+val summary : float array -> string
+(** One-line human-readable summary (n, mean, std, min, max). *)

@@ -1,0 +1,51 @@
+type t = { mu : float; sigma : float }
+
+let make ~mu ~sigma =
+  if not (Float.is_finite mu && Float.is_finite sigma) then
+    invalid_arg "Gaussian.make: non-finite parameter";
+  if sigma < 0.0 then invalid_arg "Gaussian.make: sigma < 0";
+  { mu; sigma }
+
+let mu t = t.mu
+let sigma t = t.sigma
+let variance t = t.sigma *. t.sigma
+
+let variability t =
+  if t.mu = 0.0 then invalid_arg "Gaussian.variability: mu = 0";
+  t.sigma /. t.mu
+
+let cdf t x = Special.normal_cdf ~mu:t.mu ~sigma:t.sigma x
+let pdf t x = Special.normal_pdf ~mu:t.mu ~sigma:t.sigma x
+let quantile t ~p = Special.normal_quantile ~mu:t.mu ~sigma:t.sigma ~p
+let sample t rng = Rng.gaussian_mu_sigma rng ~mu:t.mu ~sigma:t.sigma
+
+let add a b ~rho =
+  assert (rho >= -1.0 && rho <= 1.0);
+  let var =
+    variance a +. variance b +. (2.0 *. rho *. a.sigma *. b.sigma)
+  in
+  (* Rounding can push a tiny negative variance; clamp. *)
+  make ~mu:(a.mu +. b.mu) ~sigma:(sqrt (Float.max var 0.0))
+
+let scale t k =
+  if k < 0.0 then invalid_arg "Gaussian.scale: negative factor";
+  make ~mu:(t.mu *. k) ~sigma:(t.sigma *. k)
+
+let shift t c = make ~mu:(t.mu +. c) ~sigma:t.sigma
+
+let sum_correlated gs ~rho =
+  let n = Array.length gs in
+  let mu = Array.fold_left (fun acc g -> acc +. g.mu) 0.0 gs in
+  let var = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let r = if i = j then 1.0 else rho i j in
+      var := !var +. (r *. gs.(i).sigma *. gs.(j).sigma)
+    done
+  done;
+  make ~mu ~sigma:(sqrt (Float.max !var 0.0))
+
+let equal ?(eps = 1e-12) a b =
+  abs_float (a.mu -. b.mu) <= eps && abs_float (a.sigma -. b.sigma) <= eps
+
+let pp fmt t = Format.fprintf fmt "N(%g, %g)" t.mu t.sigma

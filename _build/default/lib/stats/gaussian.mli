@@ -1,0 +1,49 @@
+(** Scalar Gaussian distributions N(mu, sigma).
+
+    The paper models every stage delay as a Gaussian; this module is the
+    shared value type for them. *)
+
+type t = private { mu : float; sigma : float }
+(** Invariant: [sigma >= 0].  A zero-sigma value is a deterministic
+    delay, which the bounds in Section 2.5 of the paper need. *)
+
+val make : mu:float -> sigma:float -> t
+(** Raises [Invalid_argument] if [sigma < 0] or either value is not
+    finite. *)
+
+val mu : t -> float
+val sigma : t -> float
+
+val variance : t -> float
+
+val variability : t -> float
+(** sigma/mu ratio — the paper's measure of delay variability (Fig. 5).
+    Requires [mu <> 0]. *)
+
+val cdf : t -> float -> float
+(** [cdf g x] = Pr{X <= x}. *)
+
+val pdf : t -> float -> float
+(** Density at a point; requires [sigma > 0]. *)
+
+val quantile : t -> p:float -> float
+(** Value [x] with [cdf g x = p]; requires [p] in (0,1). *)
+
+val sample : t -> Rng.t -> float
+
+val add : t -> t -> rho:float -> t
+(** Distribution of the sum of two jointly Gaussian variables with
+    correlation [rho] (exact). *)
+
+val scale : t -> float -> t
+(** [scale g k] is the distribution of [k * X] for [k >= 0]. *)
+
+val shift : t -> float -> t
+(** [shift g c] is the distribution of [X + c]. *)
+
+val sum_correlated : t array -> rho:(int -> int -> float) -> t
+(** Sum of jointly Gaussian variables given a pairwise correlation
+    function (exact mean and variance). *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

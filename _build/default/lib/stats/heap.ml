@@ -1,0 +1,61 @@
+type 'a entry = { priority : float; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.data.(i).priority > t.data.(parent).priority then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < t.size && t.data.(l).priority > t.data.(!largest).priority then
+    largest := l;
+  if r < t.size && t.data.(r).priority > t.data.(!largest).priority then
+    largest := r;
+  if !largest <> i then begin
+    swap t i !largest;
+    sift_down t !largest
+  end
+
+let push t ~priority value =
+  let entry = { priority; value } in
+  let capacity = Array.length t.data in
+  if t.size >= capacity then begin
+    (* The fresh slots are filled with [entry] itself, which keeps the
+       array total without a dummy element. *)
+    let data = Array.make (Stdlib.max 8 (2 * capacity)) entry in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (top.priority, top.value)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).priority, t.data.(0).value)

@@ -1,0 +1,15 @@
+(** Binary max-heap with float priorities (used by the k-longest-path
+    enumeration; generic enough to reuse). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the highest-priority entry. *)
+
+val peek : 'a t -> (float * 'a) option

@@ -1,0 +1,119 @@
+type estimate = {
+  probability : float;
+  std_error : float;
+  effective_samples : float;
+}
+
+let summarise values =
+  let n = Array.length values in
+  let mean = Descriptive.mean values in
+  let variance = if n >= 2 then Descriptive.variance values else 0.0 in
+  let std_error = sqrt (variance /. float_of_int n) in
+  (* Effective sample size of the nonzero weights. *)
+  let sum = Array.fold_left ( +. ) 0.0 values in
+  let sum_sq = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 values in
+  let effective = if sum_sq = 0.0 then 0.0 else sum *. sum /. sum_sq in
+  { probability = mean; std_error; effective_samples = effective }
+
+(* One shift per component: the minimal-norm z with component j at the
+   barrier (the mode's "design point").  For x_j = mu_j + row_j(L).z,
+   the smallest-|z| crossing is z* = row_j(L) (T - mu_j) / sigma_j^2 —
+   under correlation it naturally drags the correlated components up
+   too, which is exactly the dominant joint failure configuration the
+   naive "others stay at their means" shift misses.  Crossing depth is
+   capped at 6 sigma so a far barrier keeps a sane proposal. *)
+let default_mixture mvn ~threshold =
+  let d = Mvn.dim mvn in
+  let shifts = ref [] in
+  let weights = ref [] in
+  for j = 0 to d - 1 do
+    let g = Mvn.marginal mvn j in
+    let mu = Gaussian.mu g and sigma = Gaussian.sigma g in
+    if sigma > 0.0 then begin
+      let depth = Float.max 0.0 (Float.min 6.0 ((threshold -. mu) /. sigma)) in
+      if depth > 0.0 then begin
+        let row = Mvn.cholesky_row mvn j in
+        let scale = depth /. sigma in
+        shifts := Array.map (fun l -> l *. scale) row :: !shifts;
+        (* Marginal exceedance as the mode weight (floored so no mode
+           is starved). *)
+        let p = 1.0 -. Gaussian.cdf g threshold in
+        weights := Float.max p 1e-12 :: !weights
+      end
+    end
+  done;
+  match !shifts with
+  | [] ->
+      (* Every component already sits at or above the barrier: plain
+         sampling is fine; use a zero shift. *)
+      ([| Array.make d 0.0 |], [| 1.0 |])
+  | ss ->
+      let shifts = Array.of_list ss in
+      let ws = Array.of_list !weights in
+      let total = Array.fold_left ( +. ) 0.0 ws in
+      (shifts, Array.map (fun w -> w /. total) ws)
+
+let mixture_weight ~shifts ~alphas z =
+  (* w(z) = phi(z) / sum_j alpha_j phi(z - theta_j)
+          = 1 / sum_j alpha_j exp(theta_j . z - |theta_j|^2 / 2). *)
+  let denom = ref 0.0 in
+  Array.iteri
+    (fun j theta ->
+      let dot = ref 0.0 and sq = ref 0.0 in
+      Array.iteri
+        (fun i t ->
+          dot := !dot +. (t *. z.(i));
+          sq := !sq +. (t *. t))
+        theta;
+      denom := !denom +. (alphas.(j) *. exp (!dot -. (!sq /. 2.0))))
+    shifts;
+  if !denom <= 0.0 then 0.0 else 1.0 /. !denom
+
+let failure_above ?z_shifts mvn rng ~n ~threshold =
+  if n <= 0 then invalid_arg "Importance.failure_above: n <= 0";
+  let d = Mvn.dim mvn in
+  let shifts, alphas =
+    match z_shifts with
+    | Some ss ->
+        if Array.length ss = 0 then
+          invalid_arg "Importance.failure_above: empty shift set";
+        Array.iter
+          (fun s ->
+            if Array.length s <> d then
+              invalid_arg "Importance.failure_above: shift dimension mismatch")
+          ss;
+        (ss, Array.make (Array.length ss) (1.0 /. float_of_int (Array.length ss)))
+    | None -> default_mixture mvn ~threshold
+  in
+  let k = Array.length shifts in
+  let cumulative =
+    let acc = ref 0.0 in
+    Array.map
+      (fun a ->
+        acc := !acc +. a;
+        !acc)
+      alphas
+  in
+  let pick_mode u =
+    let rec go j = if j >= k - 1 || u < cumulative.(j) then j else go (j + 1) in
+    go 0
+  in
+  let values =
+    Array.init n (fun _ ->
+        let j = pick_mode (Rng.float rng) in
+        let z =
+          Array.init d (fun i -> shifts.(j).(i) +. Rng.gaussian rng)
+        in
+        let x = Mvn.transform mvn z in
+        let worst = Array.fold_left Float.max neg_infinity x in
+        if worst > threshold then mixture_weight ~shifts ~alphas z else 0.0)
+  in
+  summarise values
+
+let plain_failure_above mvn rng ~n ~threshold =
+  if n <= 0 then invalid_arg "Importance.plain_failure_above: n <= 0";
+  let values =
+    Array.init n (fun _ ->
+        if Mvn.sample_max mvn rng > threshold then 1.0 else 0.0)
+  in
+  summarise values

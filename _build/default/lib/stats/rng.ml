@@ -1,0 +1,104 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable spare : float;
+  mutable has_spare : bool;
+}
+
+(* splitmix64: used only to expand the user seed into 256 bits of
+   well-mixed state, as recommended by the xoshiro authors. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; spare = 0.0; has_spare = false }
+
+let copy t = { t with s0 = t.s0 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (bits64 t) in
+  create ~seed
+
+let float t =
+  (* 53 high bits scaled into [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float t)
+
+let int t ~bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let mask = ref 1 in
+  while !mask < bound do
+    mask := !mask lsl 1
+  done;
+  let mask = !mask - 1 in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (bits64 t) 0x7FFFFFFFFFFFFFFFL) land mask in
+    if v < bound then v else draw ()
+  in
+  draw ()
+
+let gaussian t =
+  if t.has_spare then begin
+    t.has_spare <- false;
+    t.spare
+  end
+  else begin
+    (* Marsaglia polar method. *)
+    let rec loop () =
+      let u = (2.0 *. float t) -. 1.0 in
+      let v = (2.0 *. float t) -. 1.0 in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1.0 || s = 0.0 then loop ()
+      else begin
+        let m = sqrt (-2.0 *. log s /. s) in
+        t.spare <- v *. m;
+        t.has_spare <- true;
+        u *. m
+      end
+    in
+    loop ()
+  end
+
+let gaussian_mu_sigma t ~mu ~sigma =
+  assert (sigma >= 0.0);
+  mu +. (sigma *. gaussian t)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,46 @@
+let antithetic_gaussians rng ~n_pairs =
+  if n_pairs <= 0 then invalid_arg "Sampling.antithetic_gaussians: n_pairs <= 0";
+  let out = Array.make (2 * n_pairs) 0.0 in
+  for i = 0 to n_pairs - 1 do
+    let z = Rng.gaussian rng in
+    out.(2 * i) <- z;
+    out.((2 * i) + 1) <- -.z
+  done;
+  out
+
+let latin_hypercube rng ~dims ~n =
+  if dims <= 0 || n <= 0 then invalid_arg "Sampling.latin_hypercube: bad dims/n";
+  let points = Array.make_matrix n dims 0.0 in
+  let strata = Array.init n (fun i -> i) in
+  for d = 0 to dims - 1 do
+    Rng.shuffle rng strata;
+    for i = 0 to n - 1 do
+      let u = Rng.float rng in
+      points.(i).(d) <- (float_of_int strata.(i) +. u) /. float_of_int n
+    done
+  done;
+  points
+
+let latin_hypercube_gaussians rng ~dims ~n =
+  let pts = latin_hypercube rng ~dims ~n in
+  Array.map
+    (Array.map (fun u ->
+         (* u in [0,1); keep strictly inside the quantile's domain. *)
+         Special.big_phi_inv (Float.max 1e-12 (Float.min (1.0 -. 1e-12) u))))
+    pts
+
+let mvn_lhs mvn rng ~n =
+  let dims = Mvn.dim mvn in
+  let zs = latin_hypercube_gaussians rng ~dims ~n in
+  Array.map (Mvn.transform mvn) zs
+
+let mvn_antithetic mvn rng ~n_pairs =
+  if n_pairs <= 0 then invalid_arg "Sampling.mvn_antithetic: n_pairs <= 0";
+  let dims = Mvn.dim mvn in
+  let out = Array.make (2 * n_pairs) [||] in
+  for i = 0 to n_pairs - 1 do
+    let z = Array.init dims (fun _ -> Rng.gaussian rng) in
+    out.(2 * i) <- Mvn.transform mvn z;
+    out.((2 * i) + 1) <- Mvn.transform mvn (Array.map (fun v -> -.v) z)
+  done;
+  out

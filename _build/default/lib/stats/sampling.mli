@@ -1,0 +1,31 @@
+(** Variance-reduction designs for Monte-Carlo estimation.
+
+    Plain Monte-Carlo yield estimates have standard error
+    [sqrt(y(1-y)/n)]; stratifying the underlying normals cuts the error
+    substantially for the smooth functionals used here (yield, moments
+    of the pipeline delay).  Two classic schemes:
+
+    - {b antithetic variates}: draws come in (z, -z) pairs, cancelling
+      the odd part of the integrand;
+    - {b Latin hypercube sampling}: each marginal is stratified into n
+      equiprobable cells with exactly one draw per cell, randomly
+      permuted across dimensions. *)
+
+val antithetic_gaussians : Rng.t -> n_pairs:int -> float array
+(** [2 * n_pairs] standard normals in (z, -z) pairs. *)
+
+val latin_hypercube : Rng.t -> dims:int -> n:int -> float array array
+(** [n] points in [0,1)^dims; each coordinate hits each of the [n]
+    equal strata exactly once (jittered within the stratum). *)
+
+val latin_hypercube_gaussians : Rng.t -> dims:int -> n:int -> float array array
+(** LHS mapped through the normal quantile: [n] stratified standard
+    normal vectors. *)
+
+val mvn_lhs : Mvn.t -> Rng.t -> n:int -> float array array
+(** [n] stratified draws from a multivariate normal: an LHS design in
+    z-space pushed through the distribution's Cholesky transform.
+    Marginals remain stratified; the correlation structure is exact. *)
+
+val mvn_antithetic : Mvn.t -> Rng.t -> n_pairs:int -> float array array
+(** [2 * n_pairs] draws in antithetic pairs around the mean vector. *)

@@ -1,0 +1,34 @@
+(** Special functions for the standard normal distribution.
+
+    All of the paper's analytics are built on the standard normal pdf
+    [phi], cdf [big_phi] and quantile [big_phi_inv]; these are
+    implemented from scratch (no external numerics dependency). *)
+
+val erf : float -> float
+(** Error function, |abs error| < 1.5e-7 (Abramowitz–Stegun 7.1.26). *)
+
+val erfc : float -> float
+(** Complementary error function, accurate in the tails. *)
+
+val phi : float -> float
+(** Standard normal probability density. *)
+
+val big_phi : float -> float
+(** Standard normal cumulative distribution function. *)
+
+val big_phi_inv : float -> float
+(** Quantile function of the standard normal.  Acklam's rational
+    approximation refined with one Halley step (|abs error| < 1e-9 over
+    (0,1)).  Raises [Invalid_argument] outside (0, 1). *)
+
+val log_big_phi : float -> float
+(** [log (big_phi x)], numerically stable for very negative [x]. *)
+
+val normal_cdf : mu:float -> sigma:float -> float -> float
+(** CDF of N(mu, sigma) at a point. [sigma = 0] degenerates to a step. *)
+
+val normal_pdf : mu:float -> sigma:float -> float -> float
+(** Density of N(mu, sigma) at a point. Requires [sigma > 0]. *)
+
+val normal_quantile : mu:float -> sigma:float -> p:float -> float
+(** Quantile of N(mu, sigma). Requires [p] in (0,1) and [sigma >= 0]. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float Printexc QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bench_format.ml: Alcotest Array Filename Fun Helpers List Printf Spv_circuit Spv_process Spv_stats Sys

@@ -1,0 +1,1 @@
+test/test_block_ssta.ml: Alcotest Array Helpers List Spv_circuit Spv_core Spv_process Spv_stats

@@ -1,0 +1,1 @@
+test/test_clark.ml: Alcotest Array Float Helpers List Printf QCheck2 Spv_core Spv_stats

@@ -1,0 +1,1 @@
+test/test_corners.ml: Alcotest Helpers Spv_circuit Spv_process Spv_stats

@@ -1,0 +1,1 @@
+test/test_correlation.ml: Alcotest Array Helpers QCheck2 Spv_stats

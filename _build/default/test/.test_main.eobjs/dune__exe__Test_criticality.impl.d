@@ -1,0 +1,1 @@
+test/test_criticality.ml: Alcotest Array Helpers Printf Spv_core Spv_stats

@@ -1,0 +1,1 @@
+test/test_descriptive.ml: Alcotest Array Float Helpers QCheck2 Spv_stats

@@ -1,0 +1,1 @@
+test/test_design_space.ml: Alcotest Array Helpers List QCheck2 Spv_core Spv_process Spv_stats

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Array Helpers Printf Spv_circuit Spv_process Spv_sizing Spv_stats

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Helpers Lazy List Spv_circuit Spv_core Spv_experiments Spv_process Spv_sizing Spv_stats

@@ -1,0 +1,1 @@
+test/test_flipflop_sample.ml: Alcotest Array Helpers Spv_process Spv_stats

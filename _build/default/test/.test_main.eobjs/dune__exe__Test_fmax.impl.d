@@ -1,0 +1,1 @@
+test/test_fmax.ml: Alcotest Array Helpers List Spv_core Spv_stats

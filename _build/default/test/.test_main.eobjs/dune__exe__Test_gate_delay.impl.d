@@ -1,0 +1,1 @@
+test/test_gate_delay.ml: Alcotest Float Helpers List Spv_process Spv_stats

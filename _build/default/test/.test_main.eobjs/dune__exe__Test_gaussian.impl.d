@@ -1,0 +1,1 @@
+test/test_gaussian.ml: Alcotest Array Float Helpers List QCheck2 Spv_stats

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Array Helpers QCheck2 Spv_stats

@@ -1,0 +1,1 @@
+test/test_hold.ml: Alcotest Array Float Helpers Spv_circuit Spv_core Spv_process Spv_stats

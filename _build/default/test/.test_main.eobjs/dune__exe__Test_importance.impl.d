@@ -1,0 +1,1 @@
+test/test_importance.ml: Alcotest Array Helpers List Printf Spv_core Spv_stats

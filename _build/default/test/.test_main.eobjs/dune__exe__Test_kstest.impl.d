@@ -1,0 +1,1 @@
+test/test_kstest.ml: Alcotest Array Float Helpers Spv_stats

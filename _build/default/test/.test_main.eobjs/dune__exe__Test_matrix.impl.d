@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Helpers Printf QCheck2 Spv_stats

@@ -1,0 +1,1 @@
+test/test_multi_vth.ml: Alcotest Array Helpers Spv_circuit Spv_process Spv_sizing Spv_stats

@@ -1,0 +1,1 @@
+test/test_mvn.ml: Alcotest Array Helpers Spv_stats

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Helpers List Printf Spv_circuit

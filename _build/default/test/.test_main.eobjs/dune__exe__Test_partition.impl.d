@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Helpers Spv_core Spv_process

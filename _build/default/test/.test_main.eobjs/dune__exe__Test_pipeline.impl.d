@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Helpers Printf Spv_circuit Spv_core Spv_process Spv_stats

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Helpers List Printf Spv_circuit Spv_process Spv_stats

@@ -1,0 +1,1 @@
+test/test_process.ml: Alcotest Array Helpers List Printf Spv_process Spv_stats

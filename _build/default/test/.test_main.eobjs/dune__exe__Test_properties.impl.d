@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Float Helpers List QCheck2 Spv_core Spv_process Spv_stats

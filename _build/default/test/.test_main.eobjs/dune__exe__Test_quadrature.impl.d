@@ -1,0 +1,1 @@
+test/test_quadrature.ml: Float Helpers List Spv_core Spv_stats

@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Array Helpers List Spv_circuit Spv_core Spv_experiments Spv_process Spv_stats

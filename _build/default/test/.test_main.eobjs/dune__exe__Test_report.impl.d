@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Helpers List QCheck2 Spv_circuit Spv_process Spv_stats String

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Helpers Spv_core Spv_stats

@@ -1,0 +1,1 @@
+test/test_sizing.ml: Alcotest Array Helpers Spv_circuit Spv_core Spv_process Spv_sizing Spv_stats

@@ -1,0 +1,1 @@
+test/test_skew.ml: Alcotest Array Helpers Spv_core Spv_process Spv_stats

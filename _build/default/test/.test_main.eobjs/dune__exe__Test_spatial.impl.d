@@ -1,0 +1,1 @@
+test/test_spatial.ml: Alcotest Array Helpers Spv_process Spv_stats

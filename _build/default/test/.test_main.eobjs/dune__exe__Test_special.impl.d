@@ -1,0 +1,1 @@
+test/test_special.ml: Float Helpers List Printf QCheck2 Spv_stats

@@ -1,0 +1,1 @@
+test/test_ssta.ml: Alcotest Array Float Helpers Spv_circuit Spv_process Spv_stats

@@ -1,0 +1,1 @@
+test/test_tech_nodes.ml: Alcotest Helpers List Spv_circuit Spv_experiments Spv_process Spv_stats

@@ -1,0 +1,1 @@
+test/test_topo_sta.ml: Alcotest Array Helpers List Spv_circuit Spv_process

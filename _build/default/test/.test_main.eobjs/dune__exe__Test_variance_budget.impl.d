@@ -1,0 +1,1 @@
+test/test_variance_budget.ml: Alcotest Array Float Helpers Spv_core Spv_process Spv_stats

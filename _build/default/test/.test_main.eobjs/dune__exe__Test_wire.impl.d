@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Helpers Spv_circuit Spv_process Spv_sizing Spv_stats

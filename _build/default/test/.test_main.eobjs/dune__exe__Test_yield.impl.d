@@ -1,0 +1,1 @@
+test/test_yield.ml: Alcotest Array Float Helpers List Printf QCheck2 Spv_core Spv_stats

@@ -1,0 +1,26 @@
+(* Shared test utilities. *)
+
+let check_float ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+let check_close ?(rel = 1e-6) name expected actual =
+  let eps = abs_float expected *. rel in
+  Alcotest.(check (float (Float.max eps 1e-12))) name expected actual
+
+let check_in_range name ~lo ~hi actual =
+  if actual < lo || actual > hi then
+    Alcotest.failf "%s: %g outside [%g, %g]" name actual lo hi
+
+let check_raises_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Invalid_argument, got %s" name
+        (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: expected Invalid_argument, got a value" name
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+let prop ?(count = 200) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)

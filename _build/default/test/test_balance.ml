@@ -1,0 +1,146 @@
+open Helpers
+module B = Spv_core.Balance
+module Gd = Spv_process.Gate_delay
+
+(* Synthetic stage model: area = k / (delay - floor), sigma = 3% of the
+   nominal — a convex trade-off like the sizer produces. *)
+let synth_model ?(k = 1000.0) ?(floor = 50.0) ?(lo = 80.0) ?(hi = 160.0) name =
+  let n = 9 in
+  let pts =
+    Array.init n (fun i ->
+        let delay = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)) in
+        {
+          B.delay;
+          area = k /. (delay -. floor);
+          decomposed =
+            Gd.make ~nominal:delay ~sigma_inter:(0.01 *. delay)
+              ~sigma_sys:0.0 ~sigma_rand:(0.03 *. delay);
+        })
+  in
+  B.stage_model ~name pts
+
+let models () = [| synth_model "s1"; synth_model ~k:2000.0 "s2"; synth_model "s3" |]
+
+let test_model_validation () =
+  let bad_delay =
+    [|
+      { B.delay = 10.0; area = 5.0; decomposed = Gd.zero };
+      { B.delay = 10.0; area = 4.0; decomposed = Gd.zero };
+    |]
+  in
+  check_raises_invalid "non-increasing delay" (fun () ->
+      ignore (B.stage_model ~name:"x" bad_delay));
+  let bad_area =
+    [|
+      { B.delay = 10.0; area = 5.0; decomposed = Gd.zero };
+      { B.delay = 11.0; area = 5.0; decomposed = Gd.zero };
+    |]
+  in
+  check_raises_invalid "non-decreasing area" (fun () ->
+      ignore (B.stage_model ~name:"x" bad_area));
+  check_raises_invalid "single point" (fun () ->
+      ignore (B.stage_model ~name:"x" [| bad_delay.(0) |]))
+
+let test_interpolation () =
+  let m = synth_model "s" in
+  (* At sampled points interpolation is exact. *)
+  check_close ~rel:1e-9 "exact at sample" (1000.0 /. 30.0) (B.area_at m ~delay:80.0);
+  (* Between points: between neighbours. *)
+  let a = B.area_at m ~delay:85.0 in
+  check_in_range "bracketed" ~lo:(1000.0 /. 40.0) ~hi:(1000.0 /. 30.0) a;
+  (* Clamped outside the range. *)
+  check_close ~rel:1e-9 "clamped low" (B.area_at m ~delay:80.0) (B.area_at m ~delay:10.0);
+  check_close ~rel:1e-9 "clamped high" (B.area_at m ~delay:160.0) (B.area_at m ~delay:500.0)
+
+let test_delay_area_roundtrip () =
+  let m = synth_model "s" in
+  List.iter
+    (fun d ->
+      let a = B.area_at m ~delay:d in
+      check_close ~rel:1e-6 "roundtrip" d (B.delay_at_area m ~area:a))
+    [ 80.0; 97.3; 120.0; 159.9 ]
+
+let test_decomposed_interpolation () =
+  let m = synth_model "s" in
+  let d = B.decomposed_at m ~delay:100.0 in
+  check_close ~rel:1e-6 "nominal follows budget" 100.0 d.Gd.nominal;
+  check_close ~rel:1e-6 "sigma follows" 3.0 d.Gd.sigma_rand
+
+let test_ri_reflects_slope () =
+  let m = synth_model "s" in
+  let lo, hi = B.delay_bounds m in
+  (* Hyperbolic area: slope magnitude is much larger at the fast end. *)
+  Alcotest.(check bool) "steeper at fast end" true
+    (B.ri m ~delay:(lo +. 2.0) > B.ri m ~delay:(hi -. 2.0));
+  Alcotest.(check bool) "positive" true (B.ri m ~delay:100.0 > 0.0)
+
+let test_total_area_and_pipeline () =
+  let ms = models () in
+  let delays = [| 100.0; 100.0; 100.0 |] in
+  check_close ~rel:1e-9 "sum of areas"
+    ((1000.0 /. 50.0) +. (2000.0 /. 50.0) +. (1000.0 /. 50.0))
+    (B.total_area ms ~delays);
+  let p = B.pipeline_of ms ~delays in
+  Alcotest.(check int) "stages" 3 (Spv_core.Pipeline.n_stages p);
+  check_close ~rel:1e-9 "nominal" 100.0 (Spv_core.Pipeline.nominal_delay p)
+
+let test_balanced_delays () =
+  let ms = models () in
+  let budget = 70.0 in
+  let delays = B.balanced_delays ms ~total_area:budget in
+  check_close ~rel:1e-9 "equal delays" delays.(0) delays.(1);
+  check_close ~rel:1e-4 "consumes the budget" budget (B.total_area ms ~delays);
+  check_raises_invalid "budget too large" (fun () ->
+      ignore (B.balanced_delays ms ~total_area:1e9))
+
+let test_evaluate () =
+  let ms = models () in
+  let delays = B.balanced_delays ms ~total_area:70.0 in
+  let sol = B.evaluate ms ~delays ~t_target:(delays.(0) *. 1.1) in
+  check_in_range "yield sane" ~lo:0.5 ~hi:1.0 sol.B.yield
+
+let test_optimise_improves_yield_at_constant_area () =
+  let ms = models () in
+  let budget = 70.0 in
+  let delays = B.balanced_delays ms ~total_area:budget in
+  let t_target = delays.(0) *. 1.04 in
+  let balanced = B.evaluate ms ~delays ~t_target in
+  let best = B.optimise_constant_area ms ~total_area:budget ~t_target in
+  Alcotest.(check bool) "no area growth" true (best.B.area <= budget +. 1e-6);
+  Alcotest.(check bool) "yield not worse" true
+    (best.B.yield >= balanced.B.yield -. 1e-9)
+
+let test_pessimise_hurts_yield () =
+  let ms = models () in
+  let budget = 70.0 in
+  let delays = B.balanced_delays ms ~total_area:budget in
+  let t_target = delays.(0) *. 1.04 in
+  let balanced = B.evaluate ms ~delays ~t_target in
+  let worst = B.pessimise_constant_area ms ~total_area:budget ~t_target in
+  Alcotest.(check bool) "worse or equal" true (worst.B.yield <= balanced.B.yield +. 1e-9)
+
+let test_order_by_ri () =
+  (* s2 has double the area scale: at equal delay its |dA/dD| relative
+     to area matches s1/s3 (both scale linearly), so craft distinct
+     floors instead. *)
+  let ms =
+    [| synth_model ~floor:50.0 "steep"; synth_model ~floor:20.0 ~lo:80.0 "shallow" |]
+  in
+  let order = B.order_by_ri ms ~delays:[| 85.0; 85.0 |] in
+  (* The shallow stage (farther from its floor) has smaller R. *)
+  Alcotest.(check int) "shallow first" 1 order.(0)
+
+let suite =
+  [
+    quick "model validation" test_model_validation;
+    quick "interpolation" test_interpolation;
+    quick "delay/area roundtrip" test_delay_area_roundtrip;
+    quick "decomposed interpolation" test_decomposed_interpolation;
+    quick "ri reflects slope" test_ri_reflects_slope;
+    quick "total area and pipeline" test_total_area_and_pipeline;
+    quick "balanced delays" test_balanced_delays;
+    quick "evaluate" test_evaluate;
+    slow "optimise at constant area" test_optimise_improves_yield_at_constant_area;
+    slow "pessimise hurts" test_pessimise_hurts_yield;
+    quick "order by ri" test_order_by_ri;
+  ]

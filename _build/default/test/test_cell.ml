@@ -1,0 +1,88 @@
+open Helpers
+module Cell = Spv_circuit.Cell
+
+let test_arity () =
+  Alcotest.(check int) "inv" 1 (Cell.arity Cell.Inv);
+  Alcotest.(check int) "nand2" 2 (Cell.arity Cell.Nand2);
+  Alcotest.(check int) "nand4" 4 (Cell.arity Cell.Nand4);
+  Alcotest.(check int) "mux2" 3 (Cell.arity Cell.Mux2);
+  Alcotest.(check int) "aoi21" 3 (Cell.arity Cell.Aoi21)
+
+let test_logical_effort_reference () =
+  (* Standard logical-effort table values. *)
+  check_float "inv g" 1.0 (Cell.logical_effort Cell.Inv);
+  check_close ~rel:1e-12 "nand2 g" (4.0 /. 3.0) (Cell.logical_effort Cell.Nand2);
+  check_close ~rel:1e-12 "nor2 g" (5.0 /. 3.0) (Cell.logical_effort Cell.Nor2);
+  Alcotest.(check bool) "nor worse than nand" true
+    (Cell.logical_effort Cell.Nor3 > Cell.logical_effort Cell.Nand3)
+
+let test_parasitic_monotone_in_arity () =
+  Alcotest.(check bool) "nand stack" true
+    (Cell.parasitic Cell.Nand2 < Cell.parasitic Cell.Nand3
+    && Cell.parasitic Cell.Nand3 < Cell.parasitic Cell.Nand4)
+
+let test_input_cap () =
+  check_close ~rel:1e-12 "cin = g * size" (4.0 /. 3.0 *. 2.5)
+    (Cell.input_cap Cell.Nand2 ~size:2.5)
+
+let test_name_roundtrip () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Cell.name k ^ " roundtrip")
+        true
+        (Cell.of_name (Cell.name k) = k))
+    Cell.all;
+  check_raises_invalid "unknown" (fun () -> ignore (Cell.of_name "nand17"))
+
+let test_eval_truth_tables () =
+  let t = true and f = false in
+  Alcotest.(check bool) "inv" f (Cell.eval Cell.Inv [| t |]);
+  Alcotest.(check bool) "nand2 11" f (Cell.eval Cell.Nand2 [| t; t |]);
+  Alcotest.(check bool) "nand2 10" t (Cell.eval Cell.Nand2 [| t; f |]);
+  Alcotest.(check bool) "nor2 00" t (Cell.eval Cell.Nor2 [| f; f |]);
+  Alcotest.(check bool) "nor2 01" f (Cell.eval Cell.Nor2 [| f; t |]);
+  Alcotest.(check bool) "xor2" t (Cell.eval Cell.Xor2 [| t; f |]);
+  Alcotest.(check bool) "xnor2" t (Cell.eval Cell.Xnor2 [| t; t |]);
+  Alcotest.(check bool) "aoi21 110" f (Cell.eval Cell.Aoi21 [| t; t; f |]);
+  Alcotest.(check bool) "aoi21 000" t (Cell.eval Cell.Aoi21 [| f; f; f |]);
+  Alcotest.(check bool) "oai21 011" f (Cell.eval Cell.Oai21 [| f; t; t |]);
+  Alcotest.(check bool) "mux2 sel=0" t (Cell.eval Cell.Mux2 [| f; t; f |]);
+  Alcotest.(check bool) "mux2 sel=1" f (Cell.eval Cell.Mux2 [| t; t; f |])
+
+let test_eval_arity_check () =
+  check_raises_invalid "wrong arity" (fun () ->
+      ignore (Cell.eval Cell.Nand2 [| true |]))
+
+let test_is_inverting () =
+  Alcotest.(check bool) "nand inverting" true (Cell.is_inverting Cell.Nand2);
+  Alcotest.(check bool) "and2 not" false (Cell.is_inverting Cell.And2);
+  (* De Morgan sanity: eval of inverting cells complements the AND/OR
+     counterpart. *)
+  List.iter
+    (fun ins ->
+      Alcotest.(check bool) "nand = not and" (not (Cell.eval Cell.And2 ins))
+        (Cell.eval Cell.Nand2 ins))
+    [ [| true; true |]; [| true; false |]; [| false; false |] ]
+
+let test_all_positive_parameters () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Cell.name k ^ " positive") true
+        (Cell.logical_effort k > 0.0
+        && Cell.parasitic k > 0.0
+        && Cell.area_per_size k > 0.0))
+    Cell.all
+
+let suite =
+  [
+    quick "arity" test_arity;
+    quick "logical effort values" test_logical_effort_reference;
+    quick "parasitic monotone" test_parasitic_monotone_in_arity;
+    quick "input cap" test_input_cap;
+    quick "name roundtrip" test_name_roundtrip;
+    quick "truth tables" test_eval_truth_tables;
+    quick "eval arity check" test_eval_arity_check;
+    quick "inverting classification" test_is_inverting;
+    quick "positive parameters" test_all_positive_parameters;
+  ]

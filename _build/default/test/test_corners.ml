@@ -1,0 +1,70 @@
+open Helpers
+module C = Spv_process.Corners
+module Tech = Spv_process.Tech
+
+let test_names () =
+  Alcotest.(check string) "TT" "TT" (C.corner_name C.Typical);
+  Alcotest.(check string) "SS" "SS" (C.corner_name C.Slow);
+  Alcotest.(check string) "FF" "FF" (C.corner_name C.Fast)
+
+let test_typical_is_nominal () =
+  check_float ~eps:1e-12 "factor 1" 1.0 (C.delay_factor Tech.bptm70 C.Typical);
+  let s = C.corner_shift Tech.bptm70 C.Typical in
+  check_float "no vth shift" 0.0 s.Spv_process.Variation.dvth
+
+let test_corner_ordering () =
+  let t = Tech.bptm70 in
+  Alcotest.(check bool) "FF < TT < SS" true
+    (C.delay_factor t C.Fast < 1.0 && C.delay_factor t C.Slow > 1.0)
+
+let test_sigma_level_scales () =
+  let t = Tech.bptm70 in
+  let f3 = C.delay_factor ~sigma_level:3.0 t C.Slow in
+  let f1 = C.delay_factor ~sigma_level:1.0 t C.Slow in
+  check_close ~rel:1e-9 "linear in sigma level" ((f3 -. 1.0) /. 3.0) (f1 -. 1.0)
+
+let test_guardband_grows_with_depth () =
+  let t = Tech.bptm70 in
+  let g1 = C.guardband_ratio t ~path_depth:1 in
+  let g16 = C.guardband_ratio t ~path_depth:16 in
+  let g64 = C.guardband_ratio t ~path_depth:64 in
+  Alcotest.(check bool) "ratio >= 1" true (g1 >= 1.0 -. 1e-9);
+  Alcotest.(check bool) "grows with depth" true (g16 > g1 && g64 > g16)
+
+let test_guardband_depth_independent_without_random () =
+  (* Without a random component nothing averages along the path, so
+     the corner's remaining pessimism (stacking independent shared
+     sources linearly instead of in quadrature) no longer grows with
+     depth. *)
+  let t = Tech.with_random_vth Tech.bptm70 ~sigma_mv:0.0 in
+  let g1 = C.guardband_ratio t ~path_depth:1 in
+  let g32 = C.guardband_ratio t ~path_depth:32 in
+  check_close ~rel:1e-9 "depth independent" g1 g32;
+  Alcotest.(check bool) "stacking pessimism remains" true (g1 > 1.0)
+
+let test_guardband_matches_mc_path () =
+  (* A depth-20 inverter chain: the slow corner delay must land above
+     the 99.87% statistical quantile by roughly the predicted ratio. *)
+  let tech = Tech.bptm70 in
+  let depth = 20 in
+  let net = Spv_circuit.Generators.inverter_chain ~depth () in
+  let nominal = (Spv_circuit.Sta.run tech net).Spv_circuit.Sta.delay in
+  let corner_delay = nominal *. C.delay_factor tech C.Slow in
+  let g = Spv_circuit.Ssta.stage_gaussian tech net in
+  let stat_delay = Spv_stats.Gaussian.quantile g ~p:0.99865 in
+  let predicted = C.guardband_ratio tech ~path_depth:depth in
+  check_in_range "ratio matches"
+    ~lo:(0.97 *. predicted) ~hi:(1.03 *. predicted)
+    (corner_delay /. stat_delay)
+
+let suite =
+  [
+    quick "corner names" test_names;
+    quick "typical nominal" test_typical_is_nominal;
+    quick "corner ordering" test_corner_ordering;
+    quick "sigma level scaling" test_sigma_level_scales;
+    quick "guardband grows with depth" test_guardband_grows_with_depth;
+    quick "guardband depth-independent without random"
+      test_guardband_depth_independent_without_random;
+    quick "guardband matches chain quantile" test_guardband_matches_mc_path;
+  ]

@@ -1,0 +1,86 @@
+open Helpers
+module D = Spv_stats.Descriptive
+
+let data = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]
+
+let test_mean () = check_float "mean" 5.0 (D.mean data)
+
+let test_variance_std () =
+  (* Sum of squared deviations = 32; 32/7 unbiased. *)
+  check_close ~rel:1e-12 "variance" (32.0 /. 7.0) (D.variance data);
+  check_close ~rel:1e-12 "std" (sqrt (32.0 /. 7.0)) (D.std data)
+
+let test_min_max () =
+  let lo, hi = D.min_max data in
+  check_float "min" 2.0 lo;
+  check_float "max" 9.0 hi
+
+let test_quantiles () =
+  check_float "median" 4.5 (D.median data);
+  check_float "q0" 2.0 (D.quantile data ~p:0.0);
+  check_float "q1" 9.0 (D.quantile data ~p:1.0);
+  (* Type-7 interpolation: h = 0.25 * 7 = 1.75 -> between 4 and 4. *)
+  check_float "q0.25" 4.0 (D.quantile data ~p:0.25)
+
+let test_fraction_below () =
+  check_float "below 4" 0.5 (D.fraction_below data ~threshold:4.0);
+  check_float "below 1" 0.0 (D.fraction_below data ~threshold:1.0);
+  check_float "below 9" 1.0 (D.fraction_below data ~threshold:9.0)
+
+let test_skew_kurt_symmetric () =
+  let rng = Spv_stats.Rng.create ~seed:30 in
+  let xs = Array.init 100_000 (fun _ -> Spv_stats.Rng.gaussian rng) in
+  check_in_range "skewness ~ 0" ~lo:(-0.03) ~hi:0.03 (D.skewness xs);
+  check_in_range "kurtosis ~ 0" ~lo:(-0.06) ~hi:0.06 (D.kurtosis_excess xs)
+
+let test_skew_positive () =
+  (* Max of two iid normals is right-skewed. *)
+  let rng = Spv_stats.Rng.create ~seed:31 in
+  let xs =
+    Array.init 50_000 (fun _ ->
+        Float.max (Spv_stats.Rng.gaussian rng) (Spv_stats.Rng.gaussian rng))
+  in
+  Alcotest.(check bool) "max of normals right-skewed" true (D.skewness xs > 0.05)
+
+let test_errors () =
+  check_raises_invalid "empty mean" (fun () -> D.mean [||]);
+  check_raises_invalid "variance of one" (fun () -> D.variance [| 1.0 |]);
+  check_raises_invalid "quantile p>1" (fun () -> D.quantile data ~p:1.5)
+
+let test_standard_error () =
+  check_close ~rel:1e-12 "sem"
+    (D.std data /. sqrt 8.0)
+    (D.standard_error_of_mean data)
+
+let prop_mean_bounds =
+  prop "mean within min/max"
+    QCheck2.Gen.(array_size (int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let m = D.mean xs in
+      let lo, hi = D.min_max xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_quantile_monotone =
+  prop "quantile monotone in p"
+    QCheck2.Gen.(
+      triple
+        (array_size (int_range 2 50) (float_range (-100.) 100.))
+        (float_bound_inclusive 1.0) (float_bound_inclusive 1.0))
+    (fun (xs, p1, p2) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      D.quantile xs ~p:lo <= D.quantile xs ~p:hi +. 1e-9)
+
+let suite =
+  [
+    quick "mean" test_mean;
+    quick "variance and std" test_variance_std;
+    quick "min/max" test_min_max;
+    quick "quantiles" test_quantiles;
+    quick "fraction below" test_fraction_below;
+    slow "gaussian skew/kurtosis" test_skew_kurt_symmetric;
+    slow "max-of-normals skew" test_skew_positive;
+    quick "error cases" test_errors;
+    quick "standard error" test_standard_error;
+    prop_mean_bounds;
+    prop_quantile_monotone;
+  ]

@@ -1,0 +1,109 @@
+open Helpers
+module Ds = Spv_core.Design_space
+
+let t_target = 120.0
+let yield = 0.8
+
+let test_mu_t_upper_bound () =
+  (* Phi^-1(0.8) ~ 0.8416. *)
+  check_close ~rel:1e-6 "bound"
+    (120.0 -. (5.0 *. Spv_stats.Special.big_phi_inv 0.8))
+    (Ds.mu_t_upper_bound ~t_target ~yield ~sigma_t:5.0);
+  (* Zero sigma: bound is the target itself. *)
+  check_float "deterministic" 120.0 (Ds.mu_t_upper_bound ~t_target ~yield ~sigma_t:0.0)
+
+let test_relaxed_bound () =
+  let b = Ds.relaxed_sigma_bound ~t_target ~yield ~mu:100.0 in
+  check_close ~rel:1e-9 "relaxed" (20.0 /. Spv_stats.Special.big_phi_inv 0.8) b;
+  (* Stage meeting the bound exactly yields the target when all others
+     pass with certainty. *)
+  let g = Spv_stats.Gaussian.make ~mu:100.0 ~sigma:b in
+  check_close ~rel:1e-9 "bound is tight" yield (Spv_stats.Gaussian.cdf g t_target)
+
+let test_equality_bound_tightens_with_stages () =
+  let b n = Ds.equality_sigma_bound ~t_target ~yield ~n_stages:n ~mu:100.0 in
+  Alcotest.(check bool) "more stages, less sigma" true (b 2 > b 4 && b 4 > b 16);
+  (* Single stage degenerates to the relaxed bound. *)
+  check_close ~rel:1e-12 "n=1 equals relaxed"
+    (Ds.relaxed_sigma_bound ~t_target ~yield ~mu:100.0)
+    (b 1)
+
+let test_equality_bound_consistency () =
+  (* N stages each exactly at the eq. 12 bound deliver the target yield
+     under independence. *)
+  let n = 4 in
+  let mu = 100.0 in
+  let sigma = Ds.equality_sigma_bound ~t_target ~yield ~n_stages:n ~mu in
+  let stages = Array.init n (fun _ -> Spv_core.Stage.of_moments ~mu ~sigma ()) in
+  let p = Spv_core.Pipeline.make stages ~corr:(Spv_stats.Correlation.independent ~n) in
+  check_close ~rel:1e-9 "achieves target" yield
+    (Spv_core.Yield.independent_exact p ~t_target)
+
+let test_realizable_sqrt_law () =
+  let s = Ds.realizable_sigma ~mu_ref:10.0 ~sigma_ref:1.0 ~mu:40.0 in
+  check_float "sqrt scaling" 2.0 s;
+  check_raises_invalid "bad ref" (fun () ->
+      ignore (Ds.realizable_sigma ~mu_ref:0.0 ~sigma_ref:1.0 ~mu:1.0))
+
+let test_inverter_reference () =
+  let tech = Spv_process.Tech.bptm70 in
+  let small = Ds.inverter_reference tech ~size:1.0 in
+  let big = Ds.inverter_reference tech ~size:8.0 in
+  Alcotest.(check bool) "bigger is faster" true (big.Ds.mu < small.Ds.mu);
+  Alcotest.(check bool) "bigger is steadier" true (big.Ds.sigma < small.Ds.sigma);
+  (* random_only:false includes the correlated components. *)
+  let full = Ds.inverter_reference ~random_only:false tech ~size:1.0 in
+  Alcotest.(check bool) "full sigma larger" true (full.Ds.sigma > small.Ds.sigma)
+
+let test_yield_domain () =
+  check_raises_invalid "yield 0.4" (fun () ->
+      ignore (Ds.relaxed_sigma_bound ~t_target ~yield:0.4 ~mu:100.0));
+  check_raises_invalid "yield 1.0" (fun () ->
+      ignore (Ds.equality_sigma_bound ~t_target ~yield:1.0 ~n_stages:2 ~mu:100.0))
+
+let test_curves_structure () =
+  let c = Ds.curves ~t_target ~yield ~stage_counts:[ 3; 9 ] ~n_points:20 () in
+  Alcotest.(check int) "points" 20 (Array.length c.Ds.mus);
+  Alcotest.(check int) "two equality curves" 2 (List.length c.Ds.equality);
+  (* Relaxed bound dominates every equality bound pointwise. *)
+  List.iter
+    (fun (_, eq) ->
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check bool) "relaxed >= equality" true (c.Ds.relaxed.(i) >= v -. 1e-9))
+        eq)
+    c.Ds.equality;
+  (* Realizable min-size curve sits above the max-size curve. *)
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "corridor ordering" true (v >= c.Ds.realizable_max.(i)))
+    c.Ds.realizable_min
+
+let test_admissible_and_realizable () =
+  Alcotest.(check bool) "tight point admissible" true
+    (Ds.admissible ~t_target ~yield ~n_stages:4 { Ds.mu = 100.0; sigma = 1.0 });
+  Alcotest.(check bool) "too noisy not admissible" false
+    (Ds.admissible ~t_target ~yield ~n_stages:4 { Ds.mu = 100.0; sigma = 50.0 });
+  Alcotest.(check bool) "mu beyond target not admissible" false
+    (Ds.admissible ~t_target ~yield ~n_stages:4 { Ds.mu = 125.0; sigma = 1.0 })
+
+let prop_bounds_decrease_with_mu =
+  prop "sigma budget shrinks as mu grows"
+    QCheck2.Gen.(pair (float_range 10.0 110.0) (float_range 10.0 110.0))
+    (fun (m1, m2) ->
+      let b m = Ds.equality_sigma_bound ~t_target ~yield ~n_stages:4 ~mu:m in
+      m1 = m2 || (m1 < m2) = (b m1 > b m2))
+
+let suite =
+  [
+    quick "eq.10 bound" test_mu_t_upper_bound;
+    quick "eq.11 relaxed bound" test_relaxed_bound;
+    quick "eq.12 tightens with stages" test_equality_bound_tightens_with_stages;
+    quick "eq.12 consistency with yield" test_equality_bound_consistency;
+    quick "eq.13 sqrt law" test_realizable_sqrt_law;
+    quick "inverter reference" test_inverter_reference;
+    quick "yield domain" test_yield_domain;
+    quick "curves structure" test_curves_structure;
+    quick "admissible/realizable" test_admissible_and_realizable;
+    prop_bounds_decrease_with_mu;
+  ]

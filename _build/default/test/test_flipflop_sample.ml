@@ -1,0 +1,107 @@
+open Helpers
+module Ff = Spv_process.Flipflop
+module Sample = Spv_process.Sample
+module Tech = Spv_process.Tech
+module Gd = Spv_process.Gate_delay
+
+(* --- Flipflop -------------------------------------------------------- *)
+
+let test_default_ff () =
+  let tech = Tech.bptm70 in
+  let ff = Ff.default tech in
+  check_close ~rel:1e-12 "clk-to-q" (4.0 *. tech.Tech.tau)
+    ff.Ff.clk_to_q.Gd.nominal;
+  check_close ~rel:1e-12 "setup" (2.0 *. tech.Tech.tau) ff.Ff.setup.Gd.nominal;
+  check_close ~rel:1e-12 "overhead" (6.0 *. tech.Tech.tau) (Ff.nominal_overhead ff)
+
+let test_ff_validation () =
+  let tech = Tech.bptm70 in
+  check_raises_invalid "negative tcq" (fun () ->
+      Ff.make tech ~clk_to_q_ps:(-1.0) ~setup_ps:1.0 ~size:1.0);
+  check_raises_invalid "zero size" (fun () ->
+      Ff.make tech ~clk_to_q_ps:1.0 ~setup_ps:1.0 ~size:0.0)
+
+let test_ff_overhead_composition () =
+  let tech = Tech.bptm70 in
+  let ff = Ff.make tech ~clk_to_q_ps:20.0 ~setup_ps:10.0 ~size:2.0 in
+  let o = Ff.overhead ff in
+  check_float "nominal" 30.0 o.Gd.nominal;
+  (* Same locale: inter components add linearly. *)
+  check_close ~rel:1e-12 "inter adds"
+    (ff.Ff.clk_to_q.Gd.sigma_inter +. ff.Ff.setup.Gd.sigma_inter)
+    o.Gd.sigma_inter
+
+let test_ff_no_variation () =
+  let ff = Ff.default (Tech.no_variation Tech.bptm70) in
+  check_float "no sigma" 0.0 (Gd.total_sigma (Ff.overhead ff))
+
+(* --- Sample ----------------------------------------------------------- *)
+
+let test_sampler_basic () =
+  let tech = Tech.bptm70 in
+  let positions = Spv_process.Spatial.row_positions ~n:4 ~pitch:1.0 in
+  let s = Sample.create tech ~positions in
+  Alcotest.(check int) "locations" 4 (Sample.n_locations s);
+  let rng = Spv_stats.Rng.create ~seed:100 in
+  let w = Sample.draw s rng in
+  Alcotest.(check int) "field per location" 4 (Array.length w.Sample.sys_field)
+
+let test_world_shares_inter () =
+  let tech = Tech.bptm70 in
+  let positions = Spv_process.Spatial.row_positions ~n:2 ~pitch:1.0 in
+  let s = Sample.create tech ~positions in
+  let rng = Spv_stats.Rng.create ~seed:101 in
+  (* The inter-die shift is identical for all devices of one world; we
+     verify by zeroing the other components. *)
+  let tech0 = Tech.no_variation tech in
+  let tech0 = Tech.with_inter_vth tech0 ~sigma_mv:40.0 in
+  let s0 = Sample.create tech0 ~positions in
+  let w = Sample.draw s0 rng in
+  let sh0 = Sample.shift_at s0 w ~location:0 ~size:1.0 rng in
+  let sh1 = Sample.shift_at s0 w ~location:1 ~size:1.0 rng in
+  check_float ~eps:1e-12 "same inter dvth" sh0.Spv_process.Variation.dvth
+    sh1.Spv_process.Variation.dvth;
+  ignore s
+
+let test_delay_factor_mean () =
+  let tech = Tech.bptm70 in
+  let positions = Spv_process.Spatial.row_positions ~n:1 ~pitch:1.0 in
+  let s = Sample.create tech ~positions in
+  let rng = Spv_stats.Rng.create ~seed:102 in
+  let xs =
+    Array.init 20_000 (fun _ ->
+        let w = Sample.draw s rng in
+        Sample.delay_factor s w ~location:0 ~size:1.0 rng)
+  in
+  check_in_range "mean factor ~ 1" ~lo:0.99 ~hi:1.01
+    (Spv_stats.Descriptive.mean xs);
+  (* Combined relative sigma: inter + sys + rand in quadrature. *)
+  let expected =
+    sqrt
+      ((Spv_process.Variation.rel_sigma_inter tech ** 2.0)
+      +. (Spv_process.Variation.rel_sigma_sys tech ** 2.0)
+      +. (Spv_process.Variation.rel_sigma_rand tech ~size:1.0 ** 2.0))
+  in
+  check_in_range "factor std" ~lo:(0.95 *. expected) ~hi:(1.05 *. expected)
+    (Spv_stats.Descriptive.std xs)
+
+let test_location_bounds () =
+  let tech = Tech.bptm70 in
+  let positions = Spv_process.Spatial.row_positions ~n:2 ~pitch:1.0 in
+  let s = Sample.create tech ~positions in
+  let rng = Spv_stats.Rng.create ~seed:103 in
+  let w = Sample.draw s rng in
+  check_raises_invalid "bad location" (fun () ->
+      Sample.shift_at s w ~location:5 ~size:1.0 rng)
+
+let suite =
+  [
+    quick "default flip-flop" test_default_ff;
+    quick "flip-flop validation" test_ff_validation;
+    quick "overhead composition" test_ff_overhead_composition;
+    quick "no-variation flip-flop" test_ff_no_variation;
+    quick "sampler basics" test_sampler_basic;
+    quick "world shares inter" test_world_shares_inter;
+    slow "delay factor moments" test_delay_factor_mean;
+    quick "location bounds" test_location_bounds;
+  ]

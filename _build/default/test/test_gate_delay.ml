@@ -1,0 +1,101 @@
+open Helpers
+module Gd = Spv_process.Gate_delay
+module Tech = Spv_process.Tech
+
+let d1 = Gd.make ~nominal:10.0 ~sigma_inter:1.0 ~sigma_sys:0.5 ~sigma_rand:0.3
+let d2 = Gd.make ~nominal:20.0 ~sigma_inter:2.0 ~sigma_sys:1.0 ~sigma_rand:0.4
+
+let test_validation () =
+  check_raises_invalid "negative sigma" (fun () ->
+      Gd.make ~nominal:1.0 ~sigma_inter:(-0.1) ~sigma_sys:0.0 ~sigma_rand:0.0);
+  check_raises_invalid "nan" (fun () ->
+      Gd.make ~nominal:Float.nan ~sigma_inter:0.0 ~sigma_sys:0.0 ~sigma_rand:0.0)
+
+let test_total_sigma () =
+  check_close ~rel:1e-12 "quadrature"
+    (sqrt ((1.0 *. 1.0) +. (0.5 *. 0.5) +. (0.3 *. 0.3)))
+    (Gd.total_sigma d1)
+
+let test_add_composition () =
+  let s = Gd.add d1 d2 in
+  check_float "nominal adds" 30.0 s.Gd.nominal;
+  check_float "inter adds linearly" 3.0 s.Gd.sigma_inter;
+  check_float "sys adds linearly" 1.5 s.Gd.sigma_sys;
+  check_close ~rel:1e-12 "rand adds in quadrature" (sqrt (0.09 +. 0.16))
+    s.Gd.sigma_rand
+
+let test_sum_matches_folds () =
+  let s1 = Gd.sum [ d1; d2; d1 ] in
+  let s2 = Gd.add (Gd.add d1 d2) d1 in
+  check_close ~rel:1e-12 "nominal" s2.Gd.nominal s1.Gd.nominal;
+  check_close ~rel:1e-12 "rand" s2.Gd.sigma_rand s1.Gd.sigma_rand
+
+let test_scale () =
+  let s = Gd.scale d1 2.0 in
+  check_float "nominal" 20.0 s.Gd.nominal;
+  check_float "inter" 2.0 s.Gd.sigma_inter;
+  check_float "rand" 0.6 s.Gd.sigma_rand;
+  check_raises_invalid "negative factor" (fun () -> Gd.scale d1 (-1.0))
+
+let test_of_nominal () =
+  let tech = Tech.bptm70 in
+  let d = Gd.of_nominal tech ~nominal:100.0 ~size:4.0 in
+  check_close ~rel:1e-12 "inter"
+    (100.0 *. Spv_process.Variation.rel_sigma_inter tech)
+    d.Gd.sigma_inter;
+  check_close ~rel:1e-12 "rand scales with size"
+    (100.0 *. Spv_process.Variation.rel_sigma_rand tech ~size:4.0)
+    d.Gd.sigma_rand
+
+let test_correlation_structure () =
+  (* Same locale, fully shared systematic field. *)
+  let rho_same = Gd.correlation d1 d2 ~sys_rho:1.0 in
+  let rho_far = Gd.correlation d1 d2 ~sys_rho:0.0 in
+  Alcotest.(check bool) "distance lowers correlation" true (rho_same > rho_far);
+  check_close ~rel:1e-12 "far keeps inter"
+    ((1.0 *. 2.0) /. (Gd.total_sigma d1 *. Gd.total_sigma d2))
+    rho_far;
+  check_in_range "bounded" ~lo:(-1.0) ~hi:1.0 rho_same
+
+let test_correlation_degenerate () =
+  check_float "zero sigma gives zero" 0.0 (Gd.correlation Gd.zero d1 ~sys_rho:0.5)
+
+let test_correlation_cancellation_effect () =
+  (* A longer chain has lower variability under random-only variation:
+     the paper's logic-depth cancellation (Fig. 5a). *)
+  let tech = Tech.no_variation Tech.bptm70 in
+  let tech = Tech.with_random_vth tech ~sigma_mv:30.0 in
+  let gate = Gd.of_nominal tech ~nominal:10.0 ~size:1.0 in
+  let chain n = Gd.sum (List.init n (fun _ -> gate)) in
+  let v4 = Gd.variability (chain 4) and v16 = Gd.variability (chain 16) in
+  check_close ~rel:1e-9 "1/sqrt(depth) cancellation" 2.0 (v4 /. v16)
+
+let test_no_cancellation_when_correlated () =
+  (* Inter-die component does not cancel with depth. *)
+  let tech = Tech.no_variation Tech.bptm70 in
+  let tech = Tech.with_inter_vth tech ~sigma_mv:40.0 in
+  let gate = Gd.of_nominal tech ~nominal:10.0 ~size:1.0 in
+  let chain n = Gd.sum (List.init n (fun _ -> gate)) in
+  check_close ~rel:1e-9 "flat variability"
+    (Gd.variability (chain 4))
+    (Gd.variability (chain 16))
+
+let test_to_gaussian () =
+  let g = Gd.to_gaussian d1 in
+  check_float "mu" 10.0 (Spv_stats.Gaussian.mu g);
+  check_close ~rel:1e-12 "sigma" (Gd.total_sigma d1) (Spv_stats.Gaussian.sigma g)
+
+let suite =
+  [
+    quick "validation" test_validation;
+    quick "total sigma" test_total_sigma;
+    quick "series composition" test_add_composition;
+    quick "sum folds" test_sum_matches_folds;
+    quick "scale" test_scale;
+    quick "of_nominal" test_of_nominal;
+    quick "correlation structure" test_correlation_structure;
+    quick "degenerate correlation" test_correlation_degenerate;
+    quick "depth cancellation (random)" test_correlation_cancellation_effect;
+    quick "no cancellation (inter)" test_no_cancellation_when_correlated;
+    quick "to_gaussian" test_to_gaussian;
+  ]

@@ -1,0 +1,96 @@
+open Helpers
+module G = Spv_stats.Gaussian
+
+let test_make_validation () =
+  check_raises_invalid "negative sigma" (fun () -> G.make ~mu:0.0 ~sigma:(-1.0));
+  check_raises_invalid "nan mu" (fun () -> G.make ~mu:Float.nan ~sigma:1.0);
+  check_raises_invalid "inf sigma" (fun () ->
+      G.make ~mu:0.0 ~sigma:Float.infinity)
+
+let test_accessors () =
+  let g = G.make ~mu:3.0 ~sigma:2.0 in
+  check_float "mu" 3.0 (G.mu g);
+  check_float "sigma" 2.0 (G.sigma g);
+  check_float "variance" 4.0 (G.variance g);
+  check_float "variability" (2.0 /. 3.0) (G.variability g)
+
+let test_cdf_quantile_inverse () =
+  let g = G.make ~mu:100.0 ~sigma:7.0 in
+  List.iter
+    (fun p ->
+      check_close ~rel:1e-9 "roundtrip" p (G.cdf g (G.quantile g ~p)))
+    [ 0.01; 0.25; 0.5; 0.9283; 0.99 ]
+
+let test_add_independent () =
+  let a = G.make ~mu:10.0 ~sigma:3.0 and b = G.make ~mu:20.0 ~sigma:4.0 in
+  let s = G.add a b ~rho:0.0 in
+  check_float "mu" 30.0 (G.mu s);
+  check_float "sigma" 5.0 (G.sigma s)
+
+let test_add_correlated () =
+  let a = G.make ~mu:0.0 ~sigma:1.0 and b = G.make ~mu:0.0 ~sigma:1.0 in
+  check_float "rho=1" 2.0 (G.sigma (G.add a b ~rho:1.0));
+  check_float ~eps:1e-7 "rho=-1" 0.0 (G.sigma (G.add a b ~rho:(-1.0)))
+
+let test_scale_shift () =
+  let g = G.make ~mu:10.0 ~sigma:2.0 in
+  let s = G.scale g 3.0 in
+  check_float "scaled mu" 30.0 (G.mu s);
+  check_float "scaled sigma" 6.0 (G.sigma s);
+  let sh = G.shift g 5.0 in
+  check_float "shifted mu" 15.0 (G.mu sh);
+  check_float "shifted sigma" 2.0 (G.sigma sh);
+  check_raises_invalid "negative scale" (fun () -> G.scale g (-1.0))
+
+let test_sum_correlated () =
+  let gs = Array.init 4 (fun _ -> G.make ~mu:5.0 ~sigma:2.0) in
+  (* Fully correlated: sigmas add linearly. *)
+  let s1 = G.sum_correlated gs ~rho:(fun _ _ -> 1.0) in
+  check_float "full corr mu" 20.0 (G.mu s1);
+  check_float ~eps:1e-9 "full corr sigma" 8.0 (G.sigma s1);
+  (* Independent: quadrature. *)
+  let s0 = G.sum_correlated gs ~rho:(fun _ _ -> 0.0) in
+  check_float ~eps:1e-9 "indep sigma" 4.0 (G.sigma s0)
+
+let test_sampling_moments () =
+  let g = G.make ~mu:42.0 ~sigma:6.0 in
+  let rng = Spv_stats.Rng.create ~seed:20 in
+  let xs = Array.init 50_000 (fun _ -> G.sample g rng) in
+  check_in_range "mean" ~lo:41.9 ~hi:42.1 (Spv_stats.Descriptive.mean xs);
+  check_in_range "std" ~lo:5.9 ~hi:6.1 (Spv_stats.Descriptive.std xs)
+
+let test_equal () =
+  let a = G.make ~mu:1.0 ~sigma:2.0 in
+  Alcotest.(check bool) "equal" true (G.equal a (G.make ~mu:1.0 ~sigma:2.0));
+  Alcotest.(check bool) "not equal" false (G.equal a (G.make ~mu:1.1 ~sigma:2.0))
+
+let prop_add_mu_linear =
+  prop "add means are linear"
+    QCheck2.Gen.(
+      tup4 (float_range (-100.) 100.) (float_range 0. 10.)
+        (float_range (-100.) 100.) (float_range 0. 10.))
+    (fun (m1, s1, m2, s2) ->
+      let g = G.add (G.make ~mu:m1 ~sigma:s1) (G.make ~mu:m2 ~sigma:s2) ~rho:0.5 in
+      abs_float (G.mu g -. (m1 +. m2)) < 1e-9)
+
+let prop_cdf_monotone =
+  prop "cdf monotone"
+    QCheck2.Gen.(pair (float_range (-10.) 10.) (float_range (-10.) 10.))
+    (fun (x, y) ->
+      let g = G.make ~mu:0.0 ~sigma:2.0 in
+      x = y || (x < y) = (G.cdf g x <= G.cdf g y))
+
+let suite =
+  [
+    quick "validation" test_make_validation;
+    quick "accessors" test_accessors;
+    quick "cdf/quantile roundtrip" test_cdf_quantile_inverse;
+    quick "add independent" test_add_independent;
+    quick "add correlated" test_add_correlated;
+    quick "scale and shift" test_scale_shift;
+    quick "sum correlated" test_sum_correlated;
+    slow "sampling moments" test_sampling_moments;
+    quick "equal" test_equal;
+    prop_add_mu_linear;
+    prop_cdf_monotone;
+  ]

@@ -1,0 +1,66 @@
+open Helpers
+module Gr = Spv_sizing.Greedy
+module L = Spv_sizing.Lagrangian
+module Net = Spv_circuit.Netlist
+module G = Spv_circuit.Generators
+
+let tech = Spv_process.Tech.bptm70
+let ff = Spv_process.Flipflop.default tech
+let z = Spv_stats.Special.big_phi_inv 0.9457
+
+let test_converges_on_loose_target () =
+  let net = G.c432 () in
+  let slow = L.relaxed_delay ~ff tech net ~z in
+  let fast = L.minimum_achievable_delay ~ff tech net ~z in
+  let t_target = fast +. (0.6 *. (slow -. fast)) in
+  let r = Gr.size_stage ~ff tech net ~t_target ~z in
+  Alcotest.(check bool) "converged" true r.Gr.converged;
+  Alcotest.(check bool) "target met" true (r.Gr.stat_delay <= t_target *. 1.005);
+  check_close ~rel:1e-9 "area consistent" (Net.area net) r.Gr.area
+
+let test_monotone_improvement () =
+  (* Greedy never makes the stat delay worse than all-minimum sizes. *)
+  let net = G.alu_slice ~bits:4 () in
+  let baseline = L.relaxed_delay ~ff tech net ~z in
+  let r = Gr.size_stage ~ff tech net ~t_target:1.0 ~z in
+  Alcotest.(check bool) "improved" true (r.Gr.stat_delay <= baseline);
+  Alcotest.(check bool) "ran out of moves, not converged" false r.Gr.converged
+
+let test_respects_bounds () =
+  let options = { Gr.default_options with Gr.max_size = 3.0 } in
+  let net = G.c432 () in
+  ignore (Gr.size_stage ~options ~ff tech net ~t_target:400.0 ~z);
+  Array.iter
+    (fun i -> check_in_range "bounded" ~lo:1.0 ~hi:3.0 (Net.size net i))
+    (Net.gate_ids net)
+
+let test_comparison_contract () =
+  let net = G.c432 () in
+  let slow = L.relaxed_delay ~ff tech net ~z in
+  let fast = L.minimum_achievable_delay ~ff tech net ~z in
+  let t_target = fast +. (0.5 *. (slow -. fast)) in
+  let greedy, lagr = Gr.compare_with_lagrangian ~ff tech net ~t_target ~z in
+  (* The netlist carries the Lagrangian result afterwards. *)
+  check_close ~rel:1e-9 "netlist holds LR sizes" lagr.L.area (Net.area net);
+  (* Both met the same target here; both areas above the min-size area. *)
+  Alcotest.(check bool) "LR converged" true lagr.L.converged;
+  Alcotest.(check bool) "greedy sane area" true (greedy.Gr.area >= 371.0)
+
+let test_lr_wins_on_tight_targets () =
+  (* The reason LR exists: at aggressive targets greedy stalls. *)
+  let net = G.c432 () in
+  let fast = L.minimum_achievable_delay ~ff tech net ~z in
+  let slow = L.relaxed_delay ~ff tech net ~z in
+  let t_target = fast +. (0.15 *. (slow -. fast)) in
+  let greedy, lagr = Gr.compare_with_lagrangian ~ff tech net ~t_target ~z in
+  Alcotest.(check bool) "LR closes it" true lagr.L.converged;
+  Alcotest.(check bool) "greedy does not" false greedy.Gr.converged
+
+let suite =
+  [
+    quick "converges on loose target" test_converges_on_loose_target;
+    quick "monotone improvement" test_monotone_improvement;
+    quick "respects bounds" test_respects_bounds;
+    quick "comparison contract" test_comparison_contract;
+    quick "LR wins on tight targets" test_lr_wins_on_tight_targets;
+  ]

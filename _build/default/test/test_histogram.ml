@@ -1,0 +1,95 @@
+open Helpers
+module H = Spv_stats.Histogram
+
+let test_create_validation () =
+  check_raises_invalid "lo >= hi" (fun () -> H.create ~lo:1.0 ~hi:1.0 ~bins:4);
+  check_raises_invalid "no bins" (fun () -> H.create ~lo:0.0 ~hi:1.0 ~bins:0)
+
+let test_binning () =
+  let h = H.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  H.add h 0.5;
+  H.add h 0.9;
+  H.add h 5.0;
+  H.add h 9.99;
+  check_float "bin width" 1.0 (H.bin_width h);
+  Alcotest.(check int) "bin 0" 2 (H.count h 0);
+  Alcotest.(check int) "bin 5" 1 (H.count h 5);
+  Alcotest.(check int) "bin 9" 1 (H.count h 9);
+  Alcotest.(check int) "total" 4 (H.total h)
+
+let test_out_of_range () =
+  let h = H.create ~lo:0.0 ~hi:1.0 ~bins:2 in
+  H.add h (-0.1);
+  H.add h 1.0;
+  H.add h 2.0;
+  Alcotest.(check int) "underflow" 1 (H.underflow h);
+  Alcotest.(check int) "overflow" 2 (H.overflow h);
+  Alcotest.(check int) "total includes both" 3 (H.total h)
+
+let test_density_normalisation () =
+  let rng = Spv_stats.Rng.create ~seed:40 in
+  let xs = Array.init 20_000 (fun _ -> Spv_stats.Rng.gaussian rng) in
+  let h = H.of_samples ~bins:40 xs in
+  (* Densities integrate to ~1 over the sampled range. *)
+  let integral = ref 0.0 in
+  for i = 0 to H.bins h - 1 do
+    integral := !integral +. (H.density h i *. H.bin_width h)
+  done;
+  check_in_range "density integrates to 1" ~lo:0.999 ~hi:1.001 !integral
+
+let test_density_matches_pdf () =
+  let rng = Spv_stats.Rng.create ~seed:41 in
+  let g = Spv_stats.Gaussian.make ~mu:0.0 ~sigma:1.0 in
+  let xs = Array.init 100_000 (fun _ -> Spv_stats.Gaussian.sample g rng) in
+  let h = H.of_samples ~bins:30 xs in
+  let center = H.bins h / 2 in
+  let c = H.bin_center h center in
+  check_in_range "central density near pdf"
+    ~lo:(0.9 *. Spv_stats.Gaussian.pdf g c)
+    ~hi:(1.1 *. Spv_stats.Gaussian.pdf g c)
+    (H.density h center)
+
+let test_mode_bin () =
+  let h = H.create ~lo:0.0 ~hi:3.0 ~bins:3 in
+  H.add_all h [| 0.5; 1.5; 1.6; 1.7; 2.5 |];
+  Alcotest.(check int) "mode bin" 1 (H.mode_bin h)
+
+let test_bin_centers () =
+  let h = H.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  check_float "center 0" 1.0 (H.bin_center h 0);
+  check_float "center 4" 9.0 (H.bin_center h 4);
+  check_raises_invalid "center out of range" (fun () -> H.bin_center h 5)
+
+let test_to_series () =
+  let h = H.create ~lo:0.0 ~hi:2.0 ~bins:2 in
+  H.add_all h [| 0.5; 0.6; 1.5 |];
+  let s = H.to_series h in
+  Alcotest.(check int) "series length" 2 (Array.length s);
+  check_float "x0" 0.5 (fst s.(0));
+  check_close ~rel:1e-12 "y0" (2.0 /. 3.0) (snd s.(0))
+
+let prop_total_counts =
+  prop "total = inserted"
+    QCheck2.Gen.(array_size (int_range 0 200) (float_range (-2.0) 2.0))
+    (fun xs ->
+      let h = H.create ~lo:(-1.0) ~hi:1.0 ~bins:7 in
+      H.add_all h xs;
+      let in_bins = ref 0 in
+      for i = 0 to H.bins h - 1 do
+        in_bins := !in_bins + H.count h i
+      done;
+      H.total h = Array.length xs
+      && !in_bins + H.underflow h + H.overflow h = H.total h)
+
+let suite =
+  [
+    quick "create validation" test_create_validation;
+    quick "binning" test_binning;
+    quick "under/overflow" test_out_of_range;
+    slow "density normalisation" test_density_normalisation;
+    slow "density matches pdf" test_density_matches_pdf;
+    quick "mode bin" test_mode_bin;
+    quick "bin centers" test_bin_centers;
+    quick "to_series" test_to_series;
+    prop_total_counts;
+  ]

@@ -1,0 +1,127 @@
+open Helpers
+module H = Spv_core.Hold
+module G = Spv_stats.Gaussian
+module Gen = Spv_circuit.Generators
+
+let tech = Spv_process.Tech.bptm70
+let ff = Spv_process.Flipflop.default tech
+
+let test_min2_symmetry_with_max () =
+  (* min(X,Y) = -(max(-X,-Y)) and E[min] + E[max] = E[X] + E[Y]. *)
+  let a = G.make ~mu:10.0 ~sigma:2.0 and b = G.make ~mu:12.0 ~sigma:3.0 in
+  let mn = H.min2 a b ~rho:0.3 in
+  let mx = Spv_core.Clark.max2 a b ~rho:0.3 in
+  check_close ~rel:1e-9 "mean identity" (10.0 +. 12.0) (G.mu mn +. G.mu mx);
+  Alcotest.(check bool) "min below both" true (G.mu mn < 10.0)
+
+let test_min2_standard_value () =
+  (* E[min of two iid N(0,1)] = -1/sqrt(pi). *)
+  let g = G.make ~mu:0.0 ~sigma:1.0 in
+  let mn = H.min2 g g ~rho:0.0 in
+  check_close ~rel:1e-9 "closed form" (-1.0 /. sqrt Float.pi) (G.mu mn)
+
+let test_min_n_against_mc () =
+  let gs = Array.init 4 (fun i -> G.make ~mu:(100.0 +. float_of_int i) ~sigma:5.0) in
+  let corr = Spv_stats.Correlation.uniform ~n:4 ~rho:0.4 in
+  let mn = H.min_n gs ~corr in
+  let mvn =
+    Spv_stats.Mvn.create
+      ~mus:(Array.map G.mu gs) ~sigmas:(Array.map G.sigma gs) ~corr
+  in
+  let rng = Spv_stats.Rng.create ~seed:180 in
+  let samples =
+    Array.init 100_000 (fun _ ->
+        Array.fold_left Float.min infinity (Spv_stats.Mvn.sample mvn rng))
+  in
+  let mc_mean = Spv_stats.Descriptive.mean samples in
+  check_in_range "mean vs MC" ~lo:(mc_mean -. 0.05) ~hi:(mc_mean +. 0.05) (G.mu mn);
+  Alcotest.(check bool) "min below every mean" true (G.mu mn < 100.0)
+
+let test_short_path_shorter_than_critical () =
+  let net = Gen.c432 () in
+  let short = H.short_path_delay tech net in
+  let crit = (Spv_circuit.Ssta.analyse_stage tech net).Spv_circuit.Ssta.comb in
+  Alcotest.(check bool) "short < critical" true
+    (short.Spv_process.Gate_delay.nominal
+    < crit.Spv_process.Gate_delay.nominal)
+
+let test_short_path_on_chain () =
+  (* A single-path circuit: min path = max path. *)
+  let net = Gen.inverter_chain ~depth:6 () in
+  let short = H.short_path_delay tech net in
+  let crit = (Spv_circuit.Ssta.analyse_stage tech net).Spv_circuit.Ssta.comb in
+  check_close ~rel:1e-9 "identical" crit.Spv_process.Gate_delay.nominal
+    short.Spv_process.Gate_delay.nominal
+
+let test_hold_yield_monotone_in_requirement () =
+  let net = Gen.c432 () in
+  let y h = H.hold_yield_stage tech ~ff ~hold_ps:h net in
+  Alcotest.(check bool) "harder hold, lower yield" true
+    (y 5.0 >= y 30.0 && y 30.0 >= y 80.0);
+  (* A trivial hold requirement is always met. *)
+  check_close ~rel:1e-9 "trivial hold" 1.0 (y 0.0)
+
+let test_hold_yield_pipeline_below_stage () =
+  let nets = Gen.inverter_chain_pipeline ~stages:4 ~depth:5 () in
+  let hold_ps = 40.0 in
+  let stage_y = H.hold_yield_stage tech ~ff ~hold_ps nets.(0) in
+  let pipe_y = H.hold_yield_pipeline tech ~ff ~hold_ps nets in
+  Alcotest.(check bool) "pipeline cannot beat a stage" true
+    (pipe_y <= stage_y +. 1e-9)
+
+let test_hold_yield_mc_check () =
+  (* MC over the joint decomposed model of a 2-stage pipeline. *)
+  let nets = Gen.inverter_chain_pipeline ~stages:2 ~depth:5 () in
+  let hold_ps = 44.0 in
+  let analytic = H.hold_yield_pipeline tech ~ff ~hold_ps nets in
+  (* Sample margins per stage jointly. *)
+  let positions = Spv_process.Spatial.row_positions ~n:2 ~pitch:1.0 in
+  let margins =
+    Array.map
+      (fun net ->
+        Spv_process.Gate_delay.add ff.Spv_process.Flipflop.clk_to_q
+          (H.short_path_delay tech net))
+      nets
+  in
+  let corr =
+    Spv_stats.Correlation.of_function ~n:2 (fun i j ->
+        let sys_rho =
+          exp
+            (-.Spv_process.Spatial.distance positions.(i) positions.(j)
+             /. tech.Spv_process.Tech.corr_length)
+        in
+        Spv_process.Gate_delay.correlation margins.(i) margins.(j) ~sys_rho)
+  in
+  let mvn =
+    Spv_stats.Mvn.create
+      ~mus:(Array.map (fun m -> m.Spv_process.Gate_delay.nominal) margins)
+      ~sigmas:(Array.map Spv_process.Gate_delay.total_sigma margins)
+      ~corr
+  in
+  let rng = Spv_stats.Rng.create ~seed:181 in
+  let pass = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let d = Spv_stats.Mvn.sample mvn rng in
+    if d.(0) >= hold_ps && d.(1) >= hold_ps then incr pass
+  done;
+  let mc = float_of_int !pass /. float_of_int n in
+  check_in_range "analytic vs MC" ~lo:(mc -. 0.01) ~hi:(mc +. 0.01) analytic
+
+let test_combined_yield () =
+  check_close ~rel:1e-12 "product" 0.72 (H.combined_yield ~setup:0.9 ~hold:0.8);
+  check_raises_invalid "bad setup" (fun () ->
+      ignore (H.combined_yield ~setup:1.2 ~hold:0.5))
+
+let suite =
+  [
+    quick "min2 symmetry" test_min2_symmetry_with_max;
+    quick "min2 closed form" test_min2_standard_value;
+    slow "min_n vs MC" test_min_n_against_mc;
+    quick "short < critical" test_short_path_shorter_than_critical;
+    quick "chain degenerate" test_short_path_on_chain;
+    quick "hold yield monotone" test_hold_yield_monotone_in_requirement;
+    quick "pipeline below stage" test_hold_yield_pipeline_below_stage;
+    slow "hold yield vs MC" test_hold_yield_mc_check;
+    quick "combined yield" test_combined_yield;
+  ]

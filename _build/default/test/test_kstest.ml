@@ -1,0 +1,55 @@
+open Helpers
+module K = Spv_stats.Kstest
+
+let test_kolmogorov_sf () =
+  check_float "sf(0)" 1.0 (K.kolmogorov_sf 0.0);
+  (* Known value: Q(1.0) ~ 0.27. *)
+  check_in_range "sf(1.0)" ~lo:0.26 ~hi:0.28 (K.kolmogorov_sf 1.0);
+  check_in_range "sf(2.0)" ~lo:0.0005 ~hi:0.001 (K.kolmogorov_sf 2.0);
+  Alcotest.(check bool) "monotone" true
+    (K.kolmogorov_sf 0.5 > K.kolmogorov_sf 1.5)
+
+let test_accepts_matching_distribution () =
+  let g = Spv_stats.Gaussian.make ~mu:3.0 ~sigma:2.0 in
+  let rng = Spv_stats.Rng.create ~seed:70 in
+  let xs = Array.init 5000 (fun _ -> Spv_stats.Gaussian.sample g rng) in
+  let r = K.against_gaussian xs g in
+  check_in_range "p-value high" ~lo:0.01 ~hi:1.0 r.K.p_value;
+  check_in_range "statistic small" ~lo:0.0 ~hi:0.03 r.K.statistic
+
+let test_rejects_shifted_distribution () =
+  let g = Spv_stats.Gaussian.make ~mu:3.0 ~sigma:2.0 in
+  let wrong = Spv_stats.Gaussian.make ~mu:3.5 ~sigma:2.0 in
+  let rng = Spv_stats.Rng.create ~seed:71 in
+  let xs = Array.init 5000 (fun _ -> Spv_stats.Gaussian.sample g rng) in
+  let r = K.against_gaussian xs wrong in
+  check_in_range "p-value tiny" ~lo:0.0 ~hi:1e-6 r.K.p_value
+
+let test_rejects_wrong_shape () =
+  (* Uniform sample against a Gaussian reference. *)
+  let rng = Spv_stats.Rng.create ~seed:72 in
+  let xs = Array.init 3000 (fun _ -> Spv_stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+  let g = Spv_stats.Gaussian.make ~mu:0.0 ~sigma:(1.0 /. sqrt 3.0) in
+  let r = K.against_gaussian xs g in
+  check_in_range "p-value tiny" ~lo:0.0 ~hi:1e-4 r.K.p_value
+
+let test_against_cdf_exact () =
+  (* Perfect grid against the uniform CDF: statistic = 1/(2n) ideally
+     small. *)
+  let n = 100 in
+  let xs = Array.init n (fun i -> (float_of_int i +. 0.5) /. float_of_int n) in
+  let r = K.against_cdf xs ~cdf:(fun x -> Float.max 0.0 (Float.min 1.0 x)) in
+  check_in_range "statistic" ~lo:0.0 ~hi:(0.5 /. float_of_int n +. 1e-9) r.K.statistic
+
+let test_empty_rejected () =
+  check_raises_invalid "empty" (fun () -> K.against_cdf [||] ~cdf:(fun _ -> 0.5))
+
+let suite =
+  [
+    quick "kolmogorov survival" test_kolmogorov_sf;
+    slow "accepts matching" test_accepts_matching_distribution;
+    slow "rejects shifted" test_rejects_shifted_distribution;
+    slow "rejects wrong shape" test_rejects_wrong_shape;
+    quick "exact grid" test_against_cdf_exact;
+    quick "empty rejected" test_empty_rejected;
+  ]

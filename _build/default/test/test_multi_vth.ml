@@ -1,0 +1,102 @@
+open Helpers
+module Mv = Spv_sizing.Multi_vth
+module Net = Spv_circuit.Netlist
+module G = Spv_circuit.Generators
+
+let tech = Spv_process.Tech.bptm70
+let ff = Spv_process.Flipflop.default tech
+let z = Spv_stats.Special.big_phi_inv 0.95
+
+let test_all_low_baseline () =
+  let net = G.c432 () in
+  let a = Mv.all_low net ~delay_penalty:1.15 ~vth_offset:0.08 in
+  Alcotest.(check int) "no high-vth gates" 0 (Mv.n_high a);
+  (* All-low timing equals the plain STA-based stat delay. *)
+  let plain =
+    Spv_sizing.Lagrangian.statistical_delay ~ff tech net ~z
+  in
+  check_close ~rel:1e-9 "matches plain timing" plain
+    (Mv.stat_delay ~ff tech net a ~z)
+
+let test_delay_factors () =
+  let net = G.inverter_chain ~depth:3 () in
+  let a = Mv.all_low net ~delay_penalty:1.2 ~vth_offset:0.08 in
+  a.Mv.high_vth.(2) <- true;
+  let f = Mv.delay_factors net a in
+  check_float "low gate" 1.0 f.(1);
+  check_float "high gate" 1.2 f.(2)
+
+let test_high_vth_slows_and_saves () =
+  let net = G.inverter_chain ~depth:6 () in
+  let low = Mv.all_low net ~delay_penalty:1.15 ~vth_offset:0.08 in
+  let high = Mv.all_low net ~delay_penalty:1.15 ~vth_offset:0.08 in
+  Array.iter (fun i -> high.Mv.high_vth.(i) <- true) (Net.gate_ids net);
+  check_close ~rel:1e-9 "uniform slowdown"
+    (1.15 *. Mv.stat_delay tech net low ~z)
+    (Mv.stat_delay tech net high ~z);
+  let expected_suppression =
+    Spv_circuit.Power.leakage_factor tech ~dvth:0.08
+  in
+  check_close ~rel:1e-9 "uniform leakage suppression"
+    (expected_suppression *. Mv.leakage tech net low)
+    (Mv.leakage tech net high)
+
+let test_optimise_respects_budget () =
+  let net = G.c432 () in
+  let a0 = Mv.all_low net ~delay_penalty:1.15 ~vth_offset:0.08 in
+  let d0 = Mv.stat_delay ~ff tech net a0 ~z in
+  let t_target = 1.05 *. d0 in
+  let r = Mv.optimise ~ff tech net ~t_target ~z in
+  Alcotest.(check bool) "budget met" true
+    (r.Mv.stat_delay_after <= t_target +. 1e-9);
+  Alcotest.(check bool) "meaningful swaps" true (r.Mv.swapped > 50);
+  Alcotest.(check bool) "leakage saved" true
+    (r.Mv.leakage_after < 0.6 *. r.Mv.leakage_before);
+  Alcotest.(check int) "assignment consistent" r.Mv.swapped
+    (Mv.n_high r.Mv.assignment)
+
+let test_zero_slack_still_saves () =
+  (* Even with no timing slack at all, the off-critical-path gates can
+     move to high Vth. *)
+  let net = G.c432 () in
+  let a0 = Mv.all_low net ~delay_penalty:1.15 ~vth_offset:0.08 in
+  let t_target = Mv.stat_delay ~ff tech net a0 ~z in
+  let r = Mv.optimise ~ff tech net ~t_target ~z in
+  Alcotest.(check bool) "off-path gates swapped" true (r.Mv.swapped > 30);
+  Alcotest.(check bool) "substantial saving" true
+    (r.Mv.leakage_after < 0.7 *. r.Mv.leakage_before)
+
+let test_more_slack_more_saving () =
+  let net = G.c432 () in
+  let a0 = Mv.all_low net ~delay_penalty:1.15 ~vth_offset:0.08 in
+  let d0 = Mv.stat_delay ~ff tech net a0 ~z in
+  let leak s = (Mv.optimise ~ff tech net ~t_target:(s *. d0) ~z).Mv.leakage_after in
+  Alcotest.(check bool) "monotone" true (leak 1.15 <= leak 1.05 && leak 1.05 <= leak 1.0)
+
+let test_single_path_cannot_swap_at_zero_slack () =
+  (* On a chain every gate is critical: no swap fits a zero-slack
+     budget. *)
+  let net = G.inverter_chain ~depth:8 () in
+  let a0 = Mv.all_low net ~delay_penalty:1.15 ~vth_offset:0.08 in
+  let t_target = Mv.stat_delay ~ff tech net a0 ~z in
+  let r = Mv.optimise ~ff tech net ~t_target ~z in
+  Alcotest.(check int) "no swaps" 0 r.Mv.swapped
+
+let test_validation () =
+  let net = G.inverter_chain ~depth:4 () in
+  check_raises_invalid "penalty < 1" (fun () ->
+      ignore (Mv.all_low net ~delay_penalty:0.9 ~vth_offset:0.08));
+  check_raises_invalid "infeasible target" (fun () ->
+      ignore (Mv.optimise ~ff tech net ~t_target:1.0 ~z))
+
+let suite =
+  [
+    quick "all-low baseline" test_all_low_baseline;
+    quick "delay factors" test_delay_factors;
+    quick "uniform high-vth effects" test_high_vth_slows_and_saves;
+    quick "optimise respects budget" test_optimise_respects_budget;
+    quick "zero slack still saves" test_zero_slack_still_saves;
+    quick "more slack more saving" test_more_slack_more_saving;
+    quick "chain cannot swap" test_single_path_cannot_swap_at_zero_slack;
+    quick "validation" test_validation;
+  ]

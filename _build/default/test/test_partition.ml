@@ -1,0 +1,100 @@
+open Helpers
+module Pt = Spv_core.Partition
+module Tech = Spv_process.Tech
+
+let intra_only =
+  let t = Tech.no_variation Tech.bptm70 in
+  Tech.with_random_vth t ~sigma_mv:30.0
+
+let inter_only =
+  let t = Tech.no_variation Tech.bptm70 in
+  Tech.with_inter_vth t ~sigma_mv:40.0
+
+let cands tech =
+  Pt.candidates tech ~total_levels:60 ~yield:0.9 ~stage_counts:[| 2; 5; 10; 20 |]
+
+let test_structure () =
+  let cs = cands intra_only in
+  Alcotest.(check int) "four candidates" 4 (Array.length cs);
+  Array.iter
+    (fun c ->
+      Alcotest.(check int) "levels conserved" 60 (c.Pt.n_stages * c.Pt.depth);
+      Alcotest.(check bool) "stat clock above nominal" true
+        (c.Pt.statistical_clock >= c.Pt.nominal_clock);
+      check_close ~rel:1e-9 "throughput consistent"
+        (1.0 /. c.Pt.statistical_clock)
+        c.Pt.throughput;
+      check_close ~rel:1e-9 "latency consistent"
+        (float_of_int c.Pt.n_stages *. c.Pt.statistical_clock)
+        c.Pt.latency)
+    cs
+
+let test_nominal_clock_falls_with_stages () =
+  let cs = cands intra_only in
+  for i = 1 to Array.length cs - 1 do
+    Alcotest.(check bool) "monotone" true
+      (cs.(i).Pt.nominal_clock < cs.(i - 1).Pt.nominal_clock)
+  done
+
+let test_yield_is_met_at_statistical_clock () =
+  let cs = cands intra_only in
+  Array.iter
+    (fun c ->
+      let y =
+        Spv_core.Yield.clark_gaussian c.Pt.pipeline
+          ~t_target:c.Pt.statistical_clock
+      in
+      check_close ~rel:1e-6 "yield at stat clock" 0.9 y)
+    cs
+
+let test_guardband_asymmetry () =
+  (* The paper's 3.1: under intra-only variation the relative guardband
+     grows much faster with stage count than under inter-only. *)
+  let growth tech =
+    let cs = cands tech in
+    let g c = (c.Pt.statistical_clock /. c.Pt.nominal_clock) -. 1.0 in
+    g cs.(Array.length cs - 1) /. g cs.(0)
+  in
+  Alcotest.(check bool) "intra guardband grows faster" true
+    (growth intra_only > 2.0 *. growth inter_only)
+
+let test_best_selectors () =
+  let cs = cands intra_only in
+  let best = Pt.best_throughput cs in
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "maximal" true (best.Pt.throughput >= c.Pt.throughput))
+    cs;
+  let gain = Pt.throughput_gain_over_nominal_choice cs in
+  Alcotest.(check bool) "gain non-negative" true (gain >= 0.0)
+
+let test_validation () =
+  check_raises_invalid "non-divisor" (fun () ->
+      ignore
+        (Pt.candidates intra_only ~total_levels:60 ~yield:0.9
+           ~stage_counts:[| 7 |]));
+  check_raises_invalid "bad yield" (fun () ->
+      ignore
+        (Pt.candidates intra_only ~total_levels:60 ~yield:1.5
+           ~stage_counts:[| 2 |]))
+
+let test_all_divisors () =
+  let cs =
+    Pt.all_divisor_candidates ~min_stages:2 ~max_stages:30 intra_only
+      ~total_levels:120 ~yield:0.9
+  in
+  let counts = Array.map (fun c -> c.Pt.n_stages) cs in
+  Alcotest.(check (array int)) "divisors in range"
+    [| 2; 3; 4; 5; 6; 8; 10; 12; 15; 20; 24; 30 |]
+    counts
+
+let suite =
+  [
+    quick "structure" test_structure;
+    quick "nominal clock monotone" test_nominal_clock_falls_with_stages;
+    quick "yield met at stat clock" test_yield_is_met_at_statistical_clock;
+    quick "guardband asymmetry" test_guardband_asymmetry;
+    quick "best selectors" test_best_selectors;
+    quick "validation" test_validation;
+    quick "all divisors" test_all_divisors;
+  ]

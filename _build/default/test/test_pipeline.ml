@@ -1,0 +1,160 @@
+open Helpers
+module P = Spv_core.Pipeline
+module Stage = Spv_core.Stage
+module G = Spv_stats.Gaussian
+module C = Spv_stats.Correlation
+module Gd = Spv_process.Gate_delay
+
+let stages_fixture () =
+  Array.init 4 (fun i ->
+      Stage.of_moments
+        ~name:(Printf.sprintf "s%d" i)
+        ~mu:(100.0 +. float_of_int i)
+        ~sigma:5.0 ())
+
+(* --- Stage ----------------------------------------------------------- *)
+
+let test_stage_of_moments () =
+  let s = Stage.of_moments ~mu:50.0 ~sigma:2.0 () in
+  check_float "mu" 50.0 (Stage.mu s);
+  check_float "sigma" 2.0 (Stage.sigma s);
+  check_float "variability" 0.04 (Stage.variability s);
+  check_raises_invalid "negative sigma" (fun () ->
+      ignore (Stage.of_moments ~mu:1.0 ~sigma:(-1.0) ()))
+
+let test_stage_of_circuit () =
+  let tech = Spv_process.Tech.bptm70 in
+  let ff = Spv_process.Flipflop.default tech in
+  let net = Spv_circuit.Generators.inverter_chain ~depth:8 () in
+  let s = Stage.of_circuit ~ff tech net in
+  let g = Spv_circuit.Ssta.stage_gaussian ~ff tech net in
+  check_close ~rel:1e-12 "matches ssta mu" (G.mu g) (Stage.mu s);
+  check_close ~rel:1e-12 "matches ssta sigma" (G.sigma g) (Stage.sigma s);
+  Alcotest.(check string) "named after the netlist" "invchain8" s.Stage.name
+
+let test_stage_scaling () =
+  let s = Stage.of_moments ~mu:100.0 ~sigma:4.0 () in
+  let s2 = Stage.scale_delay s 1.5 in
+  check_float "scaled mu" 150.0 (Stage.mu s2);
+  check_float "scaled sigma" 6.0 (Stage.sigma s2)
+
+let test_stage_yield_alone () =
+  let s = Stage.of_moments ~mu:100.0 ~sigma:5.0 () in
+  check_float ~eps:1e-9 "at mean" 0.5 (Stage.yield_alone s ~t_target:100.0);
+  check_close ~rel:1e-6 "one sigma"
+    (Spv_stats.Special.big_phi 1.0)
+    (Stage.yield_alone s ~t_target:105.0)
+
+(* --- Pipeline -------------------------------------------------------- *)
+
+let test_make_validation () =
+  let stages = stages_fixture () in
+  check_raises_invalid "dim mismatch" (fun () ->
+      ignore (P.make stages ~corr:(C.independent ~n:3)));
+  check_raises_invalid "empty" (fun () ->
+      ignore (P.make [||] ~corr:(C.independent ~n:1)))
+
+let test_accessors () =
+  let stages = stages_fixture () in
+  let p = P.make stages ~corr:(C.independent ~n:4) in
+  Alcotest.(check int) "n_stages" 4 (P.n_stages p);
+  check_float "nominal delay" 103.0 (P.nominal_delay p);
+  Alcotest.(check int) "slowest stage" 3 (P.slowest_stage p);
+  check_float "jensen" 103.0 (P.jensen_lower_bound p)
+
+let test_delay_distribution_above_jensen () =
+  let stages = stages_fixture () in
+  let p = P.make stages ~corr:(C.independent ~n:4) in
+  let tp = P.delay_distribution p in
+  Alcotest.(check bool) "mu_T > max mu_i" true (G.mu tp > 103.0)
+
+let test_correlation_derivation () =
+  (* Stages with only inter-die sigma must be perfectly correlated;
+     only-random stages independent. *)
+  let mk ~inter ~rand i =
+    Stage.make
+      ~name:(string_of_int i)
+      ~position:(Spv_process.Spatial.position ~x:(float_of_int i) ~y:0.0)
+      (Gd.make ~nominal:100.0 ~sigma_inter:inter ~sigma_sys:0.0 ~sigma_rand:rand)
+  in
+  let p_inter = P.of_stages (Array.init 3 (mk ~inter:5.0 ~rand:0.0)) in
+  check_close ~rel:1e-9 "inter-only rho=1" 1.0
+    (C.get (P.correlation p_inter) 0 2);
+  let p_rand = P.of_stages (Array.init 3 (mk ~inter:0.0 ~rand:5.0)) in
+  check_float "random-only rho=0" 0.0 (C.get (P.correlation p_rand) 0 2)
+
+let test_systematic_decays_with_distance () =
+  let mk i =
+    Stage.make
+      ~name:(string_of_int i)
+      ~position:(Spv_process.Spatial.position ~x:(2.0 *. float_of_int i) ~y:0.0)
+      (Gd.make ~nominal:100.0 ~sigma_inter:0.0 ~sigma_sys:4.0 ~sigma_rand:0.0)
+  in
+  let p = P.of_stages ~corr_length:2.0 (Array.init 3 mk) in
+  let c = P.correlation p in
+  check_close ~rel:1e-9 "adjacent" (exp (-1.0)) (C.get c 0 1);
+  check_close ~rel:1e-9 "far" (exp (-2.0)) (C.get c 0 2);
+  Alcotest.(check bool) "monotone decay" true (C.get c 0 1 > C.get c 0 2)
+
+let test_of_circuits () =
+  let tech = Spv_process.Tech.bptm70 in
+  let ff = Spv_process.Flipflop.default tech in
+  let nets = Spv_circuit.Generators.inverter_chain_pipeline ~stages:3 ~depth:5 () in
+  let p = P.of_circuits ~ff tech nets in
+  Alcotest.(check int) "stages" 3 (P.n_stages p);
+  (* Identical circuits: identical stage distributions. *)
+  check_close ~rel:1e-12 "equal stage mus" (Stage.mu (P.stage p 0))
+    (Stage.mu (P.stage p 2));
+  Alcotest.(check bool) "partially correlated" true
+    (C.get (P.correlation p) 0 1 > 0.3 && C.get (P.correlation p) 0 1 < 1.0)
+
+let test_with_stage_recomputes_correlation () =
+  let mk sigma_sys i =
+    Stage.make
+      ~name:(string_of_int i)
+      ~position:(Spv_process.Spatial.position ~x:(float_of_int i) ~y:0.0)
+      (Gd.make ~nominal:100.0 ~sigma_inter:2.0 ~sigma_sys ~sigma_rand:1.0)
+  in
+  let p = P.of_stages (Array.init 2 (mk 3.0)) in
+  let before = C.get (P.correlation p) 0 1 in
+  (* Replace stage 1 with a random-dominated one: correlation drops. *)
+  let p2 =
+    P.with_stage p 1
+      (Stage.make ~name:"new"
+         ~position:(Spv_process.Spatial.position ~x:1.0 ~y:0.0)
+         (Gd.make ~nominal:100.0 ~sigma_inter:0.5 ~sigma_sys:0.5 ~sigma_rand:8.0))
+  in
+  let after = C.get (P.correlation p2) 0 1 in
+  Alcotest.(check bool) "correlation drops" true (after < before)
+
+let test_mvn_consistency () =
+  let stages = stages_fixture () in
+  let p = P.make stages ~corr:(C.uniform ~n:4 ~rho:0.5) in
+  let mvn = P.mvn p in
+  check_float "marginal mean" 102.0 (Spv_stats.Mvn.mean mvn 2);
+  check_close ~rel:1e-12 "covariance" (0.5 *. 25.0) (Spv_stats.Mvn.covariance mvn 0 1)
+
+let test_map_stages () =
+  let stages = stages_fixture () in
+  let p = P.make stages ~corr:(C.independent ~n:4) in
+  let p2 = P.map_stages p (fun s -> Stage.scale_delay s 2.0) in
+  check_float "mapped nominal" 206.0 (P.nominal_delay p2);
+  (* Original untouched. *)
+  check_float "original nominal" 103.0 (P.nominal_delay p)
+
+let suite =
+  [
+    quick "stage of_moments" test_stage_of_moments;
+    quick "stage of_circuit" test_stage_of_circuit;
+    quick "stage scaling" test_stage_scaling;
+    quick "stage yield alone" test_stage_yield_alone;
+    quick "pipeline validation" test_make_validation;
+    quick "accessors" test_accessors;
+    quick "mu_T above Jensen" test_delay_distribution_above_jensen;
+    quick "correlation derivation" test_correlation_derivation;
+    quick "systematic decay" test_systematic_decays_with_distance;
+    quick "of_circuits" test_of_circuits;
+    quick "with_stage recomputes" test_with_stage_recomputes_correlation;
+    quick "mvn consistency" test_mvn_consistency;
+    quick "map_stages" test_map_stages;
+  ]

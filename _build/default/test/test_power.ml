@@ -1,0 +1,111 @@
+open Helpers
+module P = Spv_circuit.Power
+module Tech = Spv_process.Tech
+module G = Spv_circuit.Generators
+
+let random_only sigma_mv =
+  Tech.with_random_vth (Tech.no_variation Tech.bptm70) ~sigma_mv
+
+let test_leakage_factor () =
+  check_float ~eps:1e-12 "nominal" 1.0 (P.leakage_factor Tech.bptm70 ~dvth:0.0);
+  Alcotest.(check bool) "higher vth leaks less" true
+    (P.leakage_factor Tech.bptm70 ~dvth:0.05 < 1.0);
+  (* Exponential: factors multiply. *)
+  check_close ~rel:1e-12 "multiplicative"
+    (P.leakage_factor Tech.bptm70 ~dvth:0.03
+    *. P.leakage_factor Tech.bptm70 ~dvth:0.02)
+    (P.leakage_factor Tech.bptm70 ~dvth:0.05)
+
+let test_no_variation_degenerate () =
+  let tech = Tech.no_variation Tech.bptm70 in
+  let net = G.c432 () in
+  let p = P.analyse tech net in
+  check_close ~rel:1e-12 "mean = nominal" p.P.leakage_nominal p.P.leakage_mean;
+  check_float ~eps:1e-9 "sigma = 0" 0.0 p.P.leakage_sigma
+
+let test_nominal_leakage_equals_area () =
+  (* Our leakage scale is the area proxy, so nominal leakage = area. *)
+  let tech = Tech.no_variation Tech.bptm70 in
+  let net = G.c432 () in
+  let p = P.analyse tech net in
+  check_close ~rel:1e-12 "leakage proxy" (Spv_circuit.Netlist.area net)
+    p.P.leakage_nominal
+
+let test_variation_tax_positive () =
+  let net = G.c432 () in
+  let p20 = P.analyse (random_only 20.0) net in
+  let p60 = P.analyse (random_only 60.0) net in
+  Alcotest.(check bool) "mean above nominal" true
+    (p20.P.leakage_mean > p20.P.leakage_nominal);
+  Alcotest.(check bool) "tax grows with sigma" true
+    (p60.P.leakage_mean /. p60.P.leakage_nominal
+    > p20.P.leakage_mean /. p20.P.leakage_nominal)
+
+let test_analytic_matches_mc () =
+  let net = G.c432 () in
+  List.iter
+    (fun sigma_mv ->
+      let tech = random_only sigma_mv in
+      let p = P.analyse tech net in
+      let rng = Spv_stats.Rng.create ~seed:140 in
+      let mc = P.leakage_mc tech net rng ~n:4000 in
+      let mc_mean = Spv_stats.Descriptive.mean mc in
+      check_in_range
+        (Printf.sprintf "mean at %.0f mV" sigma_mv)
+        ~lo:(0.97 *. p.P.leakage_mean) ~hi:(1.03 *. p.P.leakage_mean) mc_mean;
+      let mc_std = Spv_stats.Descriptive.std mc in
+      check_in_range
+        (Printf.sprintf "sigma at %.0f mV" sigma_mv)
+        ~lo:(0.85 *. p.P.leakage_sigma) ~hi:(1.15 *. p.P.leakage_sigma) mc_std)
+    [ 20.0; 40.0 ]
+
+let test_shared_component_dominates_spread () =
+  (* With a shared (inter-die) component the die-to-die spread is much
+     wider than with independent randomness of the same magnitude. *)
+  let net = G.c432 () in
+  let inter = Tech.with_inter_vth (Tech.no_variation Tech.bptm70) ~sigma_mv:40.0 in
+  let rand = random_only 40.0 in
+  let p_inter = P.analyse inter net and p_rand = P.analyse rand net in
+  Alcotest.(check bool) "shared spread wider" true
+    (p_inter.P.leakage_sigma > 3.0 *. p_rand.P.leakage_sigma)
+
+let test_dynamic_scales_with_sizes () =
+  let tech = Tech.bptm70 in
+  let net = G.inverter_chain ~depth:4 () in
+  let p1 = P.analyse tech net in
+  Array.iter (fun i -> Spv_circuit.Netlist.set_size net i 2.0)
+    (Spv_circuit.Netlist.gate_ids net);
+  let p2 = P.analyse tech net in
+  check_close ~rel:1e-9 "dynamic doubles" (2.0 *. p1.P.dynamic) p2.P.dynamic
+
+let test_leakage_yield () =
+  let tech = random_only 40.0 in
+  let net = G.inverter_chain ~depth:10 () in
+  let rng = Spv_stats.Rng.create ~seed:141 in
+  let p = P.analyse tech net in
+  let y_tight =
+    P.leakage_yield tech net (Spv_stats.Rng.copy rng) ~n:2000
+      ~budget:p.P.leakage_nominal
+  in
+  let y_loose =
+    P.leakage_yield tech net rng ~n:2000 ~budget:(3.0 *. p.P.leakage_mean)
+  in
+  Alcotest.(check bool) "loose budget passes more" true (y_loose > y_tight);
+  check_in_range "loose nearly certain" ~lo:0.95 ~hi:1.0 y_loose
+
+let test_activity_validation () =
+  check_raises_invalid "activity > 1" (fun () ->
+      ignore (P.analyse ~activity:1.5 Tech.bptm70 (G.inverter_chain ~depth:2 ())))
+
+let suite =
+  [
+    quick "leakage factor" test_leakage_factor;
+    quick "no variation degenerate" test_no_variation_degenerate;
+    quick "nominal equals area proxy" test_nominal_leakage_equals_area;
+    quick "variation tax positive" test_variation_tax_positive;
+    slow "analytic matches MC" test_analytic_matches_mc;
+    quick "shared component spread" test_shared_component_dominates_spread;
+    quick "dynamic scales with size" test_dynamic_scales_with_sizes;
+    slow "leakage yield" test_leakage_yield;
+    quick "activity validation" test_activity_validation;
+  ]

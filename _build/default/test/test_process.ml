@@ -1,0 +1,139 @@
+open Helpers
+module Tech = Spv_process.Tech
+module Ap = Spv_process.Alpha_power
+module V = Spv_process.Variation
+
+(* --- Tech ----------------------------------------------------------- *)
+
+let test_tech_defaults () =
+  let t = Tech.bptm70 in
+  check_float "vdd" 1.0 t.Tech.vdd;
+  check_float "vth" 0.2 t.Tech.vth0;
+  check_close ~rel:1e-12 "vth sensitivity" (1.3 /. 0.8)
+    (Tech.delay_sensitivity_vth t);
+  Alcotest.(check bool) "leff sensitivity > 1" true
+    (Tech.delay_sensitivity_leff t > 1.0)
+
+let test_tech_overrides () =
+  let t = Tech.with_inter_vth Tech.bptm70 ~sigma_mv:25.0 in
+  check_float "inter override" 0.025 t.Tech.sigma_vth_inter;
+  let t = Tech.with_random_vth t ~sigma_mv:0.0 in
+  check_float "random zero" 0.0 t.Tech.sigma_vth_rand;
+  check_raises_invalid "negative" (fun () ->
+      Tech.with_sys_vth Tech.bptm70 ~sigma_mv:(-1.0))
+
+let test_no_variation () =
+  let t = Tech.no_variation Tech.bptm70 in
+  check_float "inter" 0.0 t.Tech.sigma_vth_inter;
+  check_float "rand" 0.0 t.Tech.sigma_vth_rand;
+  check_float "sys" 0.0 t.Tech.sigma_vth_sys;
+  check_float "leff inter" 0.0 t.Tech.sigma_leff_rel_inter
+
+(* --- Alpha-power ----------------------------------------------------- *)
+
+let test_nominal_point () =
+  check_float ~eps:1e-12 "delay factor at nominal" 1.0
+    (Ap.delay_factor Tech.bptm70 ~dvth:0.0 ~dleff_rel:0.0);
+  check_float ~eps:1e-12 "linear factor at nominal" 1.0
+    (Ap.delay_factor_linear Tech.bptm70 ~dvth:0.0 ~dleff_rel:0.0)
+
+let test_monotonicity () =
+  let t = Tech.bptm70 in
+  Alcotest.(check bool) "higher vth slower" true
+    (Ap.delay_factor t ~dvth:0.05 ~dleff_rel:0.0 > 1.0);
+  Alcotest.(check bool) "lower vth faster" true
+    (Ap.delay_factor t ~dvth:(-0.05) ~dleff_rel:0.0 < 1.0);
+  Alcotest.(check bool) "longer channel slower" true
+    (Ap.delay_factor t ~dvth:0.0 ~dleff_rel:0.05 > 1.0)
+
+let test_linearisation_error_small () =
+  let t = Tech.bptm70 in
+  (* Within +-3 sigma of the largest Vth budget (40 mV inter) the
+     linearisation should stay within ~4%. *)
+  List.iter
+    (fun dvth ->
+      check_in_range
+        (Printf.sprintf "error at %.0f mV" (1000.0 *. dvth))
+        ~lo:0.0 ~hi:0.05
+        (Ap.linearisation_error t ~dvth))
+    [ -0.12; -0.06; 0.0; 0.06; 0.12 ]
+
+let test_current_delay_reciprocal () =
+  let t = Tech.bptm70 in
+  let i = Ap.drive_current_rel t ~dvth:0.03 ~dleff_rel:0.01 in
+  let d = Ap.delay_factor t ~dvth:0.03 ~dleff_rel:0.01 in
+  check_close ~rel:1e-12 "d = 1/i" (1.0 /. i) d
+
+(* --- Variation ------------------------------------------------------- *)
+
+let test_rel_sigma_components () =
+  let t = Tech.bptm70 in
+  Alcotest.(check bool) "inter sigma positive" true (V.rel_sigma_inter t > 0.0);
+  Alcotest.(check bool) "sys sigma positive" true (V.rel_sigma_sys t > 0.0);
+  (* Random component shrinks as 1/sqrt(size). *)
+  check_close ~rel:1e-12 "rdf scaling"
+    (V.rel_sigma_rand t ~size:1.0 /. 2.0)
+    (V.rel_sigma_rand t ~size:4.0);
+  let zero = Tech.no_variation t in
+  check_float "no variation inter" 0.0 (V.rel_sigma_inter zero);
+  check_float "no variation rand" 0.0 (V.rel_sigma_rand zero ~size:1.0)
+
+let test_sample_inter_moments () =
+  let t = Tech.bptm70 in
+  let rng = Spv_stats.Rng.create ~seed:80 in
+  let xs = Array.init 20_000 (fun _ -> (V.sample_inter t rng).V.dvth) in
+  check_in_range "inter dvth std" ~lo:0.038 ~hi:0.042
+    (Spv_stats.Descriptive.std xs);
+  check_in_range "inter dvth mean" ~lo:(-0.001) ~hi:0.001
+    (Spv_stats.Descriptive.mean xs)
+
+let test_sample_rand_size_scaling () =
+  let t = Tech.bptm70 in
+  let rng = Spv_stats.Rng.create ~seed:81 in
+  let std_at size =
+    let xs = Array.init 20_000 (fun _ -> (V.sample_rand t ~size rng).V.dvth) in
+    Spv_stats.Descriptive.std xs
+  in
+  let s1 = std_at 1.0 and s4 = std_at 4.0 in
+  check_in_range "scaling ratio" ~lo:1.9 ~hi:2.1 (s1 /. s4)
+
+let test_sys_scaled_deterministic () =
+  let t = Tech.bptm70 in
+  let s = V.sample_sys_scaled t ~field:1.5 in
+  check_close ~rel:1e-12 "dvth" (1.5 *. t.Tech.sigma_vth_sys) s.V.dvth;
+  check_close ~rel:1e-12 "dleff" (1.5 *. t.Tech.sigma_leff_rel_sys) s.V.dleff_rel
+
+let test_shift_algebra () =
+  let a = { V.dvth = 0.01; dleff_rel = 0.02 } in
+  let b = { V.dvth = -0.005; dleff_rel = 0.01 } in
+  let s = V.add_shift a b in
+  check_float "dvth" 0.005 s.V.dvth;
+  check_float ~eps:1e-12 "dleff" 0.03 s.V.dleff_rel;
+  check_float "zero" 0.0 V.zero_shift.V.dvth
+
+let test_delay_factor_consistency () =
+  let t = Tech.bptm70 in
+  let shift = { V.dvth = 0.02; dleff_rel = 0.01 } in
+  check_close ~rel:1e-12 "linear matches alpha_power"
+    (Ap.delay_factor_linear t ~dvth:0.02 ~dleff_rel:0.01)
+    (V.delay_factor_linear t shift);
+  check_close ~rel:1e-12 "exact matches alpha_power"
+    (Ap.delay_factor t ~dvth:0.02 ~dleff_rel:0.01)
+    (V.delay_factor_exact t shift)
+
+let suite =
+  [
+    quick "tech defaults" test_tech_defaults;
+    quick "tech overrides" test_tech_overrides;
+    quick "no_variation" test_no_variation;
+    quick "alpha-power nominal" test_nominal_point;
+    quick "alpha-power monotone" test_monotonicity;
+    quick "linearisation error" test_linearisation_error_small;
+    quick "current/delay reciprocal" test_current_delay_reciprocal;
+    quick "relative sigmas" test_rel_sigma_components;
+    slow "inter sampling moments" test_sample_inter_moments;
+    slow "rdf size scaling" test_sample_rand_size_scaling;
+    quick "systematic scaling" test_sys_scaled_deterministic;
+    quick "shift algebra" test_shift_algebra;
+    quick "delay factor consistency" test_delay_factor_consistency;
+  ]

@@ -1,0 +1,124 @@
+open Helpers
+module G = Spv_stats.Gaussian
+module C = Spv_stats.Correlation
+module Stage = Spv_core.Stage
+module P = Spv_core.Pipeline
+module Y = Spv_core.Yield
+
+(* Cross-module invariants, property-tested on random pipelines. *)
+
+let gen_stage_specs =
+  QCheck2.Gen.(
+    list_size (int_range 2 7)
+      (pair (float_range 80.0 120.0) (float_range 0.5 10.0)))
+
+let pipeline_of specs rho =
+  let stages =
+    Array.of_list (List.map (fun (mu, sigma) -> Stage.of_moments ~mu ~sigma ()) specs)
+  in
+  P.make stages ~corr:(C.uniform ~n:(Array.length stages) ~rho)
+
+let prop_mu_t_dominates_jensen =
+  prop ~count:150 "Clark mu_T >= Jensen bound"
+    QCheck2.Gen.(pair gen_stage_specs (float_bound_inclusive 0.9))
+    (fun (specs, rho) ->
+      let p = pipeline_of specs rho in
+      G.mu (P.delay_distribution p) >= P.jensen_lower_bound p -. 1e-6)
+
+let prop_yield_between_bounds =
+  (* For the exact independent estimator the joint yield can never
+     beat the worst single stage (a theorem; the Gaussian max
+     approximation does NOT satisfy it in the deep low tail, where it
+     is optimistic against a tight slowest stage). *)
+  prop ~count:150 "exact yield bounded by stage yields"
+    QCheck2.Gen.(pair gen_stage_specs (float_range 90.0 140.0))
+    (fun (specs, t_target) ->
+      let p = pipeline_of specs 0.0 in
+      let joint = Y.independent_exact p ~t_target in
+      let stage_ys = Y.stage_yields p ~t_target in
+      let min_y = Array.fold_left Float.min 1.0 stage_ys in
+      let clark = Y.clark_gaussian p ~t_target in
+      joint >= 0.0 && joint <= min_y +. 1e-12 && clark >= 0.0 && clark <= 1.0)
+
+let prop_yield_monotone_in_correlation =
+  (* For equal stages at an above-median target, correlation helps. *)
+  prop ~count:60 "correlation raises yield"
+    QCheck2.Gen.(pair (int_range 2 6) (pair (float_range 0.0 0.4) (float_range 0.5 0.9)))
+    (fun (n, (rho_lo, rho_hi)) ->
+      let stages =
+        Array.init n (fun _ -> Stage.of_moments ~mu:100.0 ~sigma:5.0 ())
+      in
+      let y rho =
+        Y.clark_gaussian
+          (P.make stages ~corr:(C.uniform ~n ~rho))
+          ~t_target:108.0
+      in
+      y rho_lo <= y rho_hi +. 1e-6)
+
+let prop_target_inversion_consistent =
+  prop ~count:100 "target_delay_for_yield inverts clark_gaussian"
+    QCheck2.Gen.(pair gen_stage_specs (float_range 0.05 0.95))
+    (fun (specs, yield) ->
+      let p = pipeline_of specs 0.2 in
+      let t = Y.target_delay_for_yield p ~yield in
+      abs_float (Y.clark_gaussian p ~t_target:t -. yield) < 1e-6)
+
+let prop_scaling_stage_scales_distribution =
+  prop ~count:100 "Stage.scale_delay scales both moments"
+    QCheck2.Gen.(triple (float_range 10.0 200.0) (float_range 0.0 20.0)
+                   (float_range 0.1 3.0))
+    (fun (mu, sigma, k) ->
+      let s = Stage.scale_delay (Stage.of_moments ~mu ~sigma ()) k in
+      abs_float (Stage.mu s -. (k *. mu)) < 1e-9
+      && abs_float (Stage.sigma s -. (k *. sigma)) < 1e-9)
+
+let prop_hold_min_below_setup_max =
+  prop ~count:80 "min_n <= max_n pointwise in mean"
+    QCheck2.Gen.(pair gen_stage_specs (float_bound_inclusive 0.8))
+    (fun (specs, rho) ->
+      let gs =
+        Array.of_list (List.map (fun (mu, sigma) -> G.make ~mu ~sigma) specs)
+      in
+      let corr = C.uniform ~n:(Array.length gs) ~rho in
+      let mx = Spv_core.Clark.max_n gs ~corr in
+      let mn = Spv_core.Hold.min_n gs ~corr in
+      G.mu mn <= G.mu mx +. 1e-9)
+
+let prop_gate_delay_add_triangle =
+  (* Composition never shrinks nominal, and the composed sigma obeys
+     the triangle inequality component-wise. *)
+  prop ~count:100 "decomposed add triangle"
+    QCheck2.Gen.(
+      pair
+        (QCheck2.Gen.array_size (QCheck2.Gen.return 4) (float_range 0.0 10.0))
+        (QCheck2.Gen.array_size (QCheck2.Gen.return 4) (float_range 0.0 10.0)))
+    (fun (a, b) ->
+      let mk v =
+        Spv_process.Gate_delay.make ~nominal:(10.0 +. v.(0)) ~sigma_inter:v.(1)
+          ~sigma_sys:v.(2) ~sigma_rand:v.(3)
+      in
+      let da = mk a and db = mk b in
+      let s = Spv_process.Gate_delay.add da db in
+      let total d = Spv_process.Gate_delay.total_sigma d in
+      total s <= total da +. total db +. 1e-9
+      && total s +. 1e-9 >= Float.max (total da) (total db))
+
+let prop_fmax_cdf_duality =
+  prop ~count:80 "Fmax cdf duality"
+    QCheck2.Gen.(pair gen_stage_specs (float_range 0.1 0.9))
+    (fun (specs, q) ->
+      let p = pipeline_of specs 0.3 in
+      let f = Spv_core.Fmax.quantile p ~p:q in
+      abs_float (Spv_core.Fmax.cdf p f -. q) < 1e-6)
+
+let suite =
+  [
+    prop_mu_t_dominates_jensen;
+    prop_yield_between_bounds;
+    prop_yield_monotone_in_correlation;
+    prop_target_inversion_consistent;
+    prop_scaling_stage_scales_distribution;
+    prop_hold_min_below_setup_max;
+    prop_gate_delay_add_triangle;
+    prop_fmax_cdf_duality;
+  ]

@@ -1,0 +1,54 @@
+open Helpers
+module Q = Spv_stats.Quadrature
+
+let test_simpson_polynomial () =
+  (* Simpson is exact for cubics. *)
+  let f x = (x *. x *. x) -. (2.0 *. x) +. 1.0 in
+  check_close ~rel:1e-12 "cubic" (4.0 -. 4.0 +. 2.0)
+    (Q.simpson ~f ~lo:(-1.0) ~hi:1.0 ~n:2)
+
+let test_simpson_sin () =
+  check_close ~rel:1e-8 "int sin over [0,pi]" 2.0
+    (Q.simpson ~f:sin ~lo:0.0 ~hi:Float.pi ~n:200)
+
+let test_adaptive () =
+  check_close ~rel:1e-9 "adaptive exp" (exp 1.0 -. 1.0)
+    (Q.adaptive_simpson ~f:exp ~lo:0.0 ~hi:1.0 ());
+  check_close ~rel:1e-8 "adaptive peaked"
+    (atan 50.0 -. atan (-50.0))
+    (Q.adaptive_simpson ~f:(fun x -> 1.0 /. (1.0 +. (x *. x))) ~lo:(-50.0)
+       ~hi:50.0 ())
+
+let test_gauss_legendre () =
+  check_close ~rel:1e-12 "GL32 polynomial"
+    (2.0 /. 3.0)
+    (Q.gauss_legendre_32 ~f:(fun x -> x *. x) ~lo:(-1.0) ~hi:1.0);
+  check_close ~rel:1e-6 "GL32 gaussian integral" 1.0
+    (Q.gauss_legendre_32 ~f:Spv_stats.Special.phi ~lo:(-8.0) ~hi:8.0)
+
+let test_expectation_of_max2_vs_clark () =
+  (* Clark's 2-variable formulas are exact; quadrature must agree. *)
+  List.iter
+    (fun (mu1, s1, mu2, s2, rho) ->
+      let g1 = Spv_stats.Gaussian.make ~mu:mu1 ~sigma:s1 in
+      let g2 = Spv_stats.Gaussian.make ~mu:mu2 ~sigma:s2 in
+      let m = Spv_core.Clark.max2_moments g1 g2 ~rho in
+      let e1, e2 = Q.expectation_of_max2 ~mu1 ~sigma1:s1 ~mu2 ~sigma2:s2 ~rho in
+      check_close ~rel:5e-3 "mean" m.Spv_core.Clark.mean e1;
+      check_close ~rel:2e-2 "second moment"
+        (m.Spv_core.Clark.variance +. (m.Spv_core.Clark.mean ** 2.0))
+        e2)
+    [
+      (0.0, 1.0, 0.0, 1.0, 0.0);
+      (10.0, 2.0, 11.0, 3.0, 0.4);
+      (5.0, 1.0, 8.0, 0.5, -0.3);
+    ]
+
+let suite =
+  [
+    quick "simpson cubic exact" test_simpson_polynomial;
+    quick "simpson sin" test_simpson_sin;
+    quick "adaptive simpson" test_adaptive;
+    quick "gauss-legendre" test_gauss_legendre;
+    quick "max2 expectation vs Clark" test_expectation_of_max2_vs_clark;
+  ]

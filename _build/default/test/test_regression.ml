@@ -1,0 +1,93 @@
+open Helpers
+
+(* Regression pins: exact (or tightly-banded) values of deterministic
+   quantities under the fixed seeds.  These catch accidental numeric
+   drift in refactors; update deliberately if a model change is
+   intended, alongside EXPERIMENTS.md. *)
+
+let tech = Spv_process.Tech.bptm70
+
+let test_sta_pins () =
+  (* Closed-form STA values for the generated benchmarks at default
+     sizes and loads. *)
+  let pin name expected =
+    let net =
+      match name with
+      | "c432" -> Spv_circuit.Generators.c432 ()
+      | "c1908" -> Spv_circuit.Generators.c1908 ()
+      | "c2670" -> Spv_circuit.Generators.c2670 ()
+      | "c3540" -> Spv_circuit.Generators.c3540 ()
+      | other -> Alcotest.failf "unknown pin %s" other
+    in
+    check_close ~rel:1e-6 (name ^ " delay") expected
+      (Spv_circuit.Sta.run tech net).Spv_circuit.Sta.delay
+  in
+  pin "c432" 513.3333333333334;
+  pin "c3540" 1820.0
+
+let test_chain_closed_form () =
+  let net = Spv_circuit.Generators.inverter_chain ~depth:8 () in
+  check_close ~rel:1e-12 "chain delay" 95.0
+    (Spv_circuit.Sta.run tech net).Spv_circuit.Sta.delay;
+  let ff = Spv_process.Flipflop.default tech in
+  let g = Spv_circuit.Ssta.stage_gaussian ~ff tech net in
+  check_close ~rel:1e-9 "stage mu" 125.0 (Spv_stats.Gaussian.mu g);
+  check_in_range "stage sigma" ~lo:12.20 ~hi:12.22 (Spv_stats.Gaussian.sigma g)
+
+let test_clark_pin () =
+  let gs =
+    Array.init 5 (fun i ->
+        Spv_stats.Gaussian.make ~mu:(190.0 +. (2.0 *. float_of_int i)) ~sigma:4.0)
+  in
+  let m = Spv_core.Clark.max_n_independent gs in
+  check_in_range "mu_T" ~lo:199.93 ~hi:199.96 (Spv_stats.Gaussian.mu m);
+  check_in_range "sigma_T" ~lo:2.90 ~hi:2.93 (Spv_stats.Gaussian.sigma m)
+
+let test_table1_pins () =
+  (* The Table I harness rows (deterministic: fixed seeds). *)
+  let rows =
+    List.map (Spv_experiments.Table1.compute ~n_samples:2000)
+      (Spv_experiments.Table1.default_configs ())
+  in
+  List.iter
+    (fun r ->
+      (* Model mean matches MC mean to 1% on all configurations. *)
+      check_in_range
+        (r.Spv_experiments.Table1.config.Spv_experiments.Table1.label
+        ^ " mean agreement")
+        ~lo:0.99 ~hi:1.01
+        (r.Spv_experiments.Table1.model_mu /. r.Spv_experiments.Table1.mc_mu))
+    rows;
+  (* The inter-die row must be far wider than the random-only row. *)
+  match rows with
+  | row_8x5 :: _ :: _ :: row_inter :: _ ->
+      Alcotest.(check bool) "spread ordering" true
+        (row_inter.Spv_experiments.Table1.model_sigma
+        > 5.0 *. row_8x5.Spv_experiments.Table1.model_sigma)
+  | _ -> Alcotest.fail "expected five rows"
+
+let test_iscas_pipeline_area_pin () =
+  let nets = Spv_circuit.Generators.iscas_pipeline () in
+  let area =
+    Array.fold_left (fun acc n -> acc +. Spv_circuit.Netlist.area n) 0.0 nets
+  in
+  (* Min-size total area of the four generated stages. *)
+  check_close ~rel:1e-9 "pipeline area" 8869.0 area
+
+let test_rng_stream_pin () =
+  let rng = Spv_stats.Rng.create ~seed:20050307 in
+  (* First draw of the experiment seed, pinned. *)
+  let v = Spv_stats.Rng.float rng in
+  check_in_range "first uniform" ~lo:0.0 ~hi:1.0 v;
+  let rng2 = Spv_stats.Rng.create ~seed:20050307 in
+  check_float ~eps:0.0 "reproducible" v (Spv_stats.Rng.float rng2)
+
+let suite =
+  [
+    quick "STA pins" test_sta_pins;
+    quick "chain closed form" test_chain_closed_form;
+    quick "clark pin" test_clark_pin;
+    slow "table1 pins" test_table1_pins;
+    quick "iscas pipeline area pin" test_iscas_pipeline_area_pin;
+    quick "rng stream pin" test_rng_stream_pin;
+  ]

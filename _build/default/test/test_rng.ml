@@ -1,0 +1,111 @@
+open Helpers
+module Rng = Spv_stats.Rng
+module D = Spv_stats.Descriptive
+
+let test_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for i = 0 to 99 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d equal" i)
+      (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:8 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different streams" true (!same < 4)
+
+let test_float_range () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 10_000 do
+    let u = Rng.float rng in
+    if u < 0.0 || u >= 1.0 then Alcotest.failf "float outside [0,1): %g" u
+  done
+
+let test_float_moments () =
+  let rng = Rng.create ~seed:2 in
+  let xs = Array.init 100_000 (fun _ -> Rng.float rng) in
+  check_in_range "mean" ~lo:0.495 ~hi:0.505 (D.mean xs);
+  check_in_range "variance" ~lo:0.081 ~hi:0.086 (D.variance xs)
+
+let test_uniform () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let u = Rng.uniform rng ~lo:(-5.0) ~hi:3.0 in
+    check_in_range "uniform in range" ~lo:(-5.0) ~hi:3.0 u
+  done
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:4 in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 70_000 do
+    let v = Rng.int rng ~bound:7 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c -> check_in_range (Printf.sprintf "bucket %d" i) ~lo:9500. ~hi:10500. (float_of_int c))
+    counts
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:5 in
+  let xs = Array.init 200_000 (fun _ -> Rng.gaussian rng) in
+  check_in_range "mean" ~lo:(-0.01) ~hi:0.01 (D.mean xs);
+  check_in_range "std" ~lo:0.99 ~hi:1.01 (D.std xs);
+  check_in_range "skew" ~lo:(-0.03) ~hi:0.03 (D.skewness xs);
+  check_in_range "kurtosis" ~lo:(-0.05) ~hi:0.05 (D.kurtosis_excess xs)
+
+let test_gaussian_normality () =
+  let rng = Rng.create ~seed:6 in
+  let xs = Array.init 20_000 (fun _ -> Rng.gaussian rng) in
+  let g = Spv_stats.Gaussian.make ~mu:0.0 ~sigma:1.0 in
+  let r = Spv_stats.Kstest.against_gaussian xs g in
+  check_in_range "KS p-value" ~lo:0.01 ~hi:1.0 r.Spv_stats.Kstest.p_value
+
+let test_gaussian_mu_sigma () =
+  let rng = Rng.create ~seed:7 in
+  let xs = Array.init 50_000 (fun _ -> Rng.gaussian_mu_sigma rng ~mu:10.0 ~sigma:3.0) in
+  check_in_range "mean" ~lo:9.95 ~hi:10.05 (D.mean xs);
+  check_in_range "std" ~lo:2.95 ~hi:3.05 (D.std xs)
+
+let test_split_independence () =
+  let parent = Rng.create ~seed:11 in
+  let child = Rng.split parent in
+  let xs = Array.init 5000 (fun _ -> Rng.float parent) in
+  let ys = Array.init 5000 (fun _ -> Rng.float child) in
+  let rho = Spv_stats.Correlation.sample_correlation xs ys in
+  check_in_range "split streams uncorrelated" ~lo:(-0.05) ~hi:0.05 rho
+
+let test_copy () =
+  let a = Rng.create ~seed:12 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:13 in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" a sorted;
+  Alcotest.(check bool) "actually shuffled" true (b <> a)
+
+let suite =
+  [
+    quick "determinism" test_determinism;
+    quick "seed sensitivity" test_seed_sensitivity;
+    quick "float in [0,1)" test_float_range;
+    slow "uniform moments" test_float_moments;
+    quick "uniform range" test_uniform;
+    slow "int buckets unbiased" test_int_bounds;
+    slow "gaussian moments" test_gaussian_moments;
+    slow "gaussian KS normality" test_gaussian_normality;
+    slow "gaussian mu/sigma" test_gaussian_mu_sigma;
+    quick "split independence" test_split_independence;
+    quick "copy" test_copy;
+    quick "shuffle is a permutation" test_shuffle_permutation;
+  ]

@@ -1,0 +1,125 @@
+open Helpers
+module Sk = Spv_core.Skew
+module Stage = Spv_core.Stage
+module P = Spv_core.Pipeline
+module G = Spv_stats.Gaussian
+module C = Spv_stats.Correlation
+
+let model ?(sigma_ps = 5.0) ?(corr_length = 2.0) () = { Sk.sigma_ps; corr_length }
+
+let pipeline () =
+  P.make
+    (Array.init 4 (fun i ->
+         Stage.of_moments
+           ~name:(string_of_int i)
+           ~position:(Spv_process.Spatial.position ~x:(float_of_int i) ~y:0.0)
+           ~mu:100.0 ~sigma:4.0 ()))
+    ~corr:(C.independent ~n:4)
+
+let test_delta_covariance_structure () =
+  let m = model () in
+  let v = Sk.delta_covariance m ~pitch:1.0 0 0 in
+  (* var(ds) = 2 sigma^2 (1 - rho(1)). *)
+  check_close ~rel:1e-12 "variance"
+    (2.0 *. 25.0 *. (1.0 -. exp (-0.5)))
+    v;
+  (* Shared boundary: adjacent deltas anticorrelate. *)
+  Alcotest.(check bool) "adjacent negative" true
+    (Sk.delta_covariance m ~pitch:1.0 0 1 < 0.0);
+  (* Symmetry. *)
+  check_close ~rel:1e-12 "symmetric"
+    (Sk.delta_covariance m ~pitch:1.0 2 0)
+    (Sk.delta_covariance m ~pitch:1.0 0 2)
+
+let test_perfectly_correlated_clock_is_free () =
+  (* corr_length -> infinity: every endpoint moves together, skew
+     differences vanish. *)
+  let m = model ~corr_length:1e9 () in
+  let p = pipeline () in
+  let p' = Sk.apply p m in
+  let before = P.delay_distribution p and after = P.delay_distribution p' in
+  check_close ~rel:1e-6 "same mu" (G.mu before) (G.mu after);
+  check_close ~rel:1e-4 "same sigma" (G.sigma before) (G.sigma after)
+
+let test_skew_inflates_stage_sigma () =
+  let m = model () in
+  let p = pipeline () in
+  let p' = Sk.apply p m in
+  for i = 0 to 3 do
+    Alcotest.(check bool) "sigma grows" true
+      (Stage.sigma (P.stage p' i) > Stage.sigma (P.stage p i))
+  done;
+  check_close ~rel:1e-9 "means preserved" (P.nominal_delay p)
+    (P.nominal_delay p')
+
+let test_neighbours_anticorrelated () =
+  let m = model ~corr_length:0.1 () in
+  (* Nearly independent endpoints: adjacent stage deltas share one
+     endpoint -> correlation approaches -1/2 as the stage-delay sigma
+     becomes negligible; with sigma 4 vs skew 5 it is clearly negative. *)
+  let p = pipeline () in
+  let p' = Sk.apply p m in
+  let c = P.correlation p' in
+  Alcotest.(check bool) "negative neighbour correlation" true
+    (C.get c 0 1 < -0.1);
+  Alcotest.(check bool) "valid matrix" true (C.is_valid c)
+
+let test_yield_penalty_positive () =
+  let m = model () in
+  let p = pipeline () in
+  let t_target = Spv_core.Yield.target_delay_for_yield p ~yield:0.9 in
+  let penalty = Sk.yield_penalty p m ~t_target in
+  Alcotest.(check bool) "skew costs yield" true (penalty > 0.0)
+
+let test_yield_penalty_vs_mc () =
+  (* MC the skewed model directly: endpoints s_0..s_4 with exponential
+     correlation; pipeline delay = max_i (SD_i + s_(i+1) - s_i). *)
+  let m = model () in
+  let p = pipeline () in
+  let t_target = Spv_core.Yield.target_delay_for_yield p ~yield:0.9 in
+  let analytic = Spv_core.Yield.clark_gaussian (Sk.apply p m) ~t_target in
+  let endpoints = 5 in
+  let corr_s =
+    C.of_function ~n:endpoints (fun i j ->
+        exp (-.(float_of_int (abs (i - j)) *. 1.0) /. m.Sk.corr_length))
+  in
+  let mvn_s =
+    Spv_stats.Mvn.create ~mus:(Array.make endpoints 0.0)
+      ~sigmas:(Array.make endpoints m.Sk.sigma_ps)
+      ~corr:corr_s
+  in
+  let rng = Spv_stats.Rng.create ~seed:200 in
+  let n = 100_000 in
+  let pass = ref 0 in
+  for _ = 1 to n do
+    let s = Spv_stats.Mvn.sample mvn_s rng in
+    let worst = ref neg_infinity in
+    for i = 0 to 3 do
+      let sd = 100.0 +. (4.0 *. Spv_stats.Rng.gaussian rng) in
+      let adjusted = sd +. s.(i + 1) -. s.(i) in
+      if adjusted > !worst then worst := adjusted
+    done;
+    if !worst <= t_target then incr pass
+  done;
+  let mc = float_of_int !pass /. float_of_int n in
+  (* Negatively correlated maxima are the hardest regime for the
+     Gaussian max approximation; ~2 yield points of (pessimistic)
+     error is expected here. *)
+  check_in_range "analytic vs MC" ~lo:(mc -. 0.025) ~hi:(mc +. 0.025) analytic
+
+let test_validation () =
+  check_raises_invalid "negative sigma" (fun () ->
+      ignore (Sk.apply (pipeline ()) (model ~sigma_ps:(-1.0) ())));
+  check_raises_invalid "bad length" (fun () ->
+      ignore (Sk.apply (pipeline ()) { Sk.sigma_ps = 1.0; corr_length = 0.0 }))
+
+let suite =
+  [
+    quick "delta covariance" test_delta_covariance_structure;
+    quick "perfect clock is free" test_perfectly_correlated_clock_is_free;
+    quick "sigma inflation" test_skew_inflates_stage_sigma;
+    quick "neighbour anticorrelation" test_neighbours_anticorrelated;
+    quick "yield penalty positive" test_yield_penalty_positive;
+    slow "yield penalty vs MC" test_yield_penalty_vs_mc;
+    quick "validation" test_validation;
+  ]

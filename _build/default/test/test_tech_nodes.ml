@@ -1,0 +1,51 @@
+open Helpers
+module Tech = Spv_process.Tech
+
+let test_node_list () =
+  Alcotest.(check int) "four nodes" 4 (List.length Tech.scaling_nodes);
+  Alcotest.(check (list string)) "order"
+    [ "node130"; "node90"; "bptm70"; "node45" ]
+    (List.map (fun t -> t.Tech.name) Tech.scaling_nodes)
+
+let test_scaling_trends () =
+  let pairs l = List.combine (List.filteri (fun i _ -> i < 3) l) (List.tl l) in
+  List.iter
+    (fun (older, newer) ->
+      Alcotest.(check bool) "tau shrinks" true (newer.Tech.tau < older.Tech.tau);
+      Alcotest.(check bool) "vdd shrinks" true (newer.Tech.vdd < older.Tech.vdd);
+      Alcotest.(check bool) "leff shrinks" true (newer.Tech.leff0 < older.Tech.leff0);
+      Alcotest.(check bool) "random vth sigma grows" true
+        (newer.Tech.sigma_vth_rand > older.Tech.sigma_vth_rand);
+      Alcotest.(check bool) "inter vth sigma grows" true
+        (newer.Tech.sigma_vth_inter > older.Tech.sigma_vth_inter))
+    (pairs Tech.scaling_nodes)
+
+let test_variability_grows_with_scaling () =
+  (* The same circuit gets relatively noisier every node — the paper's
+     framing. *)
+  let net = Spv_circuit.Generators.inverter_chain ~depth:8 () in
+  let variability tech =
+    Spv_stats.Gaussian.variability (Spv_circuit.Ssta.stage_gaussian tech net)
+  in
+  let vs = List.map variability Tech.scaling_nodes in
+  match vs with
+  | [ v130; v90; v70; v45 ] ->
+      Alcotest.(check bool) "monotone" true (v130 < v90 && v90 < v70 && v70 < v45)
+  | _ -> Alcotest.fail "expected four nodes"
+
+let test_yield_degrades_with_scaling () =
+  let rows = Spv_experiments.Ablations.node_scaling_study () in
+  let yields = List.map (fun (_, _, _, y) -> y) rows in
+  match yields with
+  | [ y130; y90; y70; y45 ] ->
+      Alcotest.(check bool) "fixed guardband yield falls" true
+        (y130 > y90 && y90 > y70 && y70 > y45)
+  | _ -> Alcotest.fail "expected four rows"
+
+let suite =
+  [
+    quick "node list" test_node_list;
+    quick "scaling trends" test_scaling_trends;
+    quick "variability grows" test_variability_grows_with_scaling;
+    quick "yield degrades" test_yield_degrades_with_scaling;
+  ]

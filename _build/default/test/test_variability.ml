@@ -1,0 +1,81 @@
+open Helpers
+module V = Spv_core.Variability
+module Tech = Spv_process.Tech
+
+let random_only =
+  let t = Tech.no_variation Tech.bptm70 in
+  Tech.with_random_vth t ~sigma_mv:30.0
+
+let inter_only =
+  let t = Tech.no_variation Tech.bptm70 in
+  Tech.with_inter_vth t ~sigma_mv:40.0
+
+let test_depth_cancellation_random () =
+  let depths = [| 4; 16 |] in
+  let v = V.stage_sigma_mu_vs_depth random_only ~depths in
+  (* Pure random: sigma/mu falls like 1/sqrt(depth) -> factor 2. *)
+  check_in_range "1/sqrt law" ~lo:1.9 ~hi:2.1 (v.(0) /. v.(1))
+
+let test_depth_flat_inter () =
+  let depths = [| 4; 16 |] in
+  let v = V.stage_sigma_mu_vs_depth inter_only ~depths in
+  check_in_range "flat" ~lo:0.99 ~hi:1.01 (v.(0) /. v.(1))
+
+let test_stage_count_reduces_variability () =
+  let stage = Spv_stats.Gaussian.make ~mu:100.0 ~sigma:8.0 in
+  let v =
+    V.pipeline_sigma_mu_vs_stages ~stage ~rho:0.0 ~stage_counts:[| 2; 8; 32 |]
+  in
+  Alcotest.(check bool) "monotone decreasing" true (v.(0) > v.(1) && v.(1) > v.(2))
+
+let test_correlation_weakens_stage_count_effect () =
+  let stage = Spv_stats.Gaussian.make ~mu:100.0 ~sigma:8.0 in
+  let counts = [| 2; 32 |] in
+  let drop rho =
+    let v = V.pipeline_sigma_mu_vs_stages ~stage ~rho ~stage_counts:counts in
+    v.(0) /. v.(1)
+  in
+  Alcotest.(check bool) "uncorrelated drops more" true (drop 0.0 > drop 0.6)
+
+let test_fixed_levels_crossover () =
+  (* The paper's Fig. 5c: with only intra-die randomness, more stages
+     means MORE pipeline variability; with dominant inter-die variation
+     the trend flips. *)
+  let counts = [| 2; 30 |] in
+  let v_rand = V.fixed_total_levels random_only ~total_levels:120 ~stage_counts:counts in
+  Alcotest.(check bool) "intra-only rises" true (v_rand.(1) > v_rand.(0));
+  let v_inter =
+    V.fixed_total_levels
+      (Tech.with_inter_vth random_only ~sigma_mv:40.0)
+      ~total_levels:120 ~stage_counts:counts
+  in
+  Alcotest.(check bool) "inter-dominated falls" true (v_inter.(1) < v_inter.(0))
+
+let test_fixed_levels_validation () =
+  check_raises_invalid "non-divisor" (fun () ->
+      ignore
+        (V.fixed_total_levels random_only ~total_levels:120 ~stage_counts:[| 7 |]))
+
+let test_normalise () =
+  let n = V.normalise [| 4.0; 2.0; 1.0 |] in
+  check_float "first is 1" 1.0 n.(0);
+  check_float "last" 0.25 n.(2);
+  check_raises_invalid "empty" (fun () -> ignore (V.normalise [||]));
+  check_raises_invalid "zero head" (fun () -> ignore (V.normalise [| 0.0; 1.0 |]))
+
+let test_divisors () =
+  Alcotest.(check (list int)) "divisors of 12" [ 1; 2; 3; 4; 6; 12 ] (V.divisors 12);
+  Alcotest.(check (list int)) "divisors of 7" [ 1; 7 ] (V.divisors 7);
+  check_raises_invalid "n=0" (fun () -> ignore (V.divisors 0))
+
+let suite =
+  [
+    quick "depth cancellation (random)" test_depth_cancellation_random;
+    quick "depth flat (inter)" test_depth_flat_inter;
+    quick "stage count reduces sigma/mu" test_stage_count_reduces_variability;
+    quick "correlation weakens max effect" test_correlation_weakens_stage_count_effect;
+    quick "Fig 5c crossover" test_fixed_levels_crossover;
+    quick "fixed levels validation" test_fixed_levels_validation;
+    quick "normalise" test_normalise;
+    quick "divisors" test_divisors;
+  ]

@@ -1,0 +1,77 @@
+open Helpers
+module Vb = Spv_core.Variance_budget
+module P = Spv_core.Pipeline
+module Stage = Spv_core.Stage
+module Gd = Spv_process.Gate_delay
+
+let mk_pipeline ~inter ~sys ~rand =
+  P.of_stages ~corr_length:2.0
+    (Array.init 4 (fun i ->
+         Stage.make
+           ~name:(string_of_int i)
+           ~position:(Spv_process.Spatial.position ~x:(float_of_int i) ~y:0.0)
+           (Gd.make ~nominal:100.0 ~sigma_inter:inter ~sigma_sys:sys
+              ~sigma_rand:rand)))
+
+let test_single_component_pipelines () =
+  let check_pure label p expected_field =
+    let b = Vb.of_pipeline p in
+    let i, s, r = Vb.fractions b in
+    let got = match expected_field with `I -> i | `S -> s | `R -> r in
+    check_in_range (label ^ " pure") ~lo:0.99 ~hi:1.0 got;
+    check_close ~rel:1e-6 (label ^ " attribution complete")
+      b.Vb.total_variance
+      (b.Vb.inter +. b.Vb.systematic +. b.Vb.random +. b.Vb.interaction)
+  in
+  check_pure "inter-only" (mk_pipeline ~inter:5.0 ~sys:0.0 ~rand:0.0) `I;
+  check_pure "sys-only" (mk_pipeline ~inter:0.0 ~sys:5.0 ~rand:0.0) `S;
+  check_pure "random-only" (mk_pipeline ~inter:0.0 ~sys:0.0 ~rand:5.0) `R
+
+let test_mixture_ordering () =
+  (* A pipeline dominated by inter should attribute most variance
+     there. *)
+  let b = Vb.of_pipeline (mk_pipeline ~inter:8.0 ~sys:2.0 ~rand:2.0) in
+  Alcotest.(check bool) "inter dominates" true
+    (b.Vb.inter > b.Vb.systematic && b.Vb.inter > b.Vb.random);
+  let i, s, r = Vb.fractions b in
+  check_close ~rel:1e-9 "fractions sum to 1" 1.0 (i +. s +. r)
+
+let test_moments_pipeline_is_all_random () =
+  let stages =
+    Array.init 3 (fun _ -> Stage.of_moments ~mu:100.0 ~sigma:5.0 ())
+  in
+  let p = P.make stages ~corr:(Spv_stats.Correlation.uniform ~n:3 ~rho:0.6) in
+  let b = Vb.of_pipeline p in
+  let _, _, r = Vb.fractions b in
+  check_close ~rel:1e-9 "all random" 1.0 r
+
+let test_total_matches_pipeline () =
+  let p = mk_pipeline ~inter:4.0 ~sys:3.0 ~rand:2.0 in
+  let b = Vb.of_pipeline p in
+  check_close ~rel:1e-9 "total variance"
+    (Spv_stats.Gaussian.variance (P.delay_distribution p))
+    b.Vb.total_variance
+
+let test_budget_reflects_abb_opportunity () =
+  (* The point of the diagnostic: a high inter share predicts a large
+     ABB gain, a high random share predicts none. *)
+  let abb_gain p =
+    let t = Spv_core.Yield.target_delay_for_yield p ~yield:0.7 in
+    Spv_core.Adaptive.yield_gain p ~t_target:t
+  in
+  let inter_heavy = mk_pipeline ~inter:8.0 ~sys:1.0 ~rand:1.0 in
+  let rand_heavy = mk_pipeline ~inter:1.0 ~sys:1.0 ~rand:8.0 in
+  let bi = Vb.of_pipeline inter_heavy and br = Vb.of_pipeline rand_heavy in
+  let fi, _, _ = Vb.fractions bi and fr, _, _ = Vb.fractions br in
+  Alcotest.(check bool) "shares ordered" true (fi > 0.8 && fr < 0.2);
+  Alcotest.(check bool) "gains ordered" true
+    (abb_gain inter_heavy > 10.0 *. Float.max 1e-6 (abb_gain rand_heavy))
+
+let suite =
+  [
+    quick "pure components" test_single_component_pipelines;
+    quick "mixture ordering" test_mixture_ordering;
+    quick "moments pipeline all random" test_moments_pipeline_is_all_random;
+    quick "total matches" test_total_matches_pipeline;
+    quick "predicts ABB opportunity" test_budget_reflects_abb_opportunity;
+  ]

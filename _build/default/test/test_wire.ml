@@ -1,0 +1,124 @@
+open Helpers
+module W = Spv_circuit.Wire
+module Sta = Spv_circuit.Sta
+module G = Spv_circuit.Generators
+module B = Spv_circuit.Builder
+
+let tech = Spv_process.Tech.bptm70
+let model = W.default tech
+
+let test_model_helpers () =
+  check_close ~rel:1e-12 "length scales with fanout"
+    (2.0 *. W.net_length model ~fanout:2)
+    (W.net_length model ~fanout:4);
+  (* Fanout 0 still gets one segment (the output stub). *)
+  check_close ~rel:1e-12 "stub" (W.net_length model ~fanout:1)
+    (W.net_length model ~fanout:0);
+  check_close ~rel:1e-12 "cap = c * L"
+    (model.W.c_per_unit *. W.net_length model ~fanout:3)
+    (W.wire_cap model ~fanout:3);
+  check_float "no_wires inert" 0.0 (W.wire_cap W.no_wires ~fanout:5)
+
+let test_elmore_formula () =
+  let fanout = 2 in
+  let len = W.net_length model ~fanout in
+  check_close ~rel:1e-12 "elmore"
+    (model.W.r_per_unit *. len
+    *. ((model.W.c_per_unit *. len /. 2.0) +. 3.0))
+    (W.elmore_delay model ~fanout ~sink_cap:3.0);
+  check_raises_invalid "negative sink" (fun () ->
+      ignore (W.elmore_delay model ~fanout:1 ~sink_cap:(-1.0)))
+
+let test_no_model_identical () =
+  let net = G.c432 () in
+  let plain = (Sta.run tech net).Sta.delay in
+  let zero = (Sta.run ~wire:W.no_wires tech net).Sta.delay in
+  check_close ~rel:1e-12 "zero model = no model" plain zero
+
+let test_wires_slow_things_down () =
+  let net = G.c432 () in
+  let plain = (Sta.run tech net).Sta.delay in
+  let wired = (Sta.run ~wire:model tech net).Sta.delay in
+  Alcotest.(check bool) "wired slower" true (wired > plain);
+  (* And not absurdly so at these parameters. *)
+  check_in_range "sane overhead" ~lo:plain ~hi:(2.0 *. plain) wired
+
+let test_fanout_penalty () =
+  (* Same logical function, one driver with high fanout vs a chain:
+     the high-fanout net pays a longer wire. *)
+  let high_fanout k =
+    let b = B.create ~name:"fo" in
+    let a = B.input b "a" in
+    let d = B.inv b a in
+    for _ = 1 to k do
+      B.output b (B.inv b d)
+    done;
+    B.finish b
+  in
+  let delay k =
+    let net = high_fanout k in
+    let sta = Sta.run ~wire:model tech net in
+    (* Arrival at the first inverter (node 1) includes its net's
+       Elmore delay. *)
+    sta.Sta.arrival.(1)
+  in
+  Alcotest.(check bool) "more sinks, slower driver" true (delay 8 > delay 2)
+
+let test_loads_include_wire_cap () =
+  let net = G.inverter_chain ~depth:2 () in
+  let bare = Sta.loads net ~output_load:4.0 in
+  let wired = Sta.loads ~wire:model net ~output_load:4.0 in
+  check_close ~rel:1e-12 "wire cap added"
+    (bare.(1) +. W.wire_cap model ~fanout:1)
+    wired.(1)
+
+let test_upsizing_fights_wire_load () =
+  (* With wires, upsizing a driver of a long net helps more than in
+     the unloaded model. *)
+  let b = B.create ~name:"drv" in
+  let a = B.input b "a" in
+  let d = B.inv b a in
+  for _ = 1 to 8 do
+    B.output b (B.inv b d)
+  done;
+  let net = B.finish b in
+  let before = (Sta.run ~wire:model tech net).Sta.delay in
+  Spv_circuit.Netlist.set_size net 1 4.0;
+  let after = (Sta.run ~wire:model tech net).Sta.delay in
+  Alcotest.(check bool) "upsizing helps" true (after < before)
+
+let test_wire_aware_sizing_costs_area () =
+  let z = Spv_stats.Special.big_phi_inv 0.9457 in
+  let ff = Spv_process.Flipflop.default tech in
+  let net = G.c432 () in
+  let options =
+    { Spv_sizing.Lagrangian.default_options with
+      Spv_sizing.Lagrangian.wire = Some model }
+  in
+  (* Target set from the wire-aware minimum so both problems are
+     feasible (wires only make the same target harder). *)
+  let t_target =
+    1.15
+    *. Spv_sizing.Lagrangian.minimum_achievable_delay ~options ~ff tech net ~z
+  in
+  let bare = Spv_sizing.Lagrangian.size_stage ~ff tech net ~t_target ~z in
+  let wired =
+    Spv_sizing.Lagrangian.size_stage ~options ~ff tech (G.c432 ()) ~t_target ~z
+  in
+  Alcotest.(check bool) "both converge" true
+    (bare.Spv_sizing.Lagrangian.converged
+    && wired.Spv_sizing.Lagrangian.converged);
+  Alcotest.(check bool) "wires cost area at the same target" true
+    (wired.Spv_sizing.Lagrangian.area > bare.Spv_sizing.Lagrangian.area)
+
+let suite =
+  [
+    quick "model helpers" test_model_helpers;
+    quick "elmore formula" test_elmore_formula;
+    quick "no model identical" test_no_model_identical;
+    quick "wires slow things down" test_wires_slow_things_down;
+    quick "fanout penalty" test_fanout_penalty;
+    quick "loads include wire cap" test_loads_include_wire_cap;
+    quick "upsizing fights wire load" test_upsizing_fights_wire_load;
+    quick "wire-aware sizing costs area" test_wire_aware_sizing_costs_area;
+  ]
