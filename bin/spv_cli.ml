@@ -1,8 +1,27 @@
 (* Command-line front end: run the paper's experiments individually or
    interrogate the library (yield queries, STA, sizing) without writing
-   OCaml. *)
+   OCaml.
+
+   Every command funnels its failures through Spv_robust.Errors, so
+   each failure class gets a one-line stderr message and a distinct
+   exit code (Io 2, Parse 3, Lint 4, Numeric 5, Domain 6, Internal 7);
+   cmdliner keeps its own 124 for command-line syntax errors. *)
 
 open Cmdliner
+module Errors = Spv_robust.Errors
+module Checked = Spv_robust.Checked
+
+let ( let* ) = Result.bind
+
+let warn msg = Printf.eprintf "warning: %s\n%!" msg
+
+(* Terminal adapter: print the typed error on stderr and exit with its
+   documented code.  Commands return (unit, Errors.t) result. *)
+let handle = function
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "spv_cli: %s\n%!" (Errors.to_string e);
+      exit (Errors.exit_code e)
 
 (* ---- shared circuit lookup ---------------------------------------- *)
 
@@ -21,16 +40,23 @@ let circuits =
 let lookup_circuit name =
   match List.assoc_opt name circuits with
   | Some f -> Ok (f ())
-  | None ->
-      if Sys.file_exists name then
-        match Spv_circuit.Bench_format.read_file name with
-        | net -> Ok net
-        | exception Failure msg -> Error (Printf.sprintf "%s: %s" name msg)
-      else
-        Error
-          (Printf.sprintf "unknown circuit %S (known: %s, or a .bench file path)"
-             name
-             (String.concat ", " (List.map fst circuits)))
+  | None -> (
+      (* Anything else is a .bench path.  No Sys.file_exists pre-check:
+         parse_bench_file owns the open, so a file deleted between
+         check and read is an Io_error, not an uncaught Sys_error. *)
+      match Checked.parse_bench_file ~on_warning:warn name with
+      | Ok net -> Ok net
+      | Error (Errors.Io_error _)
+        when (not (String.contains name '/'))
+             && not (String.contains name '.') ->
+          (* A bare word that is not a readable file was almost
+             certainly meant as a builtin circuit name. *)
+          Error
+            (Errors.domain ~param:"--circuit"
+               (Printf.sprintf
+                  "unknown circuit %S (known: %s, or a .bench file path)" name
+                  (String.concat ", " (List.map fst circuits))))
+      | Error e -> Error e)
 
 let circuit_arg =
   let doc =
@@ -66,19 +92,49 @@ let experiment_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let run id =
-    match List.assoc_opt id experiments with
-    | Some f ->
-        f ();
-        Ok ()
-    | None ->
-        Error
-          (Printf.sprintf "unknown experiment %S (known: %s)" id
-             (String.concat ", " (List.map fst experiments)))
+    handle
+      (match List.assoc_opt id experiments with
+      | Some f -> Checked.protect ~where:("experiment " ^ id) f
+      | None ->
+          Error
+            (Errors.domain ~param:"ID"
+               (Printf.sprintf "unknown experiment %S (known: %s)" id
+                  (String.concat ", " (List.map fst experiments)))))
   in
-  let term = Term.(term_result' (const run $ id)) in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures.")
-    term
+    Term.(const run $ id)
+
+(* ---- lint command -------------------------------------------------- *)
+
+let lint_cmd =
+  let file =
+    let doc = "Path to the .bench netlist file to check." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run path =
+    handle
+      (let* diags = Checked.lint_bench_file path in
+       List.iter
+         (fun d ->
+           Printf.printf "%s: %s\n" path (Errors.diagnostic_to_string d))
+         diags;
+       let errs =
+         List.filter (fun d -> d.Errors.severity = Errors.Err) diags
+       in
+       if errs = [] then begin
+         Printf.printf "%s: %d warning(s), no errors\n" path
+           (List.length diags);
+         Ok ()
+       end
+       else Error (Errors.lint ~path errs))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Check a .bench netlist for structural defects (loops, undriven \
+          wires, multiple drivers, ...) without running any analysis.")
+    Term.(const run $ file)
 
 (* ---- yield command ------------------------------------------------ *)
 
@@ -100,63 +156,71 @@ let yield_cmd =
     Arg.(required & opt (some float) None & info [ "t"; "target" ] ~doc)
   in
   let run mus sigmas rho target =
-    if List.length mus <> List.length sigmas then
-      Error "--mu and --sigma must be given the same number of times"
-    else begin
-      let stages =
-        List.map2
-          (fun mu sigma -> Spv_core.Stage.of_moments ~mu ~sigma ())
-          mus sigmas
-        |> Array.of_list
-      in
-      let n = Array.length stages in
-      let corr = Spv_stats.Correlation.uniform ~n ~rho in
-      let p = Spv_core.Pipeline.make stages ~corr in
-      let tp = Spv_core.Pipeline.delay_distribution p in
-      Printf.printf "pipeline delay ~ N(%.2f, %.2f) ps\n"
-        (Spv_stats.Gaussian.mu tp) (Spv_stats.Gaussian.sigma tp);
-      Printf.printf "yield(T = %.2f ps):\n" target;
-      Printf.printf "  Clark Gaussian (eq. 9):     %.2f%%\n"
-        (100.0 *. Spv_core.Yield.clark_gaussian p ~t_target:target);
-      if rho = 0.0 then
-        Printf.printf "  independent exact (eq. 8):  %.2f%%\n"
-          (100.0 *. Spv_core.Yield.independent_exact p ~t_target:target);
-      let rng = Spv_stats.Rng.create ~seed:42 in
-      Printf.printf "  Monte-Carlo (100k):         %.2f%%\n"
-        (100.0 *. Spv_core.Yield.monte_carlo p rng ~n:100_000 ~t_target:target);
-      Ok ()
-    end
+    handle
+      (let mus = Array.of_list mus and sigmas = Array.of_list sigmas in
+       let* p =
+         Checked.pipeline_of_moments ~on_warning:warn ~mus ~sigmas ~rho ()
+       in
+       let* tp =
+         Checked.protect ~where:"pipeline delay" (fun () ->
+             Spv_core.Pipeline.delay_distribution p)
+       in
+       Printf.printf "pipeline delay ~ N(%.2f, %.2f) ps\n"
+         (Spv_stats.Gaussian.mu tp) (Spv_stats.Gaussian.sigma tp);
+       Printf.printf "yield(T = %.2f ps):\n" target;
+       let* clark = Checked.yield_estimate p ~t_target:target in
+       Printf.printf "  Clark Gaussian (eq. 9):     %.2f%%\n" (100.0 *. clark);
+       let* () =
+         if rho = 0.0 then
+           let* exact =
+             Checked.protect ~where:"independent exact yield" (fun () ->
+                 Spv_core.Yield.independent_exact p ~t_target:target)
+           in
+           Printf.printf "  independent exact (eq. 8):  %.2f%%\n"
+             (100.0 *. exact);
+           Ok ()
+         else Ok ()
+       in
+       let rng = Spv_stats.Rng.create ~seed:42 in
+       let* r = Checked.monte_carlo_yield p rng ~t_target:target in
+       Printf.printf "  Monte-Carlo:                %.2f%%  (%d samples, se \
+                      %.4f, %s)\n"
+         (100.0 *. r.Spv_stats.Mc.probability)
+         r.Spv_stats.Mc.samples r.Spv_stats.Mc.std_error
+         (if r.Spv_stats.Mc.converged then "converged"
+          else "sample cap reached");
+       Ok ())
   in
-  let term = Term.(term_result' (const run $ mus $ sigmas $ rho $ target)) in
   Cmd.v
     (Cmd.info "yield"
        ~doc:"Pipeline yield from per-stage (mu, sigma) and a uniform rho.")
-    term
+    Term.(const run $ mus $ sigmas $ rho $ target)
 
 (* ---- sta command --------------------------------------------------- *)
 
 let sta_cmd =
   let run name =
-    Result.map
-      (fun net ->
-        let tech = Spv_process.Tech.bptm70 in
-        let sta = Spv_circuit.Sta.run tech net in
-        Format.printf "%a@." Spv_circuit.Netlist.pp_stats net;
-        Printf.printf "logic depth: %d\n" (Spv_circuit.Topo.depth net);
-        Printf.printf "critical delay: %.1f ps (path of %d gates)\n"
-          sta.Spv_circuit.Sta.delay
-          (List.length sta.Spv_circuit.Sta.critical_path);
-        let ff = Spv_process.Flipflop.default tech in
-        let g = Spv_circuit.Ssta.stage_gaussian ~ff tech net in
-        Printf.printf "stage delay with FF: N(%.1f, %.2f) ps (sigma/mu %.2f%%)\n"
-          (Spv_stats.Gaussian.mu g) (Spv_stats.Gaussian.sigma g)
-          (100.0 *. Spv_stats.Gaussian.variability g))
-      (lookup_circuit name)
+    handle
+      (let* net = lookup_circuit name in
+       let tech = Spv_process.Tech.bptm70 in
+       let* sta =
+         Checked.protect ~where:"STA" (fun () -> Spv_circuit.Sta.run tech net)
+       in
+       Format.printf "%a@." Spv_circuit.Netlist.pp_stats net;
+       Printf.printf "logic depth: %d\n" (Spv_circuit.Topo.depth net);
+       Printf.printf "critical delay: %.1f ps (path of %d gates)\n"
+         sta.Spv_circuit.Sta.delay
+         (List.length sta.Spv_circuit.Sta.critical_path);
+       let ff = Spv_process.Flipflop.default tech in
+       let* g = Checked.ssta_stage ~ff tech net in
+       Printf.printf "stage delay with FF: N(%.1f, %.2f) ps (sigma/mu %.2f%%)\n"
+         (Spv_stats.Gaussian.mu g) (Spv_stats.Gaussian.sigma g)
+         (100.0 *. Spv_stats.Gaussian.variability g);
+       Ok ())
   in
-  let term = Term.(term_result' (const run $ circuit_arg)) in
   Cmd.v
     (Cmd.info "sta" ~doc:"Deterministic and statistical timing of a circuit.")
-    term
+    Term.(const run $ circuit_arg)
 
 (* ---- size command --------------------------------------------------- *)
 
@@ -170,55 +234,57 @@ let size_cmd =
     Arg.(value & opt float 0.9457 & info [ "stage-yield" ] ~doc)
   in
   let run name target stage_yield =
-    Result.bind (lookup_circuit name) (fun net ->
-        if not (stage_yield > 0.5 && stage_yield < 1.0) then
-          Error "--stage-yield must lie in (0.5, 1)"
-        else begin
-          let tech = Spv_process.Tech.bptm70 in
-          let ff = Spv_process.Flipflop.default tech in
-          let z = Spv_stats.Special.big_phi_inv stage_yield in
-          let before = Spv_circuit.Netlist.area net in
-          let r = Spv_sizing.Lagrangian.size_stage ~ff tech net ~t_target:target ~z in
-          Printf.printf
-            "sized %s: area %.1f -> %.1f, stat delay %.1f ps (target %.1f), \
-             %d iterations, converged: %b\n"
-            name before r.Spv_sizing.Lagrangian.area
-            r.Spv_sizing.Lagrangian.stat_delay target
-            r.Spv_sizing.Lagrangian.iterations r.Spv_sizing.Lagrangian.converged;
-          Ok ()
-        end)
+    handle
+      (let* net = lookup_circuit name in
+       if not (stage_yield > 0.5 && stage_yield < 1.0) then
+         Error
+           (Errors.domain ~param:"--stage-yield" "must lie in (0.5, 1)")
+       else
+         let tech = Spv_process.Tech.bptm70 in
+         let ff = Spv_process.Flipflop.default tech in
+         let z = Spv_stats.Special.big_phi_inv stage_yield in
+         let before = Spv_circuit.Netlist.area net in
+         let* r = Checked.size_stage ~ff tech net ~t_target:target ~z in
+         Printf.printf
+           "sized %s: area %.1f -> %.1f, stat delay %.1f ps (target %.1f), \
+            %d iterations, converged: %b\n"
+           name before r.Spv_sizing.Lagrangian.area
+           r.Spv_sizing.Lagrangian.stat_delay target
+           r.Spv_sizing.Lagrangian.iterations r.Spv_sizing.Lagrangian.converged;
+         Ok ())
   in
-  let term = Term.(term_result' (const run $ circuit_arg $ target $ stage_yield)) in
   Cmd.v
     (Cmd.info "size"
        ~doc:"Minimum-area gate sizing under a statistical delay constraint.")
-    term
+    Term.(const run $ circuit_arg $ target $ stage_yield)
 
 (* ---- power command --------------------------------------------------- *)
 
 let power_cmd =
   let run name =
-    Result.map
-      (fun net ->
-        let tech = Spv_process.Tech.bptm70 in
-        let p = Spv_circuit.Power.analyse tech net in
-        Printf.printf "dynamic (switched-cap proxy): %.1f\n"
-          p.Spv_circuit.Power.dynamic;
-        Printf.printf "leakage nominal:              %.1f\n"
-          p.Spv_circuit.Power.leakage_nominal;
-        Printf.printf "leakage mean under variation: %.1f  (tax %.2fx)\n"
-          p.Spv_circuit.Power.leakage_mean
-          (p.Spv_circuit.Power.leakage_mean
-          /. p.Spv_circuit.Power.leakage_nominal);
-        Printf.printf "leakage sigma:                %.1f\n"
-          p.Spv_circuit.Power.leakage_sigma)
-      (lookup_circuit name)
+    handle
+      (let* net = lookup_circuit name in
+       let tech = Spv_process.Tech.bptm70 in
+       let* p =
+         Checked.protect ~where:"power analysis" (fun () ->
+             Spv_circuit.Power.analyse tech net)
+       in
+       Printf.printf "dynamic (switched-cap proxy): %.1f\n"
+         p.Spv_circuit.Power.dynamic;
+       Printf.printf "leakage nominal:              %.1f\n"
+         p.Spv_circuit.Power.leakage_nominal;
+       Printf.printf "leakage mean under variation: %.1f  (tax %.2fx)\n"
+         p.Spv_circuit.Power.leakage_mean
+         (p.Spv_circuit.Power.leakage_mean
+         /. p.Spv_circuit.Power.leakage_nominal);
+       Printf.printf "leakage sigma:                %.1f\n"
+         p.Spv_circuit.Power.leakage_sigma;
+       Ok ())
   in
-  let term = Term.(term_result' (const run $ circuit_arg)) in
   Cmd.v
     (Cmd.info "power"
        ~doc:"Dynamic and statistical leakage power of a circuit.")
-    term
+    Term.(const run $ circuit_arg)
 
 (* ---- export command --------------------------------------------------- *)
 
@@ -228,16 +294,19 @@ let export_cmd =
     Arg.(value & opt string "-" & info [ "o"; "output" ] ~doc)
   in
   let run name out =
-    Result.map
-      (fun net ->
-        if out = "-" then print_string (Spv_circuit.Bench_format.to_string net)
-        else Spv_circuit.Bench_format.write_file out net)
-      (lookup_circuit name)
+    handle
+      (let* net = lookup_circuit name in
+       if out = "-" then begin
+         print_string (Spv_circuit.Bench_format.to_string net);
+         Ok ()
+       end
+       else
+         Checked.protect ~where:out (fun () ->
+             Spv_circuit.Bench_format.write_file out net))
   in
-  let term = Term.(term_result' (const run $ circuit_arg $ out)) in
   Cmd.v
     (Cmd.info "export" ~doc:"Write a circuit in .bench text format.")
-    term
+    Term.(const run $ circuit_arg $ out)
 
 (* ---- criticality command ---------------------------------------------- *)
 
@@ -251,33 +320,27 @@ let criticality_cmd =
     Arg.(non_empty & opt_all float [] & info [ "sigma" ] ~doc)
   in
   let run mus sigmas =
-    if List.length mus <> List.length sigmas then
-      Error "--mu and --sigma must be given the same number of times"
-    else begin
-      let stages =
-        List.map2 (fun mu sigma -> Spv_core.Stage.of_moments ~mu ~sigma ()) mus sigmas
-        |> Array.of_list
-      in
-      let n = Array.length stages in
-      let p =
-        Spv_core.Pipeline.make stages ~corr:(Spv_stats.Correlation.independent ~n)
-      in
-      let probs = Spv_core.Criticality.probabilities_analytic_independent p in
-      Array.iteri
-        (fun i pr -> Printf.printf "stage %d: P(critical) = %.4f\n" i pr)
-        probs;
-      Printf.printf "entropy: %.3f nats (max for %d stages: %.3f)\n"
-        (Spv_core.Criticality.entropy probs)
-        n
-        (log (float_of_int n));
-      Ok ()
-    end
+    handle
+      (let mus = Array.of_list mus and sigmas = Array.of_list sigmas in
+       let* p = Checked.pipeline_of_moments ~mus ~sigmas ~rho:0.0 () in
+       let* probs =
+         Checked.protect ~where:"criticality" (fun () ->
+             Spv_core.Criticality.probabilities_analytic_independent p)
+       in
+       let n = Array.length mus in
+       Array.iteri
+         (fun i pr -> Printf.printf "stage %d: P(critical) = %.4f\n" i pr)
+         probs;
+       Printf.printf "entropy: %.3f nats (max for %d stages: %.3f)\n"
+         (Spv_core.Criticality.entropy probs)
+         n
+         (log (float_of_int n));
+       Ok ())
   in
-  let term = Term.(term_result' (const run $ mus $ sigmas)) in
   Cmd.v
     (Cmd.info "criticality"
        ~doc:"Per-stage probability of being the pipeline's slowest stage.")
-    term
+    Term.(const run $ mus $ sigmas)
 
 (* ---- curve command ----------------------------------------------------- *)
 
@@ -291,29 +354,30 @@ let curve_cmd =
     Arg.(value & opt float 0.9457 & info [ "stage-yield" ] ~doc)
   in
   let run name points stage_yield =
-    Result.bind (lookup_circuit name) (fun net ->
-        if not (stage_yield > 0.5 && stage_yield < 1.0) then
-          Error "--stage-yield must lie in (0.5, 1)"
-        else begin
-          let tech = Spv_process.Tech.bptm70 in
-          let ff = Spv_process.Flipflop.default tech in
-          let z = Spv_stats.Special.big_phi_inv stage_yield in
-          let pts =
-            Spv_sizing.Area_delay.curve_points ~ff ~n_points:points tech net ~z
-          in
-          Printf.printf "%12s %12s\n" "delay(ps)" "area";
-          Array.iter
-            (fun p ->
-              Printf.printf "%12.1f %12.1f\n" p.Spv_core.Balance.delay
-                p.Spv_core.Balance.area)
-            pts;
-          Ok ()
-        end)
+    handle
+      (let* net = lookup_circuit name in
+       if not (stage_yield > 0.5 && stage_yield < 1.0) then
+         Error (Errors.domain ~param:"--stage-yield" "must lie in (0.5, 1)")
+       else
+         let tech = Spv_process.Tech.bptm70 in
+         let ff = Spv_process.Flipflop.default tech in
+         let z = Spv_stats.Special.big_phi_inv stage_yield in
+         let* pts =
+           Checked.protect ~where:"area-delay curve" (fun () ->
+               Spv_sizing.Area_delay.curve_points ~ff ~n_points:points tech
+                 net ~z)
+         in
+         Printf.printf "%12s %12s\n" "delay(ps)" "area";
+         Array.iter
+           (fun p ->
+             Printf.printf "%12.1f %12.1f\n" p.Spv_core.Balance.delay
+               p.Spv_core.Balance.area)
+           pts;
+         Ok ())
   in
-  let term = Term.(term_result' (const run $ circuit_arg $ points $ stage_yield)) in
   Cmd.v
     (Cmd.info "curve" ~doc:"Area-vs-delay trade-off curve of a circuit.")
-    term
+    Term.(const run $ circuit_arg $ points $ stage_yield)
 
 (* ---- report command --------------------------------------------------- *)
 
@@ -327,18 +391,20 @@ let report_cmd =
     Arg.(value & opt (some float) None & info [ "t"; "target" ] ~doc)
   in
   let run name k target =
-    Result.map
-      (fun net ->
-        print_string
-          (Spv_circuit.Report.render ~k ?t_target:target
-             Spv_process.Tech.bptm70 net))
-      (lookup_circuit name)
+    handle
+      (let* net = lookup_circuit name in
+       let* text =
+         Checked.protect ~where:"timing report" (fun () ->
+             Spv_circuit.Report.render ~k ?t_target:target
+               Spv_process.Tech.bptm70 net)
+       in
+       print_string text;
+       Ok ())
   in
-  let term = Term.(term_result' (const run $ circuit_arg $ k $ target)) in
   Cmd.v
     (Cmd.info "report"
        ~doc:"STA-style timing report: k slowest paths with statistics.")
-    term
+    Term.(const run $ circuit_arg $ k $ target)
 
 (* ---- hold command ------------------------------------------------------ *)
 
@@ -348,22 +414,28 @@ let hold_cmd =
     Arg.(value & opt float 40.0 & info [ "hold" ] ~doc)
   in
   let run name hold =
-    Result.map
-      (fun net ->
-        let tech = Spv_process.Tech.bptm70 in
-        let ff = Spv_process.Flipflop.default tech in
-        let short = Spv_core.Hold.short_path_delay tech net in
-        Printf.printf "shortest path: %.1f ps nominal (sigma %.2f)\n"
-          short.Spv_process.Gate_delay.nominal
-          (Spv_process.Gate_delay.total_sigma short);
-        Printf.printf "hold yield at %.1f ps requirement: %.2f%%\n" hold
-          (100.0 *. Spv_core.Hold.hold_yield_stage tech ~ff ~hold_ps:hold net))
-      (lookup_circuit name)
+    handle
+      (let* net = lookup_circuit name in
+       let tech = Spv_process.Tech.bptm70 in
+       let ff = Spv_process.Flipflop.default tech in
+       let* short =
+         Checked.protect ~where:"short-path analysis" (fun () ->
+             Spv_core.Hold.short_path_delay tech net)
+       in
+       Printf.printf "shortest path: %.1f ps nominal (sigma %.2f)\n"
+         short.Spv_process.Gate_delay.nominal
+         (Spv_process.Gate_delay.total_sigma short);
+       let* y =
+         Checked.protect ~where:"hold yield" (fun () ->
+             Spv_core.Hold.hold_yield_stage tech ~ff ~hold_ps:hold net)
+       in
+       Printf.printf "hold yield at %.1f ps requirement: %.2f%%\n" hold
+         (100.0 *. y);
+       Ok ())
   in
-  let term = Term.(term_result' (const run $ circuit_arg $ hold)) in
   Cmd.v
     (Cmd.info "hold" ~doc:"Early-mode race (hold-time) yield of a stage.")
-    term
+    Term.(const run $ circuit_arg $ hold)
 
 (* ---- fmax command -------------------------------------------------------- *)
 
@@ -381,30 +453,26 @@ let fmax_cmd =
     Arg.(value & opt float 0.0 & info [ "rho" ] ~doc)
   in
   let run mus sigmas rho =
-    if List.length mus <> List.length sigmas then
-      Error "--mu and --sigma must be given the same number of times"
-    else begin
-      let stages =
-        List.map2 (fun mu sigma -> Spv_core.Stage.of_moments ~mu ~sigma ()) mus sigmas
-        |> Array.of_list
-      in
-      let n = Array.length stages in
-      let p = Spv_core.Pipeline.make stages ~corr:(Spv_stats.Correlation.uniform ~n ~rho) in
-      let mean, std = Spv_core.Fmax.mean_std p in
-      Printf.printf "FMAX mean %.4f GHz, sigma %.4f GHz\n" (1000.0 *. mean)
-        (1000.0 *. std);
-      List.iter
-        (fun q ->
-          Printf.printf "  P%02.0f: %.4f GHz\n" (100.0 *. q)
-            (1000.0 *. Spv_core.Fmax.quantile p ~p:q))
-        [ 0.05; 0.25; 0.5; 0.75; 0.95 ];
-      Ok ()
-    end
+    handle
+      (let mus = Array.of_list mus and sigmas = Array.of_list sigmas in
+       let* p =
+         Checked.pipeline_of_moments ~on_warning:warn ~mus ~sigmas ~rho ()
+       in
+       let* mean, std =
+         Checked.protect ~where:"FMAX" (fun () -> Spv_core.Fmax.mean_std p)
+       in
+       Printf.printf "FMAX mean %.4f GHz, sigma %.4f GHz\n" (1000.0 *. mean)
+         (1000.0 *. std);
+       List.iter
+         (fun q ->
+           Printf.printf "  P%02.0f: %.4f GHz\n" (100.0 *. q)
+             (1000.0 *. Spv_core.Fmax.quantile p ~p:q))
+         [ 0.05; 0.25; 0.5; 0.75; 0.95 ];
+       Ok ())
   in
-  let term = Term.(term_result' (const run $ mus $ sigmas $ rho)) in
   Cmd.v
     (Cmd.info "fmax" ~doc:"Maximum-frequency distribution of a pipeline.")
-    term
+    Term.(const run $ mus $ sigmas $ rho)
 
 (* ---- abb command --------------------------------------------------------- *)
 
@@ -426,29 +494,33 @@ let abb_cmd =
     Arg.(value & opt float 0.1 & info [ "range" ] ~doc)
   in
   let run stages depth yield range =
-    if not (yield > 0.0 && yield < 1.0) then Error "--yield outside (0,1)"
-    else if range < 0.0 then Error "--range negative"
-    else begin
-      let tech = Spv_process.Tech.bptm70 in
-      let ff = Spv_process.Flipflop.default tech in
-      let nets = Spv_circuit.Generators.inverter_chain_pipeline ~stages ~depth () in
-      let p = Spv_core.Pipeline.of_circuits ~ff tech nets in
-      let t_target = Spv_core.Yield.target_delay_for_yield p ~yield in
-      let policy = { Spv_core.Adaptive.range } in
-      Printf.printf "T = %.1f ps: yield %.1f%% -> %.1f%% with +-%.0f%% ABB \
-                     (mean leakage x%.2f)\n"
-        t_target (100.0 *. yield)
-        (100.0 *. Spv_core.Adaptive.yield_with_abb ~policy p ~t_target)
-        (100.0 *. range)
-        (Spv_core.Adaptive.leakage_overhead ~policy tech p);
-      Ok ()
-    end
+    handle
+      (if not (yield > 0.0 && yield < 1.0) then
+         Error (Errors.domain ~param:"--yield" "outside (0,1)")
+       else if range < 0.0 then
+         Error (Errors.domain ~param:"--range" "negative")
+       else
+         Checked.protect ~where:"ABB" (fun () ->
+             let tech = Spv_process.Tech.bptm70 in
+             let ff = Spv_process.Flipflop.default tech in
+             let nets =
+               Spv_circuit.Generators.inverter_chain_pipeline ~stages ~depth ()
+             in
+             let p = Spv_core.Pipeline.of_circuits ~ff tech nets in
+             let t_target = Spv_core.Yield.target_delay_for_yield p ~yield in
+             let policy = { Spv_core.Adaptive.range } in
+             Printf.printf
+               "T = %.1f ps: yield %.1f%% -> %.1f%% with +-%.0f%% ABB \
+                (mean leakage x%.2f)\n"
+               t_target (100.0 *. yield)
+               (100.0 *. Spv_core.Adaptive.yield_with_abb ~policy p ~t_target)
+               (100.0 *. range)
+               (Spv_core.Adaptive.leakage_overhead ~policy tech p)))
   in
-  let term = Term.(term_result' (const run $ stages $ depth $ yield $ range)) in
   Cmd.v
     (Cmd.info "abb"
        ~doc:"Adaptive body-bias yield recovery on an inverter-chain pipeline.")
-    term
+    Term.(const run $ stages $ depth $ yield $ range)
 
 (* ---- vth command --------------------------------------------------------- *)
 
@@ -458,42 +530,42 @@ let vth_cmd =
     Arg.(value & opt float 1.05 & info [ "slack" ] ~doc)
   in
   let run name slack =
-    Result.bind (lookup_circuit name) (fun net ->
-        if slack < 1.0 then Error "--slack must be >= 1.0"
-        else begin
-          let tech = Spv_process.Tech.bptm70 in
-          let ff = Spv_process.Flipflop.default tech in
-          let z = Spv_stats.Special.big_phi_inv 0.95 in
-          let a0 =
-            Spv_sizing.Multi_vth.all_low net ~delay_penalty:1.15
-              ~vth_offset:0.08
-          in
-          let d0 = Spv_sizing.Multi_vth.stat_delay ~ff tech net a0 ~z in
-          let r =
-            Spv_sizing.Multi_vth.optimise ~ff tech net
-              ~t_target:(slack *. d0) ~z
-          in
-          Printf.printf
-            "dual-Vth at %.0f%% slack: %d/%d gates high-Vth, leakage %.1f -> \
-             %.1f (-%.0f%%), stat delay %.1f ps (budget %.1f)\n"
-            (100.0 *. (slack -. 1.0))
-            r.Spv_sizing.Multi_vth.swapped
-            (Spv_circuit.Netlist.n_gates net)
-            r.Spv_sizing.Multi_vth.leakage_before
-            r.Spv_sizing.Multi_vth.leakage_after
-            (100.0
-            *. (1.0
-               -. r.Spv_sizing.Multi_vth.leakage_after
-                  /. r.Spv_sizing.Multi_vth.leakage_before))
-            r.Spv_sizing.Multi_vth.stat_delay_after (slack *. d0);
-          Ok ()
-        end)
+    handle
+      (let* net = lookup_circuit name in
+       if slack < 1.0 then
+         Error (Errors.domain ~param:"--slack" "must be >= 1.0")
+       else
+         Checked.protect ~where:"dual-Vth optimisation" (fun () ->
+             let tech = Spv_process.Tech.bptm70 in
+             let ff = Spv_process.Flipflop.default tech in
+             let z = Spv_stats.Special.big_phi_inv 0.95 in
+             let a0 =
+               Spv_sizing.Multi_vth.all_low net ~delay_penalty:1.15
+                 ~vth_offset:0.08
+             in
+             let d0 = Spv_sizing.Multi_vth.stat_delay ~ff tech net a0 ~z in
+             let r =
+               Spv_sizing.Multi_vth.optimise ~ff tech net
+                 ~t_target:(slack *. d0) ~z
+             in
+             Printf.printf
+               "dual-Vth at %.0f%% slack: %d/%d gates high-Vth, leakage %.1f \
+                -> %.1f (-%.0f%%), stat delay %.1f ps (budget %.1f)\n"
+               (100.0 *. (slack -. 1.0))
+               r.Spv_sizing.Multi_vth.swapped
+               (Spv_circuit.Netlist.n_gates net)
+               r.Spv_sizing.Multi_vth.leakage_before
+               r.Spv_sizing.Multi_vth.leakage_after
+               (100.0
+               *. (1.0
+                  -. r.Spv_sizing.Multi_vth.leakage_after
+                     /. r.Spv_sizing.Multi_vth.leakage_before))
+               r.Spv_sizing.Multi_vth.stat_delay_after (slack *. d0)))
   in
-  let term = Term.(term_result' (const run $ circuit_arg $ slack)) in
   Cmd.v
     (Cmd.info "vth"
        ~doc:"Criticality-guided dual-Vth assignment for leakage recovery.")
-    term
+    Term.(const run $ circuit_arg $ slack)
 
 (* ---- main ----------------------------------------------------------- *)
 
@@ -504,7 +576,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            experiment_cmd; yield_cmd; sta_cmd; size_cmd; power_cmd; export_cmd;
-            criticality_cmd; curve_cmd; report_cmd; hold_cmd; fmax_cmd; abb_cmd;
-            vth_cmd;
+            experiment_cmd; lint_cmd; yield_cmd; sta_cmd; size_cmd; power_cmd;
+            export_cmd; criticality_cmd; curve_cmd; report_cmd; hold_cmd;
+            fmax_cmd; abb_cmd; vth_cmd;
           ]))

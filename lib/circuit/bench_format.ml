@@ -43,8 +43,24 @@ type statement =
   | St_output of string
   | St_def of { signal : string; cell : string; args : string list; size : float }
 
+type parse_error = { line : int option; message : string }
+
+exception Parse_failure of parse_error
+
+let parse_error_to_string e =
+  match e.line with
+  | Some n -> Printf.sprintf "line %d: %s" n e.message
+  | None -> e.message
+
 let fail_line lineno fmt =
-  Printf.ksprintf (fun msg -> failwith (Printf.sprintf "line %d: %s" lineno msg)) fmt
+  Printf.ksprintf
+    (fun msg -> raise (Parse_failure { line = Some lineno; message = msg }))
+    fmt
+
+let fail_global fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Parse_failure { line = None; message = msg }))
+    fmt
 
 let strip s = String.trim s
 
@@ -141,13 +157,18 @@ let resolve_cell lineno name ~arity =
   in
   try_candidates candidates
 
-let of_string ?(name = "netlist") text =
-  let statements =
-    String.split_on_char '\n' text
-    |> List.mapi (fun i line -> (i + 1, parse_line (i + 1) line))
-    |> List.filter_map (fun (lineno, st) ->
-           Option.map (fun st -> (lineno, st)) st)
-  in
+let statements_exn text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, parse_line (i + 1) line))
+  |> List.filter_map (fun (lineno, st) ->
+         Option.map (fun st -> (lineno, st)) st)
+
+let statements_of_string text =
+  match statements_exn text with
+  | sts -> Ok sts
+  | exception Parse_failure e -> Error e
+
+let of_statements ~name statements =
   let defs : (string, int * string * string list * float) Hashtbl.t =
     Hashtbl.create 64
   in
@@ -171,17 +192,20 @@ let of_string ?(name = "netlist") text =
   List.iter (fun signal -> Hashtbl.add ids signal (Builder.input b signal)) inputs;
   (* DFS with an explicit visiting set for cycle detection. *)
   let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
-  let rec resolve signal =
+  let rec resolve ?from signal =
     match Hashtbl.find_opt ids signal with
     | Some id -> id
     | None -> (
-        if Hashtbl.mem visiting signal then
-          failwith (Printf.sprintf "combinational cycle through %S" signal);
         match Hashtbl.find_opt defs signal with
-        | None -> failwith (Printf.sprintf "undefined signal %S" signal)
+        | None -> (
+            match from with
+            | Some lineno -> fail_line lineno "undefined signal %S" signal
+            | None -> fail_global "undefined signal %S" signal)
         | Some (lineno, cell, args, size) ->
+            if Hashtbl.mem visiting signal then
+              fail_line lineno "combinational cycle through %S" signal;
             Hashtbl.add visiting signal ();
-            let fanin = List.map resolve args in
+            let fanin = List.map (resolve ~from:lineno) args in
             Hashtbl.remove visiting signal;
             let kind = resolve_cell lineno cell ~arity:(List.length args) in
             let id = Builder.gate ~size b kind fanin in
@@ -191,14 +215,28 @@ let of_string ?(name = "netlist") text =
   (* Resolve every definition (not only output cones) so dangling
      definitions are caught by validation rather than dropped. *)
   Hashtbl.iter (fun signal _ -> ignore (resolve signal)) defs;
-  if outputs = [] then failwith "no OUTPUT statements";
+  if outputs = [] then fail_global "no OUTPUT statements";
   List.iter
     (fun signal ->
       match Hashtbl.find_opt ids signal with
       | Some id -> Builder.output b id
-      | None -> failwith (Printf.sprintf "undefined output signal %S" signal))
+      | None -> fail_global "undefined output signal %S" signal)
     outputs;
   Builder.finish b
+
+let of_string_result ?(name = "netlist") text =
+  match of_statements ~name (statements_exn text) with
+  | net -> Ok net
+  | exception Parse_failure e -> Error e
+  | exception Invalid_argument msg ->
+      (* Builder/Netlist validation failures surface as parse errors of
+         the text that produced them. *)
+      Error { line = None; message = msg }
+
+let of_string ?name text =
+  match of_string_result ?name text with
+  | Ok net -> net
+  | Error e -> failwith (parse_error_to_string e)
 
 let write_file path net =
   let oc = open_out path in
@@ -206,14 +244,24 @@ let write_file path net =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string net))
 
-let read_file path =
+let read_text path =
   let ic = open_in path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  of_string ~name:(Filename.remove_extension (Filename.basename path)) text
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_file_result path =
+  match read_text path with
+  | exception Sys_error msg -> Error { line = None; message = msg }
+  | text ->
+      of_string_result
+        ~name:(Filename.remove_extension (Filename.basename path))
+        text
+
+let read_file path =
+  match read_file_result path with
+  | Ok net -> net
+  | Error e -> failwith (parse_error_to_string e)
 
 (* Structural comparison via interned recursive signatures. *)
 let signatures net =

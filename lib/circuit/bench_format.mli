@@ -17,14 +17,44 @@ val to_string : Netlist.t -> string
 (** Render a netlist (stable: inputs, then gates in id order with
     non-default sizes annotated, then outputs). *)
 
+type statement =
+  | St_input of string
+  | St_output of string
+  | St_def of { signal : string; cell : string; args : string list; size : float }
+      (** One parsed `.bench` line (comments and blanks dropped). *)
+
+type parse_error = { line : int option; message : string }
+(** [line] is 1-based; [None] for whole-file problems (I/O failures,
+    missing outputs, netlist-level validation). *)
+
+val parse_error_to_string : parse_error -> string
+
+val statements_of_string :
+  string -> ((int * statement) list, parse_error) result
+(** Tokenise into (line number, statement) pairs without building the
+    netlist — the raw form consumed by structural linting, which can
+    describe problems (cycles, multiple drivers) a {!Netlist.t} cannot
+    represent. *)
+
+val of_string_result : ?name:string -> string -> (Netlist.t, parse_error) result
+(** Parse; all syntax errors, unknown cells, undefined signals, arity
+    mismatches, duplicate definitions and combinational cycles are
+    reported as [Error] with a line number where one is known. *)
+
 val of_string : ?name:string -> string -> Netlist.t
 (** Parse. Raises [Failure] with a line-numbered message on syntax
     errors, unknown cells, undefined signals, arity mismatches,
     duplicate definitions or cycles. *)
 
 val write_file : string -> Netlist.t -> unit
+
+val read_file_result : string -> (Netlist.t, parse_error) result
+(** Like {!of_string_result} for a file; I/O failures ([Sys_error])
+    are captured as [Error] rather than raised. *)
+
 val read_file : string -> Netlist.t
-(** [read_file path] names the netlist after the file's basename. *)
+(** [read_file path] names the netlist after the file's basename.
+    Raises [Failure] on parse {e and} I/O errors. *)
 
 val roundtrip_equal : Netlist.t -> Netlist.t -> bool
 (** Structural equality (same nodes, fanins, sizes, outputs) up to node

@@ -60,6 +60,14 @@ let monte_carlo pipeline rng ~n ~t_target =
   let samples = monte_carlo_distribution pipeline rng ~n in
   Spv_stats.Descriptive.fraction_below samples ~threshold:t_target
 
+let monte_carlo_adaptive ?batch ?min_samples ?rel_se_target ?max_samples
+    pipeline rng ~t_target =
+  if not (Float.is_finite t_target) then
+    invalid_arg "Yield.monte_carlo_adaptive: non-finite t_target";
+  let mvn = Pipeline.mvn pipeline in
+  Spv_stats.Mc.estimate_probability ?batch ?min_samples ?rel_se_target
+    ?max_samples (fun () -> Spv_stats.Mvn.sample_max mvn rng <= t_target)
+
 let monte_carlo_lhs pipeline rng ~n ~t_target =
   if n <= 0 then invalid_arg "Yield.monte_carlo_lhs: n <= 0";
   let mvn = Pipeline.mvn pipeline in

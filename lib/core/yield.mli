@@ -31,6 +31,15 @@ val monte_carlo :
   Pipeline.t -> Spv_stats.Rng.t -> n:int -> t_target:float -> float
 (** Empirical yield from [n] joint stage-delay draws. *)
 
+val monte_carlo_adaptive :
+  ?batch:int -> ?min_samples:int -> ?rel_se_target:float ->
+  ?max_samples:int -> Pipeline.t -> Spv_stats.Rng.t -> t_target:float ->
+  Spv_stats.Mc.report
+(** Empirical yield with a relative-standard-error early stop and a
+    hard sample cap (defaults as in {!Spv_stats.Mc}): the report says
+    whether the estimate converged or merely exhausted its budget.
+    Raises [Invalid_argument] on a non-finite [t_target]. *)
+
 val monte_carlo_distribution :
   Pipeline.t -> Spv_stats.Rng.t -> n:int -> float array
 (** Raw pipeline-delay samples (for histograms and moment checks). *)

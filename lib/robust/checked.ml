@@ -1,0 +1,219 @@
+module Bf = Spv_circuit.Bench_format
+module G = Spv_stats.Gaussian
+
+let ( let* ) = Result.bind
+
+(* ---- the exception-to-typed-error boundary -------------------------- *)
+
+let protect ~where f =
+  match f () with
+  | v -> Ok v
+  | exception Invalid_argument msg -> Error (Errors.domain ~param:where msg)
+  | exception Failure msg -> Error (Errors.numeric ~where msg)
+  | exception Sys_error msg -> Error (Errors.io ~path:where msg)
+  | exception Division_by_zero ->
+      Error (Errors.numeric ~where "division by zero")
+  | exception Stack_overflow ->
+      Error (Errors.numeric ~where "input too deeply nested (stack overflow)")
+  | exception Out_of_memory ->
+      Error (Errors.numeric ~where "input too large (out of memory)")
+  | exception Not_found ->
+      Error (Errors.internal ~where "unhandled Not_found")
+
+(* ---- parsing and linting -------------------------------------------- *)
+
+let warn_diags on_warning diags =
+  List.iter
+    (fun d -> on_warning (Errors.diagnostic_to_string d))
+    (Lint.warnings diags)
+
+let parse_bench_string ?name ?path ?(lint = true) ?(on_warning = ignore) text =
+  match Bf.statements_of_string text with
+  | Error e -> Error (Errors.of_parse_error ?path e)
+  | Ok statements ->
+      let* () =
+        if not lint then Ok ()
+        else begin
+          let diags = Lint.check_source statements in
+          if Lint.has_errors diags then Error (Errors.lint ?path diags)
+          else begin
+            warn_diags on_warning diags;
+            Ok ()
+          end
+        end
+      in
+      let* net =
+        match Bf.of_string_result ?name text with
+        | Ok net -> Ok net
+        | Error e -> Error (Errors.of_parse_error ?path e)
+      in
+      if lint then begin
+        let diags = Lint.check_netlist net in
+        if Lint.has_errors diags then Error (Errors.lint ?path diags)
+        else begin
+          warn_diags on_warning diags;
+          Ok net
+        end
+      end
+      else Ok net
+
+(* Sys_error messages already lead with the path; strip it so the
+   Io_error (which prints the path itself) does not say it twice. *)
+let strip_path_prefix path msg =
+  let prefix = path ^ ": " in
+  if String.length msg > String.length prefix
+     && String.sub msg 0 (String.length prefix) = prefix
+  then String.sub msg (String.length prefix) (String.length msg - String.length prefix)
+  else msg
+
+let slurp path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Errors.io ~path (strip_path_prefix path msg))
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | text -> Ok text
+      | exception Sys_error msg -> Error (Errors.io ~path msg)
+      | exception End_of_file -> Error (Errors.io ~path "truncated read"))
+
+let parse_bench_file ?lint ?on_warning path =
+  let* text = slurp path in
+  parse_bench_string
+    ~name:(Filename.remove_extension (Filename.basename path))
+    ~path ?lint ?on_warning text
+
+let lint_bench_file path =
+  let* text = slurp path in
+  Lint.check_bench_text ~path text
+
+(* ---- moment validation ---------------------------------------------- *)
+
+let validate_moments ~mus ~sigmas =
+  let n = Array.length mus in
+  if n = 0 then Error (Errors.domain ~param:"mu" "no stages given")
+  else if Array.length sigmas <> n then
+    Error
+      (Errors.domain ~param:"sigma"
+         (Printf.sprintf "%d sigmas for %d means" (Array.length sigmas) n))
+  else
+    let* _ = Guard.finite_array ~where:"stage means" mus in
+    let* _ = Guard.finite_array ~where:"stage sigmas" sigmas in
+    if Array.exists (fun s -> s < 0.0) sigmas then
+      Error (Errors.domain ~param:"sigma" "negative sigma")
+    else Ok n
+
+(* ---- pipeline / Clark / yield entry points -------------------------- *)
+
+let pipeline_of_moments ?(on_warning = ignore) ~mus ~sigmas ~rho () =
+  let* n = validate_moments ~mus ~sigmas in
+  let given_rho = rho in
+  let* rho, clamped = Guard.clamp_rho ~where:"pipeline rho" rho in
+  if clamped then
+    on_warning
+      (Printf.sprintf "rho clamped from %.17g to %g" given_rho rho);
+  let* corr =
+    protect ~where:"rho" (fun () -> Spv_stats.Correlation.uniform ~n ~rho)
+  in
+  let stages =
+    Array.init n (fun i ->
+        Spv_core.Stage.of_moments ~mu:mus.(i) ~sigma:sigmas.(i) ())
+  in
+  protect ~where:"pipeline" (fun () -> Spv_core.Pipeline.make stages ~corr)
+
+let pipeline_of_matrix ?(on_warning = ignore) ~mus ~sigmas ~corr () =
+  let* n = validate_moments ~mus ~sigmas in
+  if Spv_stats.Matrix.rows corr <> n || Spv_stats.Matrix.cols corr <> n then
+    Error
+      (Errors.domain ~param:"corr"
+         (Printf.sprintf "correlation is %dx%d for %d stages"
+            (Spv_stats.Matrix.rows corr)
+            (Spv_stats.Matrix.cols corr)
+            n))
+  else
+    let* corr, report = Guard.repair_correlation corr in
+    if report.Guard.repaired then
+      on_warning (Format.asprintf "%a" Guard.pp_psd_report report);
+    let stages =
+      Array.init n (fun i ->
+          Spv_core.Stage.of_moments ~mu:mus.(i) ~sigma:sigmas.(i) ())
+    in
+    protect ~where:"pipeline" (fun () -> Spv_core.Pipeline.make stages ~corr)
+
+let clark_max ?on_warning ?order ~mus ~sigmas ~corr () =
+  let* pipeline = pipeline_of_matrix ?on_warning ~mus ~sigmas ~corr () in
+  let* g =
+    protect ~where:"Clark iterated max" (fun () ->
+        Spv_core.Pipeline.delay_distribution ?order pipeline)
+  in
+  Guard.finite_gaussian ~where:"Clark iterated max" g
+
+let yield_estimate pipeline ~t_target =
+  if not (Float.is_finite t_target) then
+    Error (Errors.domain ~param:"t_target" "must be finite")
+  else
+    let* y =
+      protect ~where:"yield estimate" (fun () ->
+          Spv_core.Yield.estimate pipeline ~t_target)
+    in
+    let* y = Guard.finite ~where:"yield estimate" y in
+    if y < -1e-9 || y > 1.0 +. 1e-9 then
+      Error
+        (Errors.numeric ~where:"yield estimate"
+           (Printf.sprintf "probability %g outside [0, 1]" y))
+    else Ok (Float.max 0.0 (Float.min 1.0 y))
+
+let monte_carlo_yield ?batch ?min_samples ?rel_se_target ?max_samples pipeline
+    rng ~t_target =
+  if not (Float.is_finite t_target) then
+    Error (Errors.domain ~param:"t_target" "must be finite")
+  else
+    let* report =
+      protect ~where:"Monte-Carlo yield" (fun () ->
+          Spv_core.Yield.monte_carlo_adaptive ?batch ?min_samples
+            ?rel_se_target ?max_samples pipeline rng ~t_target)
+    in
+    let* _ =
+      Guard.finite ~where:"Monte-Carlo yield" report.Spv_stats.Mc.probability
+    in
+    Ok report
+
+(* ---- circuit-level entry points ------------------------------------- *)
+
+let ssta_stage ?output_load ?ff tech net =
+  let* g =
+    protect ~where:"SSTA" (fun () ->
+        Spv_circuit.Ssta.stage_gaussian ?output_load ?ff tech net)
+  in
+  Guard.finite_gaussian ~where:"SSTA" g
+
+let size_stage ?options ?ff tech net ~t_target ~z =
+  if not (Float.is_finite t_target && t_target > 0.0) then
+    Error (Errors.domain ~param:"t_target" "must be finite and positive")
+  else if not (Float.is_finite z) then
+    Error (Errors.domain ~param:"z" "must be finite")
+  else
+    let* r =
+      protect ~where:"sizing" (fun () ->
+          Spv_sizing.Lagrangian.size_stage ?options ?ff tech net ~t_target ~z)
+    in
+    let* _ =
+      Guard.finite ~where:"sizing (stat delay)"
+        r.Spv_sizing.Lagrangian.stat_delay
+    in
+    let* _ = Guard.finite ~where:"sizing (area)" r.Spv_sizing.Lagrangian.area in
+    Ok r
+
+(* ---- statistics entry points ---------------------------------------- *)
+
+let ks_against_gaussian samples g =
+  match Spv_stats.Kstest.against_gaussian_checked samples g with
+  | Ok r -> Ok r
+  | Error e -> Error (Errors.of_sample_error ~where:"KS test" e)
+
+let histogram ?bins samples =
+  match Spv_stats.Histogram.of_samples_checked ?bins samples with
+  | Ok h -> Ok h
+  | Error e -> Error (Errors.of_sample_error ~where:"histogram" e)

@@ -1,0 +1,93 @@
+(** Checked entry points: the library's main operations run inside an
+    exception handler that converts [Invalid_argument]/[Failure] (and
+    I/O failures) into typed {!Errors.t} values, with numerical
+    post-conditions (finiteness, probability ranges) verified on the
+    way out.
+
+    The CLI builds exclusively on these, so every failure path maps to
+    a one-line stderr message and a documented exit code. *)
+
+val protect : where:string -> (unit -> 'a) -> ('a, Errors.t) result
+(** Run [f ()], converting escaped exceptions into typed errors:
+    [Invalid_argument] → [Domain_error], [Failure] → [Numeric_error],
+    [Sys_error] → [Io_error], stack/memory exhaustion →
+    [Numeric_error], anything else unexpected → [Internal_error]. *)
+
+(** {1 Parsing and linting} *)
+
+val parse_bench_string :
+  ?name:string -> ?path:string -> ?lint:bool ->
+  ?on_warning:(string -> unit) -> string ->
+  (Spv_circuit.Netlist.t, Errors.t) result
+(** Tokenise, lint (unless [lint:false]) and build.  Structural
+    defects of [Err] severity become {!Errors.Lint_error}; [Warn]
+    diagnostics are passed to [on_warning] (default: dropped) and do
+    not fail the parse. *)
+
+val parse_bench_file :
+  ?lint:bool -> ?on_warning:(string -> unit) -> string ->
+  (Spv_circuit.Netlist.t, Errors.t) result
+(** Like {!parse_bench_string} for a file path.  An unreadable file —
+    including one deleted between an existence check and the read — is
+    {!Errors.Io_error}, never a raised [Sys_error]. *)
+
+val lint_bench_file :
+  string -> (Errors.diagnostic list, Errors.t) result
+(** All diagnostics (errors and warnings) for a `.bench` file, without
+    failing on [Err]-severity findings; [Error] only for I/O or
+    tokenisation problems. *)
+
+(** {1 Pipeline model} *)
+
+val pipeline_of_moments :
+  ?on_warning:(string -> unit) -> mus:float array -> sigmas:float array ->
+  rho:float -> unit -> (Spv_core.Pipeline.t, Errors.t) result
+(** Stage moments + uniform correlation.  Validates lengths,
+    finiteness, sigma sign and the admissible rho range
+    [[-1/(n-1), 1]]; rho within 1e-6 outside [-1, 1] is clamped with a
+    warning. *)
+
+val pipeline_of_matrix :
+  ?on_warning:(string -> unit) -> mus:float array -> sigmas:float array ->
+  corr:Spv_stats.Matrix.t -> unit -> (Spv_core.Pipeline.t, Errors.t) result
+(** Stage moments + explicit correlation matrix; a non-PSD matrix is
+    repaired via {!Guard.repair_correlation} with a warning. *)
+
+val clark_max :
+  ?on_warning:(string -> unit) -> ?order:Spv_core.Clark.order ->
+  mus:float array -> sigmas:float array -> corr:Spv_stats.Matrix.t ->
+  unit -> (Spv_stats.Gaussian.t, Errors.t) result
+(** Clark iterated max of the stage delays, with the finiteness
+    post-condition checked on the result. *)
+
+val yield_estimate :
+  Spv_core.Pipeline.t -> t_target:float -> (float, Errors.t) result
+(** {!Spv_core.Yield.estimate} with [t_target] finiteness checked and
+    the result verified finite and clamped into [0, 1]. *)
+
+val monte_carlo_yield :
+  ?batch:int -> ?min_samples:int -> ?rel_se_target:float ->
+  ?max_samples:int -> Spv_core.Pipeline.t -> Spv_stats.Rng.t ->
+  t_target:float -> (Spv_stats.Mc.report, Errors.t) result
+(** Adaptive Monte-Carlo yield (see {!Spv_stats.Mc}): early-stops on
+    relative standard error, hard-capped at [max_samples]. *)
+
+(** {1 Circuit timing and sizing} *)
+
+val ssta_stage :
+  ?output_load:float -> ?ff:Spv_process.Flipflop.t -> Spv_process.Tech.t ->
+  Spv_circuit.Netlist.t -> (Spv_stats.Gaussian.t, Errors.t) result
+
+val size_stage :
+  ?options:Spv_sizing.Lagrangian.options -> ?ff:Spv_process.Flipflop.t ->
+  Spv_process.Tech.t -> Spv_circuit.Netlist.t -> t_target:float -> z:float ->
+  (Spv_sizing.Lagrangian.report, Errors.t) result
+
+(** {1 Statistics} *)
+
+val ks_against_gaussian :
+  float array -> Spv_stats.Gaussian.t ->
+  (Spv_stats.Kstest.result, Errors.t) result
+
+val histogram :
+  ?bins:int -> float array -> (Spv_stats.Histogram.t, Errors.t) result

@@ -1,0 +1,358 @@
+module M = Spv_stats.Matrix
+module G = Spv_stats.Gaussian
+
+type expectation = Expect_error | Expect_ok | Expect_either
+
+type case = {
+  name : string;
+  expect : expectation;
+  run : unit -> (string, Errors.t) result;
+}
+
+type outcome =
+  | Ok_value of string
+  | Typed_error of Errors.t
+  | Escaped of string
+
+type verdict = Pass | Fail of string
+
+let run_case c =
+  match c.run () with
+  | Ok s -> Ok_value s
+  | Error e -> Typed_error e
+  | exception e -> Escaped (Printexc.to_string e)
+
+let verdict c outcome =
+  match (outcome, c.expect) with
+  | Escaped msg, _ -> Fail ("uncaught exception: " ^ msg)
+  | Ok_value v, Expect_error ->
+      Fail ("expected a typed error, got a value: " ^ v)
+  | Typed_error e, Expect_ok ->
+      Fail ("expected success, got: " ^ Errors.to_string e)
+  | _ -> Pass
+
+(* ---- helpers -------------------------------------------------------- *)
+
+(* Every value a case reports back is finiteness-checked here, so a
+   silently propagated NaN turns an Expect_ok case into a failure. *)
+let show name x =
+  if Float.is_finite x then Ok (Printf.sprintf "%s=%g" name x)
+  else
+    Error (Errors.numeric ~where:name (Printf.sprintf "non-finite %g" x))
+
+let show_gaussian name g =
+  if Float.is_finite (G.mu g) && Float.is_finite (G.sigma g) then
+    Ok (Printf.sprintf "%s=N(%g, %g)" name (G.mu g) (G.sigma g))
+  else Error (Errors.numeric ~where:name "non-finite distribution")
+
+let ( let* ) = Result.bind
+
+let parse ?(expect = Expect_error) name text =
+  {
+    name;
+    expect;
+    run =
+      (fun () ->
+        let* net = Checked.parse_bench_string text in
+        Ok (Printf.sprintf "%d gates" (Spv_circuit.Netlist.n_gates net)));
+  }
+
+let moments ?(expect = Expect_error) name ~mus ~sigmas ~rho ~t_target =
+  {
+    name;
+    expect;
+    run =
+      (fun () ->
+        let* p = Checked.pipeline_of_moments ~mus ~sigmas ~rho () in
+        let* y = Checked.yield_estimate p ~t_target in
+        show "yield" y);
+  }
+
+let clark ?(expect = Expect_error) name ~mus ~sigmas ~corr =
+  {
+    name;
+    expect;
+    run =
+      (fun () ->
+        let* g = Checked.clark_max ~mus ~sigmas ~corr () in
+        show_gaussian "max" g);
+  }
+
+let tech = Spv_process.Tech.bptm70
+
+let small_net () = Spv_circuit.Generators.inverter_chain ~depth:4 ()
+
+(* ---- the corpus ----------------------------------------------------- *)
+
+let corpus () =
+  [
+    (* -- malformed .bench text -- *)
+    parse "bench/truncated-def" "INPUT(a)\ny = NAND(a";
+    parse "bench/truncated-input" "INPUT(a\ny = INV(a)\nOUTPUT(y)\n";
+    parse "bench/garbled" "\xff\xfe\x00 not a bench file at all";
+    parse "bench/empty-text" "";
+    parse "bench/comment-only" "# just a comment\n\n";
+    parse "bench/no-outputs" "INPUT(a)\ny = INV(a)\n";
+    parse "bench/undefined-signal" "INPUT(a)\ny = INV(zzz)\nOUTPUT(y)\n";
+    parse "bench/undefined-output" "INPUT(a)\ny = INV(a)\nOUTPUT(q)\n";
+    parse "bench/multiply-driven"
+      "INPUT(a)\nn1 = INV(a)\nn1 = BUF(a)\nOUTPUT(n1)\n";
+    parse "bench/input-redefined" "INPUT(a)\na = INV(a)\nOUTPUT(a)\n";
+    parse "bench/combinational-loop"
+      "INPUT(a)\nx = INV(y)\ny = INV(x)\nOUTPUT(y)\n";
+    parse "bench/self-loop" "INPUT(a)\nx = INV(x)\nOUTPUT(x)\n";
+    parse "bench/unknown-cell" "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n";
+    parse "bench/bad-arity" "INPUT(a)\ny = XOR(a)\nOUTPUT(y)\n";
+    parse "bench/bad-size" "INPUT(a)\ny = INV(a) [size=zero]\nOUTPUT(y)\n";
+    parse "bench/negative-size" "INPUT(a)\ny = INV(a) [size=-2]\nOUTPUT(y)\n";
+    parse "bench/zero-fanin" "INPUT(a)\ny = AND()\nOUTPUT(y)\n";
+    parse "bench/wire-only-circuit" "INPUT(a)\nOUTPUT(a)\n";
+    parse ~expect:Expect_ok "bench/dangling-definition-warns"
+      "INPUT(a)\ny = INV(a)\ndead = BUF(a)\nOUTPUT(y)\n";
+    parse ~expect:Expect_ok "bench/unused-input-warns"
+      "INPUT(a)\nINPUT(b)\ny = INV(a)\nOUTPUT(y)\n";
+    parse ~expect:Expect_ok "bench/duplicate-output-warns"
+      "INPUT(a)\ny = INV(a)\nOUTPUT(y)\nOUTPUT(y)\n";
+    {
+      name = "bench/missing-file";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* net =
+            Checked.parse_bench_file "/nonexistent/path/to/circuit.bench"
+          in
+          Ok (Spv_circuit.Netlist.name net));
+    };
+    {
+      name = "bench/directory-as-file";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* net = Checked.parse_bench_file "/" in
+          Ok (Spv_circuit.Netlist.name net));
+    };
+    (* -- degenerate stage moments -- *)
+    moments "moments/nan-sigma" ~mus:[| 100.0 |] ~sigmas:[| Float.nan |]
+      ~rho:0.0 ~t_target:110.0;
+    moments "moments/inf-mu"
+      ~mus:[| Float.infinity; 100.0 |]
+      ~sigmas:[| 5.0; 5.0 |] ~rho:0.0 ~t_target:110.0;
+    moments "moments/negative-sigma" ~mus:[| 100.0 |] ~sigmas:[| -5.0 |]
+      ~rho:0.0 ~t_target:110.0;
+    moments "moments/empty-stage-list" ~mus:[||] ~sigmas:[||] ~rho:0.0
+      ~t_target:110.0;
+    moments "moments/length-mismatch" ~mus:[| 100.0; 90.0 |]
+      ~sigmas:[| 5.0 |] ~rho:0.0 ~t_target:110.0;
+    moments "moments/rho-far-out" ~mus:[| 100.0; 90.0 |]
+      ~sigmas:[| 5.0; 5.0 |] ~rho:1.5 ~t_target:110.0;
+    moments "moments/rho-nan" ~mus:[| 100.0; 90.0 |] ~sigmas:[| 5.0; 5.0 |]
+      ~rho:Float.nan ~t_target:110.0;
+    moments ~expect:Expect_ok "moments/rho-fp-overshoot"
+      ~mus:[| 100.0; 90.0 |] ~sigmas:[| 5.0; 5.0 |]
+      ~rho:(1.0 +. 1e-9) ~t_target:110.0;
+    moments "moments/rho-below-admissible" ~mus:[| 100.0; 90.0; 95.0; 97.0 |]
+      ~sigmas:[| 5.0; 5.0; 5.0; 5.0 |] ~rho:(-0.5) ~t_target:110.0;
+    moments ~expect:Expect_ok "moments/all-sigmas-zero"
+      ~mus:[| 100.0; 90.0 |] ~sigmas:[| 0.0; 0.0 |] ~rho:0.0 ~t_target:95.0;
+    moments ~expect:Expect_ok "moments/extreme-target-high"
+      ~mus:[| 100.0; 90.0 |] ~sigmas:[| 5.0; 5.0 |] ~rho:0.3 ~t_target:1e30;
+    moments ~expect:Expect_ok "moments/extreme-target-low"
+      ~mus:[| 100.0; 90.0 |] ~sigmas:[| 5.0; 5.0 |] ~rho:0.3
+      ~t_target:(-1e30);
+    {
+      name = "moments/target-nan";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* p =
+            Checked.pipeline_of_moments ~mus:[| 100.0 |] ~sigmas:[| 5.0 |]
+              ~rho:0.0 ()
+          in
+          let* y = Checked.yield_estimate p ~t_target:Float.nan in
+          show "yield" y);
+    };
+    {
+      name = "moments/target-inf";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* p =
+            Checked.pipeline_of_moments ~mus:[| 100.0 |] ~sigmas:[| 5.0 |]
+              ~rho:0.0 ()
+          in
+          let* y = Checked.yield_estimate p ~t_target:Float.infinity in
+          show "yield" y);
+    };
+    (* -- correlation matrices -- *)
+    clark ~expect:Expect_ok "corr/non-psd-repaired"
+      ~mus:[| 100.0; 95.0; 90.0 |] ~sigmas:[| 5.0; 5.0; 5.0 |]
+      ~corr:
+        (M.of_arrays
+           [|
+             [| 1.0; 0.9; 0.9 |]; [| 0.9; 1.0; -0.9 |]; [| 0.9; -0.9; 1.0 |];
+           |]);
+    clark "corr/non-symmetric" ~mus:[| 100.0; 95.0 |] ~sigmas:[| 5.0; 5.0 |]
+      ~corr:(M.of_arrays [| [| 1.0; 0.5 |]; [| -0.5; 1.0 |] |]);
+    clark "corr/nan-entry" ~mus:[| 100.0; 95.0 |] ~sigmas:[| 5.0; 5.0 |]
+      ~corr:(M.of_arrays [| [| 1.0; Float.nan |]; [| Float.nan; 1.0 |] |]);
+    clark "corr/bad-diagonal" ~mus:[| 100.0; 95.0 |] ~sigmas:[| 5.0; 5.0 |]
+      ~corr:(M.of_arrays [| [| 2.0; 0.5 |]; [| 0.5; 2.0 |] |]);
+    clark "corr/entry-out-of-range" ~mus:[| 100.0; 95.0 |]
+      ~sigmas:[| 5.0; 5.0 |]
+      ~corr:(M.of_arrays [| [| 1.0; 1.7 |]; [| 1.7; 1.0 |] |]);
+    clark "corr/wrong-dimension" ~mus:[| 100.0; 95.0; 90.0 |]
+      ~sigmas:[| 5.0; 5.0; 5.0 |]
+      ~corr:(M.of_arrays [| [| 1.0; 0.5 |]; [| 0.5; 1.0 |] |]);
+    clark ~expect:Expect_ok "corr/equal-means-degenerate"
+      ~mus:[| 100.0; 100.0 |] ~sigmas:[| 0.0; 0.0 |]
+      ~corr:(M.of_arrays [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |]);
+    (* -- Monte-Carlo budgets -- *)
+    {
+      name = "mc/zero-sample-cap";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* p =
+            Checked.pipeline_of_moments ~mus:[| 100.0 |] ~sigmas:[| 5.0 |]
+              ~rho:0.0 ()
+          in
+          let rng = Spv_stats.Rng.create ~seed:7 in
+          let* r =
+            Checked.monte_carlo_yield ~max_samples:0 p rng ~t_target:105.0
+          in
+          show "mc yield" r.Spv_stats.Mc.probability);
+    };
+    {
+      name = "mc/nan-rel-se-target";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* p =
+            Checked.pipeline_of_moments ~mus:[| 100.0 |] ~sigmas:[| 5.0 |]
+              ~rho:0.0 ()
+          in
+          let rng = Spv_stats.Rng.create ~seed:7 in
+          let* r =
+            Checked.monte_carlo_yield ~rel_se_target:Float.nan p rng
+              ~t_target:105.0
+          in
+          show "mc yield" r.Spv_stats.Mc.probability);
+    };
+    {
+      name = "mc/impossible-target-hits-cap";
+      expect = Expect_ok;
+      run =
+        (fun () ->
+          (* Yield ~0: the relative-SE criterion can never converge, so
+             the hard cap must stop the loop and say so. *)
+          let* p =
+            Checked.pipeline_of_moments ~mus:[| 100.0 |] ~sigmas:[| 1.0 |]
+              ~rho:0.0 ()
+          in
+          let rng = Spv_stats.Rng.create ~seed:7 in
+          let* r =
+            Checked.monte_carlo_yield ~max_samples:4096 p rng ~t_target:50.0
+          in
+          if r.Spv_stats.Mc.hit_cap && not r.Spv_stats.Mc.converged then
+            show "mc yield" r.Spv_stats.Mc.probability
+          else
+            Error
+              (Errors.internal ~where:"mc"
+                 "cap not reported as budget exhaustion"));
+    };
+    (* -- degenerate samples into statistics -- *)
+    {
+      name = "stats/ks-empty-sample";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* r =
+            Checked.ks_against_gaussian [||] (G.make ~mu:0.0 ~sigma:1.0)
+          in
+          show "ks" r.Spv_stats.Kstest.statistic);
+    };
+    {
+      name = "stats/ks-nan-sample";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* r =
+            Checked.ks_against_gaussian
+              [| 1.0; Float.nan; 2.0 |]
+              (G.make ~mu:0.0 ~sigma:1.0)
+          in
+          show "ks" r.Spv_stats.Kstest.statistic);
+    };
+    {
+      name = "stats/histogram-empty";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* h = Checked.histogram [||] in
+          show "bins" (float_of_int (Spv_stats.Histogram.bins h)));
+    };
+    {
+      name = "stats/histogram-inf-sample";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* h = Checked.histogram [| 1.0; Float.infinity |] in
+          show "bins" (float_of_int (Spv_stats.Histogram.bins h)));
+    };
+    (* -- sizing -- *)
+    {
+      name = "sizing/nan-target";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* r =
+            Checked.size_stage tech (small_net ()) ~t_target:Float.nan ~z:1.6
+          in
+          show "area" r.Spv_sizing.Lagrangian.area);
+    };
+    {
+      name = "sizing/negative-target";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* r =
+            Checked.size_stage tech (small_net ()) ~t_target:(-50.0) ~z:1.6
+          in
+          show "area" r.Spv_sizing.Lagrangian.area);
+    };
+    {
+      name = "sizing/nan-z";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* r =
+            Checked.size_stage tech (small_net ()) ~t_target:200.0
+              ~z:Float.nan
+          in
+          show "area" r.Spv_sizing.Lagrangian.area);
+    };
+    (* -- healthy controls: the harness must not reject good input -- *)
+    {
+      name = "control/ssta-healthy-netlist";
+      expect = Expect_ok;
+      run =
+        (fun () ->
+          let* g = Checked.ssta_stage tech (small_net ()) in
+          show_gaussian "stage" g);
+    };
+    moments ~expect:Expect_ok "control/healthy-pipeline"
+      ~mus:[| 100.0; 95.0; 90.0 |] ~sigmas:[| 5.0; 4.0; 3.0 |] ~rho:0.3
+      ~t_target:110.0;
+  ]
+
+let run_all () =
+  List.map
+    (fun c ->
+      let o = run_case c in
+      (c, o, verdict c o))
+    (corpus ())
+
+let failures results =
+  List.filter_map
+    (fun (c, o, v) -> match v with Pass -> None | Fail msg -> Some (c, o, msg))
+    results

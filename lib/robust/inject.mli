@@ -1,0 +1,43 @@
+(** Fault-injection corpus: systematic malformed inputs driven through
+    every {!Checked} entry point.
+
+    Each case records what a hardened library must do with it: return a
+    typed {!Errors.t} ([Expect_error]), succeed with a finite,
+    documented-fallback value ([Expect_ok]), or either
+    ([Expect_either]).  An uncaught exception or a non-finite result is
+    a failure regardless of expectation — that is the invariant the
+    test suite asserts. *)
+
+type expectation = Expect_error | Expect_ok | Expect_either
+
+type case = {
+  name : string;
+  expect : expectation;
+  run : unit -> (string, Errors.t) result;
+      (** [Ok summary] where all reported numbers have been
+          finiteness-checked; [Error] is a typed failure. *)
+}
+
+type outcome =
+  | Ok_value of string
+  | Typed_error of Errors.t
+  | Escaped of string  (** an exception leaked through [Checked] *)
+
+type verdict = Pass | Fail of string
+
+val corpus : unit -> case list
+(** The full corpus ([> 25] cases): malformed .bench text, I/O faults,
+    degenerate stage moments, broken correlation matrices, bad
+    Monte-Carlo budgets, degenerate samples, sizing faults, plus
+    healthy controls. *)
+
+val run_case : case -> outcome
+
+val verdict : case -> outcome -> verdict
+(** [Escaped] always fails; [Ok_value] fails an [Expect_error] case;
+    [Typed_error] fails an [Expect_ok] case. *)
+
+val run_all : unit -> (case * outcome * verdict) list
+
+val failures :
+  (case * outcome * verdict) list -> (case * outcome * string) list

@@ -1,6 +1,23 @@
 let check_nonempty name a =
   if Array.length a = 0 then invalid_arg (name ^ ": empty array")
 
+type sample_error = Empty_sample | Non_finite_sample of int
+
+let sample_error_to_string = function
+  | Empty_sample -> "empty sample"
+  | Non_finite_sample i ->
+      Printf.sprintf "non-finite value at sample index %d" i
+
+let validate_samples a =
+  if Array.length a = 0 then Error Empty_sample
+  else begin
+    let bad = ref (-1) in
+    Array.iteri
+      (fun i x -> if !bad < 0 && not (Float.is_finite x) then bad := i)
+      a;
+    if !bad >= 0 then Error (Non_finite_sample !bad) else Ok ()
+  end
+
 let mean a =
   check_nonempty "Descriptive.mean" a;
   Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)

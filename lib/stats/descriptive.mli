@@ -1,5 +1,16 @@
 (** Descriptive statistics over float arrays (Monte-Carlo post-processing). *)
 
+type sample_error = Empty_sample | Non_finite_sample of int
+(** Structural defects of a sample array, for the modules
+    ({!Kstest}, {!Histogram}) whose statistics are meaningless on
+    empty or NaN/infinity-containing data.
+    [Non_finite_sample i] carries the first offending index. *)
+
+val sample_error_to_string : sample_error -> string
+
+val validate_samples : float array -> (unit, sample_error) result
+(** [Ok ()] iff the array is non-empty and every entry is finite. *)
+
 val mean : float array -> float
 (** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
 

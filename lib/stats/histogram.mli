@@ -8,11 +8,18 @@ val create : lo:float -> hi:float -> bins:int -> t
 
 val of_samples : ?bins:int -> float array -> t
 (** Histogram spanning the sample range (slightly widened); default 50
-    bins. Requires a non-empty array. *)
+    bins. Raises [Invalid_argument] on an empty or
+    NaN/infinity-containing array. *)
+
+val of_samples_checked :
+  ?bins:int -> float array -> (t, Descriptive.sample_error) result
+(** Non-raising variant of {!of_samples}: a degenerate sample is a
+    typed error. *)
 
 val add : t -> float -> unit
 (** Insert one observation.  Values outside the range are counted in
-    the under/overflow totals, not in any bin. *)
+    the under/overflow totals, not in any bin; non-finite values are
+    counted in {!rejected} and never binned. *)
 
 val add_all : t -> float array -> unit
 
@@ -23,6 +30,10 @@ val total : t -> int
 
 val underflow : t -> int
 val overflow : t -> int
+
+val rejected : t -> int
+(** Non-finite observations passed to {!add} (never binned, not part
+    of {!total}). *)
 
 val bin_center : t -> int -> float
 val bin_width : t -> float

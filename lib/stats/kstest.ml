@@ -19,8 +19,12 @@ let kolmogorov_sf lambda =
   end
 
 let against_cdf samples ~cdf =
+  (match Descriptive.validate_samples samples with
+  | Ok () -> ()
+  | Error e ->
+      invalid_arg
+        ("Kstest.against_cdf: " ^ Descriptive.sample_error_to_string e));
   let n = Array.length samples in
-  if n = 0 then invalid_arg "Kstest.against_cdf: empty sample";
   let sorted = Array.copy samples in
   Array.sort compare sorted;
   let d = ref 0.0 in
@@ -36,3 +40,11 @@ let against_cdf samples ~cdf =
   { statistic = !d; p_value = kolmogorov_sf lambda; n }
 
 let against_gaussian samples g = against_cdf samples ~cdf:(Gaussian.cdf g)
+
+let against_cdf_checked samples ~cdf =
+  match Descriptive.validate_samples samples with
+  | Ok () -> Ok (against_cdf samples ~cdf)
+  | Error e -> Error e
+
+let against_gaussian_checked samples g =
+  against_cdf_checked samples ~cdf:(Gaussian.cdf g)

@@ -11,9 +11,20 @@ type result = {
 
 val against_cdf : float array -> cdf:(float -> float) -> result
 (** KS distance of a sample against an arbitrary reference CDF.
-    Requires a non-empty sample. *)
+    Raises [Invalid_argument] on an empty or NaN/infinity-containing
+    sample, whose order statistics are meaningless. *)
 
 val against_gaussian : float array -> Gaussian.t -> result
+
+val against_cdf_checked :
+  float array -> cdf:(float -> float) ->
+  (result, Descriptive.sample_error) Stdlib.result
+(** Non-raising variant: a degenerate sample is a typed error. *)
+
+val against_gaussian_checked :
+  float array ->
+  Gaussian.t ->
+  (result, Descriptive.sample_error) Stdlib.result
 
 val kolmogorov_sf : float -> float
 (** Survival function Q_KS(lambda) = 2 sum_{k>=1} (-1)^{k-1}

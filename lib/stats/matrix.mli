@@ -35,6 +35,13 @@ val cholesky_psd : ?jitter:float -> t -> t
     perfectly-correlated stage delays, rho = 1) by adding a tiny
     diagonal jitter on failure. *)
 
+val sym_eig : ?max_sweeps:int -> t -> float array * t
+(** Eigendecomposition of a symmetric matrix by cyclic Jacobi
+    rotations: [(lambda, v)] with [a = v * diag lambda * v^T] and the
+    i-th eigenvector in column i of [v].  Eigenvalues are unsorted.
+    Raises [Invalid_argument] for a non-square or non-symmetric
+    input. *)
+
 val solve_lower : t -> float array -> float array
 (** Forward substitution [l x = b] with lower-triangular [l]. *)
 

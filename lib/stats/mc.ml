@@ -1,0 +1,59 @@
+type report = {
+  probability : float;
+  std_error : float;
+  samples : int;
+  converged : bool;
+  hit_cap : bool;
+}
+
+let rel_std_error ~p ~se =
+  if se = 0.0 then 0.0 else if p <= 0.0 then infinity else se /. p
+
+let estimate_probability ?(batch = 1024) ?(min_samples = 1_000)
+    ?(rel_se_target = 0.01) ?(max_samples = 1_000_000) trial =
+  if batch <= 0 then invalid_arg "Mc.estimate_probability: batch <= 0";
+  if min_samples <= 0 then
+    invalid_arg "Mc.estimate_probability: min_samples <= 0";
+  if max_samples <= 0 then
+    invalid_arg "Mc.estimate_probability: max_samples <= 0";
+  if not (Float.is_finite rel_se_target && rel_se_target > 0.0) then
+    invalid_arg "Mc.estimate_probability: rel_se_target must be finite > 0";
+  let successes = ref 0 and n = ref 0 in
+  let moments () =
+    let fn = float_of_int !n in
+    let p = float_of_int !successes /. fn in
+    let se = sqrt (Float.max (p *. (1.0 -. p)) 0.0 /. fn) in
+    (p, se)
+  in
+  let done_ = ref false and converged = ref false in
+  while not !done_ do
+    let take = Stdlib.min batch (max_samples - !n) in
+    for _ = 1 to take do
+      if trial () then incr successes
+    done;
+    n := !n + take;
+    let p, se = moments () in
+    (* A run of all-failures (p = 0) can never satisfy a relative
+       criterion; only the cap stops it. *)
+    if !n >= min_samples && p > 0.0 && rel_std_error ~p ~se <= rel_se_target
+    then begin
+      converged := true;
+      done_ := true
+    end
+    else if !n >= max_samples then done_ := true
+  done;
+  let p, se = moments () in
+  {
+    probability = p;
+    std_error = se;
+    samples = !n;
+    converged = !converged;
+    hit_cap = (not !converged) && !n >= max_samples;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "p=%.6g +- %.2g (n=%d, %s)" r.probability r.std_error
+    r.samples
+    (if r.converged then "converged"
+     else if r.hit_cap then "budget exhausted"
+     else "stopped")

@@ -1,0 +1,35 @@
+(** Sequential Monte-Carlo probability estimation with a convergence
+    contract.
+
+    Fixed-[n] estimators cannot tell the caller whether the answer is
+    trustworthy; this runs Bernoulli trials in batches until the
+    relative standard error of the estimate reaches a target or a hard
+    sample cap is hit, and reports which of the two happened. *)
+
+type report = {
+  probability : float;  (** point estimate p̂ = successes / samples *)
+  std_error : float;  (** binomial standard error sqrt(p̂(1-p̂)/n) *)
+  samples : int;  (** trials actually consumed *)
+  converged : bool;  (** relative-SE target reached before the cap *)
+  hit_cap : bool;  (** stopped by [max_samples] without converging *)
+}
+
+val estimate_probability :
+  ?batch:int ->
+  ?min_samples:int ->
+  ?rel_se_target:float ->
+  ?max_samples:int ->
+  (unit -> bool) ->
+  report
+(** [estimate_probability trial] runs [trial] in batches (default 1024)
+    until either at least [min_samples] (default 1000) trials have run
+    {e and} [std_error / probability <= rel_se_target] (default 0.01),
+    or [max_samples] (default 1_000_000) trials are consumed.  An
+    all-failure run can never meet a relative criterion and stops at
+    the cap with [converged = false].  Raises [Invalid_argument] on
+    non-positive budgets or a non-finite/non-positive target. *)
+
+val rel_std_error : p:float -> se:float -> float
+(** [se / p]; 0 when [se] is 0, infinite when [p] is 0 with [se > 0]. *)
+
+val pp : Format.formatter -> report -> unit

@@ -161,6 +161,57 @@ let prop_max2_commutative =
       abs_float (G.mu x -. G.mu y) < 1e-9
       && abs_float (G.sigma x -. G.sigma y) < 1e-9)
 
+let test_max2_rho_extremes () =
+  (* The closed form E[max] = sqrt((1-rho)/pi) for iid N(0,1) holds at
+     the boundary correlations too. *)
+  let g = G.make ~mu:0.0 ~sigma:1.0 in
+  let anti = Clark.max2_moments g g ~rho:(-1.0) in
+  check_close ~rel:1e-10 "mean at rho=-1"
+    (sqrt (2.0 /. Float.pi))
+    anti.Clark.mean;
+  (* rho = 1 with equal sigmas hits the degenerate a < threshold branch:
+     the two variables are the same variable. *)
+  let full = Clark.max2_moments g g ~rho:1.0 in
+  check_float "mean at rho=1" 0.0 full.Clark.mean;
+  check_float "variance at rho=1" 1.0 full.Clark.variance
+
+let test_max2_both_sigmas_zero () =
+  (* Two constants: the max is the larger one, exactly, with zero
+     variance — and nothing divides by the zero spread. *)
+  let m =
+    Clark.max2_moments (G.make ~mu:3.0 ~sigma:0.0) (G.make ~mu:7.0 ~sigma:0.0)
+      ~rho:0.0
+  in
+  check_float "mean" 7.0 m.Clark.mean;
+  check_float "variance" 0.0 m.Clark.variance
+
+let test_max2_equal_means_degenerate () =
+  (* Equal means AND a below the degenerate threshold: either branch is
+     the same answer; the correlation with such a zero-spread max is
+     defined as 0 rather than 0/0. *)
+  let g = G.make ~mu:5.0 ~sigma:0.0 in
+  let m = Clark.max2_moments g g ~rho:0.0 in
+  check_float "mean" 5.0 m.Clark.mean;
+  check_float "variance" 0.0 m.Clark.variance;
+  check_float "corr with degenerate max" 0.0
+    (Clark.correlation_with_max ~s1:0.0 ~s2:0.0 ~r1:0.5 ~r2:0.5 m)
+
+let prop_correlation_with_max_bounded =
+  prop ~count:300 "correlation_with_max finite and in [-1,1]"
+    QCheck2.Gen.(
+      tup4
+        (pair (float_range (-50.0) 50.0) (float_range 0.0 10.0))
+        (pair (float_range (-50.0) 50.0) (float_range 0.0 10.0))
+        (float_range (-0.95) 0.95)
+        (pair (float_range (-0.95) 0.95) (float_range (-0.95) 0.95)))
+    (fun ((m1, s1), (m2, s2), rho, (r1, r2)) ->
+      let m =
+        Clark.max2_moments (G.make ~mu:m1 ~sigma:s1) (G.make ~mu:m2 ~sigma:s2)
+          ~rho
+      in
+      let r = Clark.correlation_with_max ~s1 ~s2 ~r1 ~r2 m in
+      Float.is_finite r && r >= -1.0 && r <= 1.0)
+
 let suite =
   [
     quick "max2 dominant" test_max2_dominant;
@@ -177,6 +228,10 @@ let suite =
     quick "exact cdf" test_exact_cdf_independent;
     quick "fold order insensitivity" test_order_matters_only_slightly;
     quick "errors" test_errors;
+    quick "max2 rho extremes" test_max2_rho_extremes;
+    quick "max2 both sigmas zero" test_max2_both_sigmas_zero;
+    quick "max2 equal means degenerate" test_max2_equal_means_degenerate;
     prop_max_n_above_jensen;
     prop_max2_commutative;
+    prop_correlation_with_max_bounded;
   ]
