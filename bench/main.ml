@@ -6,9 +6,124 @@
      main.exe                 run everything
      main.exe fig2 table1     run selected experiments
      main.exe --no-perf       skip the Bechamel section
+     main.exe --jobs N        widen the engine scaling sweep to N domains
      main.exe --list          list experiment ids *)
 
 module E = Spv_experiments
+module Engine = Spv_engine.Engine
+
+(* --- engine parallel-scaling study ----------------------------------- *)
+
+(* Parallel throughput needs wall-clock time: Sys.time counts CPU
+   seconds summed over domains, which stays flat (or grows) as workers
+   are added even when elapsed time shrinks. *)
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let jobs_sweep = ref [| 1; 2; 4 |]
+
+type scaling_row = { jobs : int; seconds : float; trials_per_sec : float }
+
+type scaling_workload = {
+  w_name : string;
+  w_trials : int;
+  w_rows : scaling_row list;
+}
+
+let scale_workload ~name ~trials run =
+  run ~jobs:1 ~n:(min 512 trials);
+  let w_rows =
+    Array.to_list
+      (Array.map
+         (fun jobs ->
+           let seconds = wall (fun () -> run ~jobs ~n:trials) in
+           { jobs; seconds; trials_per_sec = float_of_int trials /. seconds })
+         !jobs_sweep)
+  in
+  { w_name = name; w_trials = trials; w_rows }
+
+let engine_workloads () =
+  let tech = E.Common.base_tech in
+  let ff = Spv_process.Flipflop.default tech in
+  let moments_ctx =
+    let stages =
+      Array.init 12 (fun i ->
+          Spv_core.Stage.of_moments ~mu:(100.0 +. float_of_int i) ~sigma:5.0 ())
+    in
+    Engine.Ctx.of_pipeline
+      (Spv_core.Pipeline.make stages
+         ~corr:(Spv_stats.Correlation.uniform ~n:12 ~rho:0.3))
+  in
+  let gate_ctx depths =
+    Engine.Ctx.of_circuits ~ff tech
+      (Spv_circuit.Generators.variable_depth_pipeline ~depths ())
+  in
+  let ctx_8x5 = gate_ctx (Array.make 8 5) in
+  let ctx_5x8 = gate_ctx (Array.make 5 8) in
+  [
+    scale_workload ~name:"mc-moments-12stage" ~trials:100_000
+      (fun ~jobs ~n ->
+        ignore
+          (Engine.yield ~method_:Engine.Mc ~jobs ~n moments_ctx
+             ~t_target:115.0));
+    scale_workload ~name:"gate-level-8x5" ~trials:4_000 (fun ~jobs ~n ->
+        ignore (Engine.gate_level_delays ~jobs ctx_8x5 ~n));
+    scale_workload ~name:"gate-level-5x8" ~trials:4_000 (fun ~jobs ~n ->
+        ignore (Engine.gate_level_delays ~jobs ctx_5x8 ~n));
+  ]
+
+let write_engine_json path workloads =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"recommended_domains\": %d,\n"
+    (Domain.recommended_domain_count ());
+  Buffer.add_string b "  \"workloads\": [\n";
+  List.iteri
+    (fun i w ->
+      let base = (List.hd w.w_rows).trials_per_sec in
+      Printf.bprintf b "    {\"name\": %S, \"trials\": %d, \"rows\": [\n"
+        w.w_name w.w_trials;
+      List.iteri
+        (fun j r ->
+          Printf.bprintf b
+            "      {\"jobs\": %d, \"seconds\": %.6f, \"trials_per_sec\": \
+             %.1f, \"speedup_vs_jobs1\": %.3f}%s\n"
+            r.jobs r.seconds r.trials_per_sec
+            (r.trials_per_sec /. base)
+            (if j = List.length w.w_rows - 1 then "" else ","))
+        w.w_rows;
+      Printf.bprintf b "    ]}%s\n"
+        (if i = List.length workloads - 1 then "" else ","))
+    workloads;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let run_engine_scaling () =
+  E.Common.section
+    "Engine parallel scaling: deterministic shards over worker domains";
+  Printf.printf "  runtime-recommended domain count: %d\n"
+    (Domain.recommended_domain_count ());
+  let ws = engine_workloads () in
+  List.iter
+    (fun w ->
+      Printf.printf "  %s (%d trials):\n" w.w_name w.w_trials;
+      let base = (List.hd w.w_rows).trials_per_sec in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "    jobs=%-2d %8.3f s %12.0f trials/s   speedup x%.2f\n" r.jobs
+            r.seconds r.trials_per_sec
+            (r.trials_per_sec /. base))
+        w.w_rows)
+    ws;
+  write_engine_json "BENCH_engine.json" ws;
+  Printf.printf "  wrote BENCH_engine.json\n"
+
+(* --- experiment registry --------------------------------------------- *)
 
 let experiments =
   [
@@ -32,6 +147,10 @@ let experiments =
     ( "ablations",
       "Extensions: criticality, correlation length, sizer policy, leakage",
       E.Ablations.run );
+    ( "engine",
+      "Engine scaling: parallel MC trials/sec vs domains (writes \
+       BENCH_engine.json)",
+      run_engine_scaling );
   ]
 
 (* --- Bechamel micro-benchmarks of the analysis kernels -------------- *)
@@ -74,6 +193,16 @@ let perf_tests () =
            ignore (Spv_circuit.Ssta.analyse_stage ~ff tech chain)));
     Test.make ~name:"big_phi_inv"
       (Staged.stage (fun () -> ignore (Spv_stats.Special.big_phi_inv 0.8)));
+    (let ectx = Engine.Ctx.of_pipeline pipeline in
+     let mc jobs () =
+       ignore (Engine.yield ~method_:Engine.Mc ~jobs ~n:512 ectx ~t_target:115.0)
+     in
+     Test.make_grouped ~name:"engine_seq_vs_par"
+       [
+         Test.make ~name:"mc512_jobs1" (Staged.stage (mc 1));
+         Test.make ~name:"mc512_jobs2" (Staged.stage (mc 2));
+         Test.make ~name:"mc512_jobs4" (Staged.stage (mc 4));
+       ]);
   ]
 
 let run_perf () =
@@ -100,7 +229,23 @@ let run_perf () =
 
 let () =
   let argv = Array.to_list Sys.argv in
-  let args = List.tl argv in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            jobs_sweep :=
+              Array.of_list (List.sort_uniq compare [ 1; 2; 4; n ]);
+            parse_args acc rest
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer\n";
+            exit 2)
+    | "--jobs" :: [] ->
+        Printf.eprintf "--jobs expects a positive integer\n";
+        exit 2
+    | a :: rest -> parse_args (a :: acc) rest
+  in
+  let args = parse_args [] (List.tl argv) in
   if List.mem "--list" args then begin
     List.iter
       (fun (id, descr, _) -> Printf.printf "%-8s %s\n" id descr)

@@ -10,6 +10,7 @@
 open Cmdliner
 module Errors = Spv_robust.Errors
 module Checked = Spv_robust.Checked
+module Engine = Spv_engine.Engine
 
 let ( let* ) = Result.bind
 
@@ -136,7 +137,20 @@ let lint_cmd =
           wires, multiple drivers, ...) without running any analysis.")
     Term.(const run $ file)
 
-(* ---- yield command ------------------------------------------------ *)
+(* ---- yield / mc commands ------------------------------------------ *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for Monte-Carlo sampling.  Defaults to the SPV_JOBS \
+     environment variable, else the machine's recommended domain count.  \
+     Estimates are a pure function of the seed and shard count, so this \
+     setting changes wall-clock time only, never the result."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
+
+let seed_arg =
+  let doc = "Monte-Carlo RNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
 let yield_cmd =
   let mus =
@@ -155,46 +169,113 @@ let yield_cmd =
     let doc = "Clock-period target in ps." in
     Arg.(required & opt (some float) None & info [ "t"; "target" ] ~doc)
   in
-  let run mus sigmas rho target =
+  let run mus sigmas rho target jobs seed =
     handle
       (let mus = Array.of_list mus and sigmas = Array.of_list sigmas in
        let* p =
          Checked.pipeline_of_moments ~on_warning:warn ~mus ~sigmas ~rho ()
        in
-       let* tp =
-         Checked.protect ~where:"pipeline delay" (fun () ->
-             Spv_core.Pipeline.delay_distribution p)
-       in
+       let* ctx = Checked.engine_ctx_of_pipeline p in
+       let tp = Engine.Ctx.delay_distribution ctx in
        Printf.printf "pipeline delay ~ N(%.2f, %.2f) ps\n"
          (Spv_stats.Gaussian.mu tp) (Spv_stats.Gaussian.sigma tp);
        Printf.printf "yield(T = %.2f ps):\n" target;
-       let* clark = Checked.yield_estimate p ~t_target:target in
-       Printf.printf "  Clark Gaussian (eq. 9):     %.2f%%\n" (100.0 *. clark);
+       let* clark =
+         Checked.engine_yield ~method_:Engine.Analytic_clark ctx
+           ~t_target:target
+       in
+       Printf.printf "  Clark Gaussian (eq. 9):     %.2f%%\n"
+         (100.0 *. clark.Engine.value);
        let* () =
          if rho = 0.0 then
            let* exact =
-             Checked.protect ~where:"independent exact yield" (fun () ->
-                 Spv_core.Yield.independent_exact p ~t_target:target)
+             Checked.engine_yield ~method_:Engine.Exact_independent ctx
+               ~t_target:target
            in
            Printf.printf "  independent exact (eq. 8):  %.2f%%\n"
-             (100.0 *. exact);
+             (100.0 *. exact.Engine.value);
            Ok ()
          else Ok ()
        in
-       let rng = Spv_stats.Rng.create ~seed:42 in
-       let* r = Checked.monte_carlo_yield p rng ~t_target:target in
+       let* r = Checked.engine_yield ?jobs ~seed ctx ~t_target:target in
        Printf.printf "  Monte-Carlo:                %.2f%%  (%d samples, se \
                       %.4f, %s)\n"
-         (100.0 *. r.Spv_stats.Mc.probability)
-         r.Spv_stats.Mc.samples r.Spv_stats.Mc.std_error
-         (if r.Spv_stats.Mc.converged then "converged"
-          else "sample cap reached");
+         (100.0 *. r.Engine.value)
+         r.Engine.n_samples r.Engine.std_error
+         (Engine.stop_reason_name r.Engine.stop);
        Ok ())
   in
   Cmd.v
     (Cmd.info "yield"
        ~doc:"Pipeline yield from per-stage (mu, sigma) and a uniform rho.")
-    Term.(const run $ mus $ sigmas $ rho $ target)
+    Term.(const run $ mus $ sigmas $ rho $ target $ jobs_arg $ seed_arg)
+
+let mc_cmd =
+  let mus =
+    let doc = "Stage mean delays in ps (repeatable)." in
+    Arg.(non_empty & opt_all float [] & info [ "mu" ] ~doc)
+  in
+  let sigmas =
+    let doc = "Stage delay sigmas in ps (repeatable, same count as --mu)." in
+    Arg.(non_empty & opt_all float [] & info [ "sigma" ] ~doc)
+  in
+  let rho =
+    let doc = "Uniform stage-delay correlation coefficient." in
+    Arg.(value & opt float 0.0 & info [ "rho" ] ~doc)
+  in
+  let target =
+    let doc = "Clock-period target in ps." in
+    Arg.(required & opt (some float) None & info [ "t"; "target" ] ~doc)
+  in
+  let method_arg =
+    let doc =
+      "Estimator: clark, independent, mc, adaptive, importance or quadrature."
+    in
+    Arg.(value & opt string "adaptive" & info [ "m"; "method" ] ~doc)
+  in
+  let n =
+    let doc = "Trial count for the fixed-n methods (mc, importance)." in
+    Arg.(value & opt int 10_000 & info [ "n"; "samples" ] ~doc)
+  in
+  let shards =
+    let doc =
+      "Independent RNG substreams.  Part of the estimate's identity: \
+       changing it changes the drawn trials (unlike --jobs)."
+    in
+    Arg.(value & opt int 8 & info [ "shards" ] ~doc)
+  in
+  let run mus sigmas rho target method_name n shards jobs seed =
+    handle
+      (let* method_ =
+         match Engine.method_of_string method_name with
+         | Some m -> Ok m
+         | None ->
+             Error
+               (Errors.domain ~param:"--method"
+                  (Printf.sprintf "unknown method %S (known: %s)" method_name
+                     (String.concat ", "
+                        (List.map Engine.method_name Engine.all_methods))))
+       in
+       let mus = Array.of_list mus and sigmas = Array.of_list sigmas in
+       let* p =
+         Checked.pipeline_of_moments ~on_warning:warn ~mus ~sigmas ~rho ()
+       in
+       let* ctx = Checked.engine_ctx_of_pipeline p in
+       let* e =
+         Checked.engine_yield ~method_ ?jobs ~shards ~seed ~n ctx
+           ~t_target:target
+       in
+       Format.printf "%a@." Engine.pp_estimate e;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Yield estimate through the unified engine: any estimator from the \
+          taxonomy, with deterministic domain-parallel sampling.")
+    Term.(
+      const run $ mus $ sigmas $ rho $ target $ method_arg $ n $ shards
+      $ jobs_arg $ seed_arg)
 
 (* ---- sta command --------------------------------------------------- *)
 
@@ -576,7 +657,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            experiment_cmd; lint_cmd; yield_cmd; sta_cmd; size_cmd; power_cmd;
+            experiment_cmd; lint_cmd; yield_cmd; mc_cmd; sta_cmd; size_cmd; power_cmd;
             export_cmd; criticality_cmd; curve_cmd; report_cmd; hold_cmd;
             fmax_cmd; abb_cmd; vth_cmd;
           ]))

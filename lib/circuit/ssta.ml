@@ -56,48 +56,86 @@ let ff_overhead_sample ?(exact = false) tech ff ~inter ~sys_field rng =
       in
       nominal *. f
 
-let mc_stage_delays ?(output_load = 4.0) ?(exact = false) ?ff tech net rng ~n =
-  if n <= 0 then invalid_arg "Ssta.mc_stage_delays: n <= 0";
-  let positions = Spv_process.Spatial.row_positions ~n:1 ~pitch:1.0 in
-  let sampler = Spv_process.Sample.create tech ~positions in
-  let factors = Array.make (Netlist.n_nodes net) 1.0 in
-  Array.init n (fun _ ->
-      let world = Spv_process.Sample.draw sampler rng in
-      let inter = world.Spv_process.Sample.inter in
-      let sys_field = world.Spv_process.Sample.sys_field.(0) in
-      fill_factors ~exact tech net ~inter ~sys_field rng factors;
-      let sta = Sta.run_with_factors ~output_load tech net ~factors in
-      sta.Sta.delay +. ff_overhead_sample ~exact tech ff ~inter ~sys_field rng)
+(* ---- single-trial sampler kernel ------------------------------------ *)
 
-let mc_per_stage_samples ?(output_load = 4.0) ?(exact = false) ?(pitch = 1.0)
-    ?ff tech nets rng ~n =
+type sampler = {
+  s_tech : Spv_process.Tech.t;
+  s_nets : Netlist.t array;
+  s_output_load : float;
+  s_exact : bool;
+  s_ff : Spv_process.Flipflop.t option;
+  s_spatial : Spv_process.Sample.t;
+  s_factors : float array array;
+  s_delays : float array;
+}
+
+let sampler ?(output_load = 4.0) ?(exact = false) ?(pitch = 1.0) ?ff tech nets
+    =
   let n_stages = Array.length nets in
-  if n_stages = 0 then invalid_arg "Ssta.mc_per_stage_samples: no stages";
-  if n <= 0 then invalid_arg "Ssta.mc_per_stage_samples: n <= 0";
+  if n_stages = 0 then invalid_arg "Ssta.sampler: no stages";
   let positions = Spv_process.Spatial.row_positions ~n:n_stages ~pitch in
-  let sampler = Spv_process.Sample.create tech ~positions in
-  let factors =
-    Array.map (fun net -> Array.make (Netlist.n_nodes net) 1.0) nets
-  in
-  let samples = Array.make_matrix n_stages n 0.0 in
+  {
+    s_tech = tech;
+    s_nets = nets;
+    s_output_load = output_load;
+    s_exact = exact;
+    s_ff = ff;
+    s_spatial = Spv_process.Sample.create tech ~positions;
+    s_factors = Array.map (fun net -> Array.make (Netlist.n_nodes net) 1.0) nets;
+    s_delays = Array.make n_stages 0.0;
+  }
+
+let sampler_stages s = Array.length s.s_nets
+
+let draw_stage_delays_into s rng out =
+  let world = Spv_process.Sample.draw s.s_spatial rng in
+  let inter = world.Spv_process.Sample.inter in
+  for st = 0 to Array.length s.s_nets - 1 do
+    let sys_field = world.Spv_process.Sample.sys_field.(st) in
+    fill_factors ~exact:s.s_exact s.s_tech s.s_nets.(st) ~inter ~sys_field rng
+      s.s_factors.(st);
+    let sta =
+      Sta.run_with_factors ~output_load:s.s_output_load s.s_tech s.s_nets.(st)
+        ~factors:s.s_factors.(st)
+    in
+    out.(st) <-
+      sta.Sta.delay
+      +. ff_overhead_sample ~exact:s.s_exact s.s_tech s.s_ff ~inter ~sys_field
+           rng
+  done
+
+let draw_stage_delays s rng =
+  let out = Array.make (Array.length s.s_nets) 0.0 in
+  draw_stage_delays_into s rng out;
+  out
+
+let draw_pipeline_delay s rng =
+  draw_stage_delays_into s rng s.s_delays;
+  Array.fold_left Float.max neg_infinity s.s_delays
+
+(* ---- legacy array-returning shims ----------------------------------- *)
+
+let mc_stage_delays ?output_load ?exact ?ff tech net rng ~n =
+  if n <= 0 then invalid_arg "Ssta.mc_stage_delays: n <= 0";
+  let s = sampler ?output_load ?exact ?ff tech [| net |] in
+  Array.init n (fun _ -> draw_pipeline_delay s rng)
+
+let mc_per_stage_samples ?output_load ?exact ?pitch ?ff tech nets rng ~n =
+  if Array.length nets = 0 then
+    invalid_arg "Ssta.mc_per_stage_samples: no stages";
+  if n <= 0 then invalid_arg "Ssta.mc_per_stage_samples: n <= 0";
+  let s = sampler ?output_load ?exact ?pitch ?ff tech nets in
+  let samples = Array.make_matrix (Array.length nets) n 0.0 in
+  let out = Array.make (Array.length nets) 0.0 in
   for trial = 0 to n - 1 do
-    let world = Spv_process.Sample.draw sampler rng in
-    let inter = world.Spv_process.Sample.inter in
-    for s = 0 to n_stages - 1 do
-      let sys_field = world.Spv_process.Sample.sys_field.(s) in
-      fill_factors ~exact tech nets.(s) ~inter ~sys_field rng factors.(s);
-      let sta =
-        Sta.run_with_factors ~output_load tech nets.(s) ~factors:factors.(s)
-      in
-      samples.(s).(trial) <-
-        sta.Sta.delay +. ff_overhead_sample ~exact tech ff ~inter ~sys_field rng
-    done
+    draw_stage_delays_into s rng out;
+    Array.iteri (fun st d -> samples.(st).(trial) <- d) out
   done;
   samples
 
 let mc_pipeline_delays ?output_load ?exact ?pitch ?ff tech nets rng ~n =
-  let per_stage = mc_per_stage_samples ?output_load ?exact ?pitch ?ff tech nets rng ~n in
-  Array.init n (fun trial ->
-      Array.fold_left
-        (fun acc stage -> Float.max acc stage.(trial))
-        neg_infinity per_stage)
+  if Array.length nets = 0 then
+    invalid_arg "Ssta.mc_pipeline_delays: no stages";
+  if n <= 0 then invalid_arg "Ssta.mc_pipeline_delays: n <= 0";
+  let s = sampler ?output_load ?exact ?pitch ?ff tech nets in
+  Array.init n (fun _ -> draw_pipeline_delay s rng)

@@ -28,6 +28,45 @@ val stage_gaussian :
   Netlist.t -> Spv_stats.Gaussian.t
 (** Convenience: total stage delay as N(mu, sigma). *)
 
+(** {2 Single-trial sampler kernel}
+
+    The sampler is the one place gate-level Monte-Carlo trials are
+    drawn; all loops (sequential shims below, and the domain-parallel
+    loops in [Spv_engine.Engine]) are built on it.  Construction
+    pre-computes the die layout, the spatial-correlation factorisation
+    and per-stage scratch buffers so a trial only draws variation and
+    re-runs STA. *)
+
+type sampler
+(** Cached per-trial state.  Holds mutable scratch: use one sampler per
+    domain/shard; a single sampler must not be shared by concurrent
+    draws. *)
+
+val sampler :
+  ?output_load:float -> ?exact:bool -> ?pitch:float ->
+  ?ff:Spv_process.Flipflop.t -> Spv_process.Tech.t -> Netlist.t array ->
+  sampler
+(** Build a sampler for a pipeline of stages laid out in a row at
+    [pitch] (default 1.0) die units.  Raises [Invalid_argument] on an
+    empty stage array. *)
+
+val sampler_stages : sampler -> int
+(** Number of pipeline stages the sampler draws. *)
+
+val draw_stage_delays : sampler -> Spv_stats.Rng.t -> float array
+(** One Monte-Carlo trial: per-stage delays (fresh array). *)
+
+val draw_pipeline_delay : sampler -> Spv_stats.Rng.t -> float
+(** One Monte-Carlo trial: the pipeline delay
+    [max_i (Tcq + comb_i + Tsetup)]. *)
+
+(** {2 Legacy array-returning shims}
+
+    Thin sequential wrappers over the sampler kernel, kept for
+    backwards compatibility.  Deprecated: new code should use
+    [Spv_engine.Engine.gate_level_delays] (deterministic, parallel) or
+    the sampler kernel directly. *)
+
 val mc_stage_delays :
   ?output_load:float -> ?exact:bool -> ?ff:Spv_process.Flipflop.t ->
   Spv_process.Tech.t -> Netlist.t -> Spv_stats.Rng.t -> n:int -> float array

@@ -100,26 +100,43 @@ let yield_gain ?policy pipeline ~t_target =
   yield_with_abb ?policy pipeline ~t_target
   -. Yield.clark_gaussian pipeline ~t_target
 
-let mc_yield_with_abb ?(policy = default_policy) pipeline rng ~n ~t_target =
+(* ---- single-trial sampler kernel ------------------------------------ *)
+
+type sampler = {
+  sm_policy : policy;
+  sm_d : decomposition;
+  sm_residual_mvn : Spv_stats.Mvn.t;
+}
+
+let sampler ?(policy = default_policy) pipeline =
   check policy;
-  if n <= 0 then invalid_arg "Adaptive.mc_yield_with_abb: n <= 0";
   let d = decompose pipeline in
   let k = Array.length d.mus in
   let residual_mvn =
     Spv_stats.Mvn.create ~mus:(Array.make k 0.0) ~sigmas:d.residual
       ~corr:d.corr_res
   in
+  { sm_policy = policy; sm_d = d; sm_residual_mvn = residual_mvn }
+
+let sample_delay sm rng =
+  let d = sm.sm_d in
+  let k = Array.length d.mus in
+  let i_std = Spv_stats.Rng.gaussian rng in
+  let c = correction sm.sm_policy d ~i_std in
+  let res = Spv_stats.Mvn.sample sm.sm_residual_mvn rng in
+  let worst = ref neg_infinity in
+  for s = 0 to k - 1 do
+    let delay = c *. (d.mus.(s) +. (d.s_inter.(s) *. i_std) +. res.(s)) in
+    if delay > !worst then worst := delay
+  done;
+  !worst
+
+let mc_yield_with_abb ?policy pipeline rng ~n ~t_target =
+  if n <= 0 then invalid_arg "Adaptive.mc_yield_with_abb: n <= 0";
+  let sm = sampler ?policy pipeline in
   let pass = ref 0 in
   for _ = 1 to n do
-    let i_std = Spv_stats.Rng.gaussian rng in
-    let c = correction policy d ~i_std in
-    let res = Spv_stats.Mvn.sample residual_mvn rng in
-    let worst = ref neg_infinity in
-    for s = 0 to k - 1 do
-      let delay = c *. (d.mus.(s) +. (d.s_inter.(s) *. i_std) +. res.(s)) in
-      if delay > !worst then worst := delay
-    done;
-    if !worst <= t_target then incr pass
+    if sample_delay sm rng <= t_target then incr pass
   done;
   float_of_int !pass /. float_of_int n
 

@@ -34,11 +34,27 @@ val yield_gain : ?policy:policy -> Pipeline.t -> t_target:float -> float
 (** [yield_with_abb - clark_gaussian yield]; >= 0 up to quadrature
     noise whenever an inter-die component exists. *)
 
+type sampler
+(** Immutable single-trial sampler for the biased pipeline delay: the
+    decomposition and residual MVN factorisation, built once per
+    (policy, pipeline).  Safe to share across domains; pair with one
+    {!Spv_stats.Rng.t} per domain. *)
+
+val sampler : ?policy:policy -> Pipeline.t -> sampler
+(** Build the sampler.  Default range 0.10; raises [Invalid_argument]
+    on a negative range. *)
+
+val sample_delay : sampler -> Spv_stats.Rng.t -> float
+(** One Monte-Carlo trial of the ABB-corrected pipeline delay (samples
+    I, applies the correction, samples the residual stage delays). *)
+
 val mc_yield_with_abb :
   ?policy:policy -> Pipeline.t -> Spv_stats.Rng.t -> n:int -> t_target:float ->
   float
-(** Monte-Carlo of the same policy (samples I, applies the correction,
-    samples the residual stage delays) — the verification path. *)
+(** Monte-Carlo of the same policy — a thin sequential shim over
+    {!sampler}/{!sample_delay}, the verification path.  Deprecated:
+    new code should use [Spv_engine.Engine.abb_mc_yield]
+    (deterministic, parallel). *)
 
 val leakage_overhead :
   ?policy:policy -> Spv_process.Tech.t -> Pipeline.t -> float

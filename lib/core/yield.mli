@@ -10,6 +10,10 @@ val clark_gaussian : ?order:Clark.order -> Pipeline.t -> t_target:float -> float
     Clark-estimated (mu_T, sigma_T) and evaluate
     [Phi((T - mu_T) / sigma_T)].  Valid for correlated stages. *)
 
+val nearly_independent : Pipeline.t -> bool
+(** True when every off-diagonal stage correlation is (near) zero, in
+    which case eq. 8 is exact. *)
+
 val estimate : Pipeline.t -> t_target:float -> float
 (** The paper's recommended estimator: [independent_exact] when all
     off-diagonal correlations are (near) zero, [clark_gaussian]
@@ -26,6 +30,12 @@ val per_stage_yield_target : yield:float -> n_stages:int -> float
 
 val stage_yields : Pipeline.t -> t_target:float -> float array
 (** Per-stage standalone yields [Phi((T - mu_i)/sigma_i)]. *)
+
+(** The [monte_carlo*] functions below are thin sequential shims over
+    {!Spv_stats.Mvn.sample_max}, kept as references and for backwards
+    compatibility.  Deprecated: new code should use
+    [Spv_engine.Engine.yield] / [Spv_engine.Engine.sample_delays]
+    (deterministic, domain-parallel, common [estimate] record). *)
 
 val monte_carlo :
   Pipeline.t -> Spv_stats.Rng.t -> n:int -> t_target:float -> float

@@ -1,0 +1,524 @@
+module G = Spv_stats.Gaussian
+module Rng = Spv_stats.Rng
+module Mvn = Spv_stats.Mvn
+module Pipeline = Spv_core.Pipeline
+module Stage = Spv_core.Stage
+module Ssta = Spv_circuit.Ssta
+module Netlist = Spv_circuit.Netlist
+
+(* ---- evaluation contexts -------------------------------------------- *)
+
+module Ctx = struct
+  type gate = {
+    tech : Spv_process.Tech.t;
+    nets : Netlist.t array;
+    output_load : float;
+    pitch : float;
+    ff : Spv_process.Flipflop.t option;
+    analyses : Ssta.stage_analysis array;
+    sizes : float array array;
+    s_vth : float;
+    s_leff : float;
+  }
+
+  type t = {
+    pipeline : Pipeline.t;
+    dist : G.t;
+    mvn : Mvn.t;
+    independent : bool;
+    gate : gate option;
+  }
+
+  let finish ?gate pipeline =
+    {
+      pipeline;
+      dist = Pipeline.delay_distribution pipeline;
+      mvn = Pipeline.mvn pipeline;
+      independent = Spv_core.Yield.nearly_independent pipeline;
+      gate;
+    }
+
+  let of_pipeline pipeline = finish pipeline
+
+  let of_circuits ?(output_load = 4.0) ?(pitch = 1.0) ?ff tech nets =
+    if Array.length nets = 0 then
+      invalid_arg "Engine.Ctx.of_circuits: no stages";
+    let positions =
+      Spv_process.Spatial.row_positions ~n:(Array.length nets) ~pitch
+    in
+    let analyses =
+      Array.map (fun net -> Ssta.analyse_stage ~output_load ?ff tech net) nets
+    in
+    let stages =
+      Array.mapi
+        (fun i net ->
+          Stage.make ~name:(Netlist.name net) ~position:positions.(i)
+            analyses.(i).Ssta.total)
+        nets
+    in
+    let pipeline =
+      Pipeline.of_stages ~corr_length:tech.Spv_process.Tech.corr_length stages
+    in
+    finish
+      ~gate:
+        {
+          tech;
+          nets;
+          output_load;
+          pitch;
+          ff;
+          analyses;
+          sizes = Array.map Netlist.sizes_snapshot nets;
+          s_vth = Spv_process.Tech.delay_sensitivity_vth tech;
+          s_leff = Spv_process.Tech.delay_sensitivity_leff tech;
+        }
+      pipeline
+
+  let pipeline t = t.pipeline
+  let n_stages t = Pipeline.n_stages t.pipeline
+  let delay_distribution t = t.dist
+  let mvn t = t.mvn
+  let nearly_independent t = t.independent
+  let gate_level t = t.gate <> None
+
+  let require_gate ~where t =
+    match t.gate with
+    | Some g -> g
+    | None ->
+        invalid_arg (where ^ ": context has no netlists (built from moments)")
+
+  let check_stage ~where t i =
+    if i < 0 || i >= n_stages t then invalid_arg (where ^ ": stage out of range")
+
+  let nominal_sta t i =
+    let g = require_gate ~where:"Engine.Ctx.nominal_sta" t in
+    check_stage ~where:"Engine.Ctx.nominal_sta" t i;
+    g.analyses.(i).Ssta.nominal
+
+  let critical_path t i =
+    (nominal_sta t i).Spv_circuit.Sta.critical_path
+
+  let gate_sizes t i =
+    let g = require_gate ~where:"Engine.Ctx.gate_sizes" t in
+    check_stage ~where:"Engine.Ctx.gate_sizes" t i;
+    Array.copy g.sizes.(i)
+
+  let delay_sensitivities t =
+    let g = require_gate ~where:"Engine.Ctx.delay_sensitivities" t in
+    (g.s_vth, g.s_leff)
+
+  let stage_delay_model t i =
+    check_stage ~where:"Engine.Ctx.stage_delay_model" t i;
+    (Pipeline.stage t.pipeline i).Stage.delay
+
+  let stat_delay t ~stage ~z =
+    check_stage ~where:"Engine.Ctx.stat_delay" t stage;
+    let g = Stage.gaussian (Pipeline.stage t.pipeline stage) in
+    G.mu g +. (z *. G.sigma g)
+
+  let refresh_stage t i =
+    let g = require_gate ~where:"Engine.Ctx.refresh_stage" t in
+    check_stage ~where:"Engine.Ctx.refresh_stage" t i;
+    let a =
+      Ssta.analyse_stage ~output_load:g.output_load ?ff:g.ff g.tech g.nets.(i)
+    in
+    let analyses = Array.copy g.analyses in
+    analyses.(i) <- a;
+    let sizes = Array.copy g.sizes in
+    sizes.(i) <- Netlist.sizes_snapshot g.nets.(i);
+    let old_stage = Pipeline.stage t.pipeline i in
+    let stage =
+      Stage.make ~name:old_stage.Stage.name ~position:old_stage.Stage.position
+        a.Ssta.total
+    in
+    let pipeline = Pipeline.with_stage t.pipeline i stage in
+    finish ~gate:{ g with analyses; sizes } pipeline
+end
+
+(* ---- estimator taxonomy --------------------------------------------- *)
+
+type method_ =
+  | Analytic_clark
+  | Exact_independent
+  | Mc
+  | Adaptive_mc
+  | Importance
+  | Quadrature
+
+type stop_reason = Closed_form | Converged | Sample_cap | Fixed_n
+
+type estimate = {
+  value : float;
+  std_error : float;
+  n_samples : int;
+  method_ : method_;
+  stop : stop_reason;
+}
+
+let method_name = function
+  | Analytic_clark -> "clark"
+  | Exact_independent -> "independent"
+  | Mc -> "mc"
+  | Adaptive_mc -> "adaptive"
+  | Importance -> "importance"
+  | Quadrature -> "quadrature"
+
+let all_methods =
+  [ Analytic_clark; Exact_independent; Mc; Adaptive_mc; Importance; Quadrature ]
+
+let method_of_string s =
+  List.find_opt (fun m -> method_name m = s) all_methods
+
+let stop_reason_name = function
+  | Closed_form -> "closed-form"
+  | Converged -> "converged"
+  | Sample_cap -> "sample-cap"
+  | Fixed_n -> "fixed-n"
+
+let pp_estimate ppf e =
+  if e.stop = Closed_form then
+    Format.fprintf ppf "%.6f (%s, %s)" e.value (method_name e.method_)
+      (stop_reason_name e.stop)
+  else
+    Format.fprintf ppf "%.6f +- %.2g (%s, n=%d, %s)" e.value e.std_error
+      (method_name e.method_) e.n_samples (stop_reason_name e.stop)
+
+let recommended ctx =
+  if Ctx.nearly_independent ctx then Exact_independent else Analytic_clark
+
+(* ---- deterministic shard-parallel cores ------------------------------ *)
+
+(* Every sampling estimator draws on [shards] independent RNG streams
+   split from one seed.  Shard results are merged in fixed shard order,
+   and shard state never depends on which domain ran the shard, so the
+   outcome is a pure function of (seed, shards, estimator parameters)
+   — [jobs] only changes wall-clock time. *)
+
+let default_shards = 8
+let default_seed = 42
+
+let check_positive ~where name v =
+  if v <= 0 then
+    invalid_arg (Printf.sprintf "%s: %s must be positive" where name)
+
+let resolve_jobs ~where jobs =
+  let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
+  check_positive ~where "jobs" jobs;
+  jobs
+
+let shard_streams ~seed ~shards = Rng.split (Rng.create ~seed) shards
+
+let shard_counts n shards =
+  Array.init shards (fun i ->
+      (n / shards) + if i < n mod shards then 1 else 0)
+
+(* Streaming moments: Welford accumulation per shard, Chan's parallel
+   merge across shards (applied in fixed shard order). *)
+type moments = { mutable m_n : int; mutable m_mean : float; mutable m_m2 : float }
+
+let moments_create () = { m_n = 0; m_mean = 0.0; m_m2 = 0.0 }
+
+let moments_add m x =
+  m.m_n <- m.m_n + 1;
+  let d = x -. m.m_mean in
+  m.m_mean <- m.m_mean +. (d /. float_of_int m.m_n);
+  m.m_m2 <- m.m_m2 +. (d *. (x -. m.m_mean))
+
+let moments_merge (n1, mean1, m2a) (n2, mean2, m2b) =
+  if n2 = 0 then (n1, mean1, m2a)
+  else if n1 = 0 then (n2, mean2, m2b)
+  else begin
+    let n = n1 + n2 in
+    let d = mean2 -. mean1 in
+    let fn1 = float_of_int n1 and fn2 = float_of_int n2 in
+    let fn = float_of_int n in
+    (n, mean1 +. (d *. fn2 /. fn), m2a +. m2b +. (d *. d *. fn1 *. fn2 /. fn))
+  end
+
+let mean_se (n, mean, m2) =
+  let se =
+    if n >= 2 then sqrt (m2 /. float_of_int (n - 1) /. float_of_int n)
+    else infinity
+  in
+  (mean, se)
+
+let count_task trials counts i () =
+  let t = trials.(i) in
+  let s = ref 0 in
+  for _ = 1 to counts.(i) do
+    if t () then incr s
+  done;
+  !s
+
+let bernoulli_fixed ~jobs ~shards ~seed ~n ~make_trial =
+  let trials = Array.map make_trial (shard_streams ~seed ~shards) in
+  let counts = shard_counts n shards in
+  let tasks = Array.init shards (count_task trials counts) in
+  Array.fold_left ( + ) 0 (Par.run ~jobs tasks)
+
+let bernoulli_adaptive ~jobs ~shards ~seed ~batch ~min_samples ~rel_se_target
+    ~max_samples ~make_trial =
+  let trials = Array.map make_trial (shard_streams ~seed ~shards) in
+  let successes = ref 0 and drawn = ref 0 in
+  let stop = ref None in
+  while !stop = None do
+    let round = min batch (max_samples - !drawn) in
+    let counts = shard_counts round shards in
+    let tasks = Array.init shards (count_task trials counts) in
+    Array.iter (fun s -> successes := !successes + s) (Par.run ~jobs tasks);
+    drawn := !drawn + round;
+    let fn = float_of_int !drawn in
+    let p = float_of_int !successes /. fn in
+    let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. fn) in
+    if !drawn >= min_samples && p > 0.0 && se /. p <= rel_se_target then
+      stop := Some Converged
+    else if !drawn >= max_samples then stop := Some Sample_cap
+  done;
+  let stop = match !stop with Some s -> s | None -> assert false in
+  (!successes, !drawn, stop)
+
+let moments_fixed ~jobs ~shards ~seed ~n ~make_trial =
+  let trials = Array.map make_trial (shard_streams ~seed ~shards) in
+  let counts = shard_counts n shards in
+  let tasks =
+    Array.init shards (fun i () ->
+        let t = trials.(i) in
+        let m = moments_create () in
+        for _ = 1 to counts.(i) do
+          moments_add m (t ())
+        done;
+        (m.m_n, m.m_mean, m.m_m2))
+  in
+  Array.fold_left moments_merge (0, 0.0, 0.0) (Par.run ~jobs tasks)
+
+let moments_adaptive ~jobs ~shards ~seed ~batch ~min_samples ~rel_se_target
+    ~max_samples ~make_trial =
+  let trials = Array.map make_trial (shard_streams ~seed ~shards) in
+  let accs = Array.init shards (fun _ -> moments_create ()) in
+  let drawn = ref 0 in
+  let merged = ref (0, 0.0, 0.0) in
+  let stop = ref None in
+  while !stop = None do
+    let round = min batch (max_samples - !drawn) in
+    let counts = shard_counts round shards in
+    let tasks =
+      Array.init shards (fun i () ->
+          let t = trials.(i) and m = accs.(i) in
+          for _ = 1 to counts.(i) do
+            moments_add m (t ())
+          done;
+          (m.m_n, m.m_mean, m.m_m2))
+    in
+    let snaps = Par.run ~jobs tasks in
+    drawn := !drawn + round;
+    merged := Array.fold_left moments_merge (0, 0.0, 0.0) snaps;
+    let mean, se = mean_se !merged in
+    if
+      !drawn >= min_samples
+      && Float.abs mean > 0.0
+      && se /. Float.abs mean <= rel_se_target
+    then stop := Some Converged
+    else if !drawn >= max_samples then stop := Some Sample_cap
+  done;
+  let stop = match !stop with Some s -> s | None -> assert false in
+  (!merged, stop)
+
+let fill_fixed ~jobs ~shards ~seed ~n ~make_trial =
+  let trials = Array.map make_trial (shard_streams ~seed ~shards) in
+  let counts = shard_counts n shards in
+  let offsets = Array.make shards 0 in
+  for i = 1 to shards - 1 do
+    offsets.(i) <- offsets.(i - 1) + counts.(i - 1)
+  done;
+  let out = Array.make n 0.0 in
+  let tasks =
+    Array.init shards (fun i () ->
+        let t = trials.(i) in
+        for k = offsets.(i) to offsets.(i) + counts.(i) - 1 do
+          out.(k) <- t ()
+        done)
+  in
+  ignore (Par.run ~jobs tasks : unit array);
+  out
+
+(* ---- estimators ------------------------------------------------------ *)
+
+let closed ~method_ value =
+  { value; std_error = 0.0; n_samples = 0; method_; stop = Closed_form }
+
+let clark_yield ctx ~t_target =
+  let g = Ctx.delay_distribution ctx in
+  if G.sigma g = 0.0 then if G.mu g <= t_target then 1.0 else 0.0
+  else G.cdf g t_target
+
+let check_target ~where t_target =
+  if not (Float.is_finite t_target) then
+    invalid_arg (where ^ ": non-finite t_target")
+
+let yield ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
+    ?(seed = default_seed) ?(n = 10_000) ?(batch = 1024) ?(min_samples = 1000)
+    ?(rel_se_target = 0.01) ?(max_samples = 1_000_000) ctx ~t_target =
+  let where = "Engine.yield" in
+  check_target ~where t_target;
+  check_positive ~where "shards" shards;
+  match method_ with
+  | Analytic_clark -> closed ~method_ (clark_yield ctx ~t_target)
+  | Exact_independent ->
+      closed ~method_
+        (Spv_core.Yield.independent_exact (Ctx.pipeline ctx) ~t_target)
+  | Quadrature ->
+      closed ~method_
+        (Spv_core.Adaptive.yield_with_abb
+           ~policy:{ Spv_core.Adaptive.range = 0.0 } (Ctx.pipeline ctx)
+           ~t_target)
+  | Mc ->
+      let jobs = resolve_jobs ~where jobs in
+      check_positive ~where "n" n;
+      let mvn = Ctx.mvn ctx in
+      let make_trial rng () = Mvn.sample_max mvn rng <= t_target in
+      let successes = bernoulli_fixed ~jobs ~shards ~seed ~n ~make_trial in
+      let p = float_of_int successes /. float_of_int n in
+      let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int n) in
+      { value = p; std_error = se; n_samples = n; method_; stop = Fixed_n }
+  | Adaptive_mc ->
+      let jobs = resolve_jobs ~where jobs in
+      check_positive ~where "batch" batch;
+      check_positive ~where "min_samples" min_samples;
+      check_positive ~where "max_samples" max_samples;
+      if not (rel_se_target > 0.0) then
+        invalid_arg (where ^ ": rel_se_target must be positive");
+      let mvn = Ctx.mvn ctx in
+      let make_trial rng () = Mvn.sample_max mvn rng <= t_target in
+      let successes, drawn, stop =
+        bernoulli_adaptive ~jobs ~shards ~seed ~batch ~min_samples
+          ~rel_se_target ~max_samples ~make_trial
+      in
+      let p = float_of_int successes /. float_of_int drawn in
+      let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int drawn) in
+      { value = p; std_error = se; n_samples = drawn; method_; stop }
+  | Importance ->
+      let jobs = resolve_jobs ~where jobs in
+      check_positive ~where "n" n;
+      let plan =
+        Spv_stats.Importance.plan (Ctx.mvn ctx) ~threshold:t_target
+      in
+      let make_trial rng () = Spv_stats.Importance.draw_weight plan rng in
+      let merged = moments_fixed ~jobs ~shards ~seed ~n ~make_trial in
+      let p_fail, se = mean_se merged in
+      let se = if Float.is_finite se then se else 0.0 in
+      {
+        value = Float.max 0.0 (Float.min 1.0 (1.0 -. p_fail));
+        std_error = se;
+        n_samples = n;
+        method_;
+        stop = Fixed_n;
+      }
+
+let delay_mean ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
+    ?(seed = default_seed) ?(n = 10_000) ?(batch = 1024) ?(min_samples = 1000)
+    ?(rel_se_target = 0.01) ?(max_samples = 1_000_000) ctx =
+  let where = "Engine.delay_mean" in
+  check_positive ~where "shards" shards;
+  match method_ with
+  | Analytic_clark -> closed ~method_ (G.mu (Ctx.delay_distribution ctx))
+  | Mc ->
+      let jobs = resolve_jobs ~where jobs in
+      check_positive ~where "n" n;
+      let mvn = Ctx.mvn ctx in
+      let make_trial rng () = Mvn.sample_max mvn rng in
+      let merged = moments_fixed ~jobs ~shards ~seed ~n ~make_trial in
+      let mean, se = mean_se merged in
+      let se = if Float.is_finite se then se else 0.0 in
+      { value = mean; std_error = se; n_samples = n; method_; stop = Fixed_n }
+  | Adaptive_mc ->
+      let jobs = resolve_jobs ~where jobs in
+      check_positive ~where "batch" batch;
+      check_positive ~where "min_samples" min_samples;
+      check_positive ~where "max_samples" max_samples;
+      if not (rel_se_target > 0.0) then
+        invalid_arg (where ^ ": rel_se_target must be positive");
+      let mvn = Ctx.mvn ctx in
+      let make_trial rng () = Mvn.sample_max mvn rng in
+      let merged, stop =
+        moments_adaptive ~jobs ~shards ~seed ~batch ~min_samples
+          ~rel_se_target ~max_samples ~make_trial
+      in
+      let (drawn, _, _) = merged in
+      let mean, se = mean_se merged in
+      let se = if Float.is_finite se then se else 0.0 in
+      { value = mean; std_error = se; n_samples = drawn; method_; stop }
+  | (Exact_independent | Importance | Quadrature) as m ->
+      invalid_arg
+        (Printf.sprintf "%s: method %s unsupported (use clark, mc or adaptive)"
+           where (method_name m))
+
+let sample_delays ?jobs ?(shards = default_shards) ?(seed = default_seed) ctx
+    ~n =
+  let where = "Engine.sample_delays" in
+  let jobs = resolve_jobs ~where jobs in
+  check_positive ~where "shards" shards;
+  check_positive ~where "n" n;
+  let mvn = Ctx.mvn ctx in
+  let make_trial rng () = Mvn.sample_max mvn rng in
+  fill_fixed ~jobs ~shards ~seed ~n ~make_trial
+
+let gate_sampler ~where ?exact ctx =
+  let g = Ctx.require_gate ~where ctx in
+  fun () ->
+    Ssta.sampler ~output_load:g.Ctx.output_load ?exact ~pitch:g.Ctx.pitch
+      ?ff:g.Ctx.ff g.Ctx.tech g.Ctx.nets
+
+let gate_level_delays ?exact ?jobs ?(shards = default_shards)
+    ?(seed = default_seed) ctx ~n =
+  let where = "Engine.gate_level_delays" in
+  let jobs = resolve_jobs ~where jobs in
+  check_positive ~where "shards" shards;
+  check_positive ~where "n" n;
+  let fresh_sampler = gate_sampler ~where ?exact ctx in
+  let make_trial rng =
+    let smp = fresh_sampler () in
+    fun () -> Ssta.draw_pipeline_delay smp rng
+  in
+  fill_fixed ~jobs ~shards ~seed ~n ~make_trial
+
+let gate_level_stage_samples ?exact ?jobs ?(shards = default_shards)
+    ?(seed = default_seed) ctx ~n =
+  let where = "Engine.gate_level_stage_samples" in
+  let jobs = resolve_jobs ~where jobs in
+  check_positive ~where "shards" shards;
+  check_positive ~where "n" n;
+  let fresh_sampler = gate_sampler ~where ?exact ctx in
+  let stages = Ctx.n_stages ctx in
+  let out = Array.init stages (fun _ -> Array.make n 0.0) in
+  let streams = shard_streams ~seed ~shards in
+  let counts = shard_counts n shards in
+  let offsets = Array.make shards 0 in
+  for i = 1 to shards - 1 do
+    offsets.(i) <- offsets.(i - 1) + counts.(i - 1)
+  done;
+  let tasks =
+    Array.init shards (fun i () ->
+        let smp = fresh_sampler () and rng = streams.(i) in
+        for k = offsets.(i) to offsets.(i) + counts.(i) - 1 do
+          let delays = Ssta.draw_stage_delays smp rng in
+          for s = 0 to stages - 1 do
+            out.(s).(k) <- delays.(s)
+          done
+        done)
+  in
+  ignore (Par.run ~jobs tasks : unit array);
+  out
+
+let abb_mc_yield ?policy ?jobs ?(shards = default_shards)
+    ?(seed = default_seed) ctx ~n ~t_target =
+  let where = "Engine.abb_mc_yield" in
+  check_target ~where t_target;
+  let jobs = resolve_jobs ~where jobs in
+  check_positive ~where "shards" shards;
+  check_positive ~where "n" n;
+  let sm = Spv_core.Adaptive.sampler ?policy (Ctx.pipeline ctx) in
+  let make_trial rng () = Spv_core.Adaptive.sample_delay sm rng <= t_target in
+  let successes = bernoulli_fixed ~jobs ~shards ~seed ~n ~make_trial in
+  let p = float_of_int successes /. float_of_int n in
+  let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int n) in
+  { value = p; std_error = se; n_samples = n; method_ = Mc; stop = Fixed_n }

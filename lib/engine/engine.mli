@@ -1,0 +1,194 @@
+(** Unified statistical-timing engine.
+
+    One entry point for every delay/yield question the library
+    answers.  Three pieces:
+
+    - {!Ctx}: an immutable evaluation context built once per
+      pipeline/netlist array, caching what every estimator would
+      otherwise re-derive per call — the Clark delay distribution, the
+      stage-delay MVN factorisation, the independence flag and (for
+      gate-level contexts) the nominal STA results, critical paths,
+      gate-size snapshots and linearised delay-factor sensitivities;
+    - a first-class estimator taxonomy ({!method_}): every method
+      returns the same {!estimate} record (value, standard error,
+      sample count, method tag, stop reason);
+    - deterministic domain-parallel Monte-Carlo: trials are drawn on a
+      fixed number of {e shards}, each with its own RNG stream split
+      from one seed ({!Spv_stats.Rng.split}), and per-shard partial
+      results are merged in fixed shard order (integer success counts
+      exactly; means/variances by Welford accumulation per shard and
+      Chan's parallel merge).  Shards are scheduled over [jobs]
+      domains by {!Par.run}, and because shard state never depends on
+      the schedule, results are bit-for-bit identical for any [jobs]
+      given the same [(seed, shards)].
+
+    All sampling loops in the library live here; the legacy
+    [Yield.monte_carlo*], [Ssta.mc_*], [Adaptive.mc_yield_with_abb],
+    [Mc] and [Importance.failure_above] paths are thin sequential
+    shims over the same single-trial kernels. *)
+
+(** {1 Evaluation contexts} *)
+
+module Ctx : sig
+  type t
+  (** Immutable evaluation context.  Safe to share across domains. *)
+
+  val of_pipeline : Spv_core.Pipeline.t -> t
+  (** Context for a moment-level pipeline (stage Gaussians +
+      correlation).  Gate-level estimators are unavailable on such a
+      context and raise [Invalid_argument]. *)
+
+  val of_circuits :
+    ?output_load:float -> ?pitch:float -> ?ff:Spv_process.Flipflop.t ->
+    Spv_process.Tech.t -> Spv_circuit.Netlist.t array -> t
+  (** Gate-level context: runs analytic SSTA once per netlist (stages
+      laid out in a row at [pitch], default 1.0, die units) and caches
+      the nominal STA results alongside the derived pipeline.
+      Equivalent pipeline to {!Spv_core.Pipeline.of_circuits}.  Raises
+      [Invalid_argument] on an empty netlist array. *)
+
+  val pipeline : t -> Spv_core.Pipeline.t
+  val n_stages : t -> int
+
+  val delay_distribution : t -> Spv_stats.Gaussian.t
+  (** Cached Clark-iterated max over the stages (the paper's
+      (mu_T, sigma_T)). *)
+
+  val mvn : t -> Spv_stats.Mvn.t
+  (** Cached joint stage-delay sampler (Cholesky factorisation done at
+      context build). *)
+
+  val nearly_independent : t -> bool
+  (** Cached: true when every off-diagonal stage correlation is (near)
+      zero, i.e. eq. 8 is exact. *)
+
+  val gate_level : t -> bool
+  (** True when the context was built by {!of_circuits}. *)
+
+  val nominal_sta : t -> int -> Spv_circuit.Sta.result
+  (** Cached nominal STA of one stage.  Gate-level contexts only. *)
+
+  val critical_path : t -> int -> int list
+  (** Cached nominal critical path of one stage (input to output).
+      Gate-level contexts only. *)
+
+  val gate_sizes : t -> int -> float array
+  (** Snapshot of one stage's gate sizes at context build (fresh
+      array).  Gate-level contexts only. *)
+
+  val delay_sensitivities : t -> float * float
+  (** Cached linearised delay-factor coefficients [(s_vth, s_leff)] of
+      the technology: the sensitivities in
+      [delay_factor = 1 + s_vth dVth + s_leff dLeff/Leff].  Gate-level
+      contexts only. *)
+
+  val stage_delay_model : t -> int -> Spv_process.Gate_delay.t
+  (** The decomposed delay model of one stage. *)
+
+  val stat_delay : t -> stage:int -> z:float -> float
+  (** [mu + z sigma] of one stage's delay — the sizing layer's
+      statistical-delay objective. *)
+
+  val refresh_stage : t -> int -> t
+  (** [refresh_stage ctx i] re-runs SSTA on stage [i]'s netlist
+      (picking up mutated gate sizes) and rebuilds the derived caches;
+      the other stages' analyses are reused.  This is what makes the
+      sizer's inner loop cheap: one stage re-analysed per probe
+      instead of the whole pipeline.  Gate-level contexts only; raises
+      [Invalid_argument] out of range. *)
+end
+
+(** {1 Estimator taxonomy} *)
+
+type method_ =
+  | Analytic_clark  (** eq. 9: Clark Gaussian CDF (closed form) *)
+  | Exact_independent  (** eq. 8: per-stage CDF product (closed form) *)
+  | Mc  (** fixed-[n] Monte-Carlo on the stage-delay MVN *)
+  | Adaptive_mc  (** Monte-Carlo with relative-standard-error early stop *)
+  | Importance  (** mean-shifted mixture importance sampling (tails) *)
+  | Quadrature
+      (** 1-D Gauss–Legendre over the inter-die variable of conditional
+          Clark yields (the ABB machinery with zero bias range);
+          degenerates to [Analytic_clark] for moment-built pipelines *)
+
+type stop_reason =
+  | Closed_form  (** no sampling involved *)
+  | Converged  (** relative standard error reached its target *)
+  | Sample_cap  (** sample budget exhausted before convergence *)
+  | Fixed_n  (** caller asked for exactly [n] samples *)
+
+type estimate = {
+  value : float;
+  std_error : float;  (** 0 for closed forms *)
+  n_samples : int;  (** 0 for closed forms *)
+  method_ : method_;
+  stop : stop_reason;
+}
+
+val method_name : method_ -> string
+val method_of_string : string -> method_ option
+val all_methods : method_ list
+val stop_reason_name : stop_reason -> string
+val pp_estimate : Format.formatter -> estimate -> unit
+
+val recommended : Ctx.t -> method_
+(** The paper's recommended closed form for this context:
+    [Exact_independent] when the stages are (near) independent,
+    [Analytic_clark] otherwise. *)
+
+(** {1 Estimators}
+
+    Common optional arguments: [jobs] (worker domains; default
+    {!Par.default_jobs}) only affects wall-clock time, never results;
+    [shards] (independent RNG substreams; default 8) and [seed]
+    (default 42) fully determine every random draw.  [Invalid_argument]
+    is raised on non-positive [jobs]/[shards]/[n], non-finite
+    [t_target], or a gate-level estimator applied to a moments-only
+    context. *)
+
+val yield :
+  ?method_:method_ -> ?jobs:int -> ?shards:int -> ?seed:int -> ?n:int ->
+  ?batch:int -> ?min_samples:int -> ?rel_se_target:float ->
+  ?max_samples:int -> Ctx.t -> t_target:float -> estimate
+(** [P{pipeline delay <= t_target}] by the chosen method (default
+    [Adaptive_mc]).  [n] (default 10_000) applies to [Mc] and
+    [Importance]; [batch] (round size, default 1024),
+    [min_samples] (1000), [rel_se_target] (0.01) and [max_samples]
+    (1_000_000) apply to [Adaptive_mc]. *)
+
+val delay_mean :
+  ?method_:method_ -> ?jobs:int -> ?shards:int -> ?seed:int -> ?n:int ->
+  ?batch:int -> ?min_samples:int -> ?rel_se_target:float ->
+  ?max_samples:int -> Ctx.t -> estimate
+(** Mean pipeline delay.  Methods: [Analytic_clark] (Clark mu, closed
+    form), [Mc] (fixed [n]) or [Adaptive_mc] (default); other methods
+    raise [Invalid_argument]. *)
+
+val sample_delays :
+  ?jobs:int -> ?shards:int -> ?seed:int -> Ctx.t -> n:int -> float array
+(** [n] pipeline-delay draws from the stage-delay MVN (for histograms
+    and moment checks).  Sample order is deterministic given
+    [(seed, shards)] and independent of [jobs]. *)
+
+val gate_level_delays :
+  ?exact:bool -> ?jobs:int -> ?shards:int -> ?seed:int -> Ctx.t -> n:int ->
+  float array
+(** [n] gate-level Monte-Carlo pipeline delays: per trial, sample a
+    variation world, re-run STA with per-gate delay factors
+    ([exact] uses the alpha-power law directly instead of its
+    linearisation), take the max stage delay.  Gate-level contexts
+    only. *)
+
+val gate_level_stage_samples :
+  ?exact:bool -> ?jobs:int -> ?shards:int -> ?seed:int -> Ctx.t -> n:int ->
+  float array array
+(** Same sampling scheme, returning the per-stage delay matrix
+    [stage][trial] (used to measure empirical stage correlations).
+    Gate-level contexts only. *)
+
+val abb_mc_yield :
+  ?policy:Spv_core.Adaptive.policy -> ?jobs:int -> ?shards:int -> ?seed:int ->
+  Ctx.t -> n:int -> t_target:float -> estimate
+(** Monte-Carlo verification of the adaptive-body-bias yield (method
+    tag [Mc]): per trial, sample the die's inter-die corner, apply the
+    clamped cancellation policy, sample residual stage delays. *)

@@ -1,0 +1,42 @@
+let default_jobs () =
+  match Sys.getenv_opt "SPV_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let run ~jobs tasks =
+  if jobs <= 0 then invalid_arg "Par.run: jobs <= 0";
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let jobs = min jobs n in
+    if jobs = 1 then Array.map (fun f -> f ()) tasks
+    else begin
+      (* Round-robin static assignment: worker [w] runs tasks
+         w, w+jobs, w+2*jobs, ...  Result slots are disjoint, so the
+         only synchronisation needed is the joins themselves. *)
+      let results = Array.make n None in
+      let worker w () =
+        let i = ref w in
+        while !i < n do
+          results.(!i) <- Some (tasks.(!i) ());
+          i := !i + jobs
+        done
+      in
+      let helpers =
+        Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1)))
+      in
+      let failure = ref None in
+      let note f =
+        match f () with
+        | () -> ()
+        | exception e -> if !failure = None then failure := Some e
+      in
+      note (worker 0);
+      Array.iter (fun d -> note (fun () -> Domain.join d)) helpers;
+      (match !failure with Some e -> raise e | None -> ());
+      Array.map (function Some v -> v | None -> assert false) results
+    end
+  end

@@ -72,7 +72,11 @@ let ssta_method_study () =
       let path, block =
         Spv_circuit.Block_ssta.compare_with_path_based ~ff tech net
       in
-      let mc = Spv_circuit.Ssta.mc_stage_delays ~ff tech net (Common.rng ()) ~n:4000 in
+      let mc =
+        Spv_engine.Engine.gate_level_delays ~seed:Common.seed
+          (Spv_engine.Engine.Ctx.of_circuits ~ff tech [| net |])
+          ~n:4000
+      in
       ( Spv_circuit.Netlist.name net,
         path,
         block,

@@ -27,10 +27,11 @@ let compute ?(stages = 12) ?(depth = 10) ?(n_samples = 4000) variant =
   let nets =
     Spv_circuit.Generators.inverter_chain_pipeline ~stages ~depth ()
   in
-  let rng = Common.rng () in
-  let samples = Spv_circuit.Ssta.mc_pipeline_delays ~ff tech nets rng ~n:n_samples in
-  let pipeline = Spv_core.Pipeline.of_circuits ~ff tech nets in
-  let model = Spv_core.Pipeline.delay_distribution pipeline in
+  let ctx = Spv_engine.Engine.Ctx.of_circuits ~ff tech nets in
+  let samples =
+    Spv_engine.Engine.gate_level_delays ~seed:Common.seed ctx ~n:n_samples
+  in
+  let model = Spv_engine.Engine.Ctx.delay_distribution ctx in
   {
     variant;
     samples;

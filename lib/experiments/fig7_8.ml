@@ -82,7 +82,9 @@ let delay_samples s solution ~n =
   let pipeline =
     Balance.pipeline_of s.models ~delays:solution.Balance.delays
   in
-  Spv_core.Yield.monte_carlo_distribution pipeline (Common.rng ()) ~n
+  Spv_engine.Engine.sample_delays ~seed:Common.seed
+    (Spv_engine.Engine.Ctx.of_pipeline pipeline)
+    ~n
 
 let print_solution label (sol : Balance.solution) =
   Printf.printf "  %-18s area = %8.1f  yield = %6.2f%%  delays = [%s]\n" label

@@ -44,12 +44,13 @@ let compute ?(n_samples = 8000) config =
   let nets =
     Spv_circuit.Generators.variable_depth_pipeline ~depths:config.depths ()
   in
-  let pipeline = Spv_core.Pipeline.of_circuits ~ff tech nets in
-  let model = Spv_core.Pipeline.delay_distribution pipeline in
+  let ctx = Spv_engine.Engine.Ctx.of_circuits ~ff tech nets in
+  let model = Spv_engine.Engine.Ctx.delay_distribution ctx in
   (* Delay target near the upper tail, rounded to a readable grid. *)
   let t_target = 5.0 *. Float.round (G.quantile model ~p:0.90 /. 5.0) in
-  let rng = Common.rng () in
-  let samples = Spv_circuit.Ssta.mc_pipeline_delays ~ff tech nets rng ~n:n_samples in
+  let samples =
+    Spv_engine.Engine.gate_level_delays ~seed:Common.seed ctx ~n:n_samples
+  in
   {
     config;
     t_target;
@@ -58,7 +59,10 @@ let compute ?(n_samples = 8000) config =
     mc_yield = Spv_stats.Descriptive.fraction_below samples ~threshold:t_target;
     model_mu = G.mu model;
     model_sigma = G.sigma model;
-    model_yield = Spv_core.Yield.clark_gaussian pipeline ~t_target;
+    model_yield =
+      (Spv_engine.Engine.yield ~method_:Spv_engine.Engine.Analytic_clark ctx
+         ~t_target)
+        .Spv_engine.Engine.value;
   }
 
 let run () =

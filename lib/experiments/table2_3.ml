@@ -14,8 +14,11 @@ type table = {
 }
 
 let mc_yield result ~t_target =
-  Spv_core.Yield.monte_carlo result.GO.pipeline (Common.rng ()) ~n:40000
-    ~t_target
+  (Spv_engine.Engine.yield ~method_:Spv_engine.Engine.Mc ~seed:Common.seed
+     ~n:40000
+     (Spv_engine.Engine.Ctx.of_pipeline result.GO.pipeline)
+     ~t_target)
+    .Spv_engine.Engine.value
 
 let compute ?(yield_target = 0.8) scenario =
   let tech = Common.optimisation_tech in

@@ -180,6 +180,57 @@ let monte_carlo_yield ?batch ?min_samples ?rel_se_target ?max_samples pipeline
     in
     Ok report
 
+(* ---- engine entry points -------------------------------------------- *)
+
+module Engine = Spv_engine.Engine
+
+let engine_ctx_of_pipeline pipeline =
+  protect ~where:"engine context" (fun () -> Engine.Ctx.of_pipeline pipeline)
+
+let engine_ctx_of_circuits ?output_load ?pitch ?ff tech nets =
+  protect ~where:"engine context" (fun () ->
+      Engine.Ctx.of_circuits ?output_load ?pitch ?ff tech nets)
+
+let checked_probability ~where (e : Engine.estimate) =
+  let* _ = Guard.finite ~where e.Engine.value in
+  if e.Engine.value < -1e-9 || e.Engine.value > 1.0 +. 1e-9 then
+    Error
+      (Errors.numeric ~where
+         (Printf.sprintf "probability %g outside [0, 1]" e.Engine.value))
+  else
+    Ok
+      { e with Engine.value = Float.max 0.0 (Float.min 1.0 e.Engine.value) }
+
+let engine_yield ?method_ ?jobs ?shards ?seed ?n ?batch ?min_samples
+    ?rel_se_target ?max_samples ctx ~t_target =
+  if not (Float.is_finite t_target) then
+    Error (Errors.domain ~param:"t_target" "must be finite")
+  else
+    let* e =
+      protect ~where:"engine yield" (fun () ->
+          Engine.yield ?method_ ?jobs ?shards ?seed ?n ?batch ?min_samples
+            ?rel_se_target ?max_samples ctx ~t_target)
+    in
+    checked_probability ~where:"engine yield" e
+
+let engine_delay_mean ?method_ ?jobs ?shards ?seed ?n ?batch ?min_samples
+    ?rel_se_target ?max_samples ctx =
+  let* e =
+    protect ~where:"engine delay mean" (fun () ->
+        Engine.delay_mean ?method_ ?jobs ?shards ?seed ?n ?batch ?min_samples
+          ?rel_se_target ?max_samples ctx)
+  in
+  let* _ = Guard.finite ~where:"engine delay mean" e.Engine.value in
+  Ok e
+
+let engine_gate_level_delays ?exact ?jobs ?shards ?seed ctx ~n =
+  let* samples =
+    protect ~where:"engine gate-level MC" (fun () ->
+        Engine.gate_level_delays ?exact ?jobs ?shards ?seed ctx ~n)
+  in
+  let* _ = Guard.finite_array ~where:"engine gate-level MC" samples in
+  Ok samples
+
 (* ---- circuit-level entry points ------------------------------------- *)
 
 let ssta_stage ?output_load ?ff tech net =

@@ -72,6 +72,39 @@ val monte_carlo_yield :
 (** Adaptive Monte-Carlo yield (see {!Spv_stats.Mc}): early-stops on
     relative standard error, hard-capped at [max_samples]. *)
 
+(** {1 Engine}
+
+    Typed-error wrappers over {!Spv_engine.Engine}: the unified
+    estimator entry points with parameter validation mapped to
+    [Domain_error] and result post-conditions (finiteness,
+    probability range with clamping) to [Numeric_error]. *)
+
+val engine_ctx_of_pipeline :
+  Spv_core.Pipeline.t -> (Spv_engine.Engine.Ctx.t, Errors.t) result
+
+val engine_ctx_of_circuits :
+  ?output_load:float -> ?pitch:float -> ?ff:Spv_process.Flipflop.t ->
+  Spv_process.Tech.t -> Spv_circuit.Netlist.t array ->
+  (Spv_engine.Engine.Ctx.t, Errors.t) result
+
+val engine_yield :
+  ?method_:Spv_engine.Engine.method_ -> ?jobs:int -> ?shards:int ->
+  ?seed:int -> ?n:int -> ?batch:int -> ?min_samples:int ->
+  ?rel_se_target:float -> ?max_samples:int -> Spv_engine.Engine.Ctx.t ->
+  t_target:float -> (Spv_engine.Engine.estimate, Errors.t) result
+(** {!Spv_engine.Engine.yield} with the estimate verified finite and
+    clamped into [0, 1]. *)
+
+val engine_delay_mean :
+  ?method_:Spv_engine.Engine.method_ -> ?jobs:int -> ?shards:int ->
+  ?seed:int -> ?n:int -> ?batch:int -> ?min_samples:int ->
+  ?rel_se_target:float -> ?max_samples:int -> Spv_engine.Engine.Ctx.t ->
+  (Spv_engine.Engine.estimate, Errors.t) result
+
+val engine_gate_level_delays :
+  ?exact:bool -> ?jobs:int -> ?shards:int -> ?seed:int ->
+  Spv_engine.Engine.Ctx.t -> n:int -> (float array, Errors.t) result
+
 (** {1 Circuit timing and sizing} *)
 
 val ssta_stage :

@@ -82,6 +82,14 @@ let tech = Spv_process.Tech.bptm70
 
 let small_net () = Spv_circuit.Generators.inverter_chain ~depth:4 ()
 
+(* A healthy moments-level engine context shared by the engine cases. *)
+let engine_ctx () =
+  let* p =
+    Checked.pipeline_of_moments ~mus:[| 100.0; 95.0; 90.0 |]
+      ~sigmas:[| 5.0; 4.0; 3.0 |] ~rho:0.3 ()
+  in
+  Checked.engine_ctx_of_pipeline p
+
 (* ---- the corpus ----------------------------------------------------- *)
 
 let corpus () =
@@ -331,7 +339,129 @@ let corpus () =
           in
           show "area" r.Spv_sizing.Lagrangian.area);
     };
+    (* -- engine entry points -- *)
+    {
+      name = "engine/jobs-zero";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* ctx = engine_ctx () in
+          let* e =
+            Checked.engine_yield ~method_:Spv_engine.Engine.Mc ~jobs:0 ~n:64
+              ctx ~t_target:105.0
+          in
+          show "yield" e.Spv_engine.Engine.value);
+    };
+    {
+      name = "engine/shards-zero";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* ctx = engine_ctx () in
+          let* e =
+            Checked.engine_yield ~method_:Spv_engine.Engine.Mc ~shards:0
+              ~n:64 ctx ~t_target:105.0
+          in
+          show "yield" e.Spv_engine.Engine.value);
+    };
+    {
+      name = "engine/mc-zero-trials";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* ctx = engine_ctx () in
+          let* e =
+            Checked.engine_yield ~method_:Spv_engine.Engine.Mc ~n:0 ctx
+              ~t_target:105.0
+          in
+          show "yield" e.Spv_engine.Engine.value);
+    };
+    {
+      name = "engine/nan-target";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* ctx = engine_ctx () in
+          let* e = Checked.engine_yield ctx ~t_target:Float.nan in
+          show "yield" e.Spv_engine.Engine.value);
+    };
+    {
+      name = "engine/adaptive-zero-sample-cap";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* ctx = engine_ctx () in
+          let* e =
+            Checked.engine_yield ~max_samples:0 ctx ~t_target:105.0
+          in
+          show "yield" e.Spv_engine.Engine.value);
+    };
+    {
+      name = "engine/gate-level-on-moments-ctx";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* ctx = engine_ctx () in
+          let* samples = Checked.engine_gate_level_delays ctx ~n:64 in
+          show "trials" (float_of_int (Array.length samples)));
+    };
+    {
+      name = "engine/delay-mean-unsupported-method";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* ctx = engine_ctx () in
+          let* e =
+            Checked.engine_delay_mean
+              ~method_:Spv_engine.Engine.Quadrature ctx
+          in
+          show "mean" e.Spv_engine.Engine.value);
+    };
     (* -- healthy controls: the harness must not reject good input -- *)
+    {
+      name = "control/engine-adaptive-healthy";
+      expect = Expect_ok;
+      run =
+        (fun () ->
+          let* ctx = engine_ctx () in
+          let* e =
+            Checked.engine_yield ~max_samples:8192 ctx ~t_target:105.0
+          in
+          show "yield" e.Spv_engine.Engine.value);
+    };
+    {
+      name = "control/engine-gate-level-healthy";
+      expect = Expect_ok;
+      run =
+        (fun () ->
+          let* ctx = Checked.engine_ctx_of_circuits tech [| small_net () |] in
+          let* samples = Checked.engine_gate_level_delays ctx ~n:64 in
+          show "mean" (Spv_stats.Descriptive.mean samples));
+    };
+    {
+      name = "control/engine-jobs-invariant";
+      expect = Expect_ok;
+      run =
+        (fun () ->
+          (* The determinism contract: results depend on (seed, shards)
+             only, never on the worker count. *)
+          let* ctx = engine_ctx () in
+          let yield_with jobs =
+            Checked.engine_yield ~method_:Spv_engine.Engine.Mc ~jobs
+              ~n:2048 ctx ~t_target:105.0
+          in
+          let* a = yield_with 1 in
+          let* b = yield_with 3 in
+          if
+            Int64.equal
+              (Int64.bits_of_float a.Spv_engine.Engine.value)
+              (Int64.bits_of_float b.Spv_engine.Engine.value)
+          then show "yield" a.Spv_engine.Engine.value
+          else
+            Error
+              (Errors.internal ~where:"engine"
+                 "jobs=3 and jobs=1 disagree"));
+    };
     {
       name = "control/ssta-healthy-netlist";
       expect = Expect_ok;

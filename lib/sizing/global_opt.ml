@@ -1,8 +1,7 @@
 module Net = Spv_circuit.Netlist
-module Pipeline = Spv_core.Pipeline
 module Yield = Spv_core.Yield
 module Balance = Spv_core.Balance
-module Gd = Spv_process.Gate_delay
+module Engine = Spv_engine.Engine
 
 let log_src = Logs.Src.create "spv.global_opt" ~doc:"Fig. 9 global optimiser"
 
@@ -12,7 +11,7 @@ type yield_model = Independent | Clark_gaussian
 
 type result = {
   nets : Net.t array;
-  pipeline : Pipeline.t;
+  pipeline : Spv_core.Pipeline.t;
   stage_targets : float array;
   stage_areas : float array;
   stage_yields : float array;
@@ -21,21 +20,22 @@ type result = {
   order : int array;
 }
 
-let build_pipeline ?options ?ff ~pitch tech nets =
+let ctx_of ?options ?ff ~pitch tech nets =
   let output_load =
     (Option.value options ~default:Lagrangian.default_options)
       .Lagrangian.output_load
   in
-  Pipeline.of_circuits ~output_load ~pitch ?ff tech nets
+  Engine.Ctx.of_circuits ~output_load ~pitch ?ff tech nets
 
-let eval_yield yield_model pipeline ~t_target =
-  match yield_model with
-  | Independent -> Yield.independent_exact pipeline ~t_target
-  | Clark_gaussian -> Yield.clark_gaussian pipeline ~t_target
+let method_of = function
+  | Independent -> Engine.Exact_independent
+  | Clark_gaussian -> Engine.Analytic_clark
 
-let build_result ?options ?ff ~pitch ~yield_model tech nets ~targets ~t_target
-    ~order =
-  let pipeline = build_pipeline ?options ?ff ~pitch tech nets in
+let eval_yield yield_model ctx ~t_target =
+  (Engine.yield ~method_:(method_of yield_model) ctx ~t_target).Engine.value
+
+let build_result ~yield_model ctx nets ~targets ~t_target ~order =
+  let pipeline = Engine.Ctx.pipeline ctx in
   {
     nets;
     pipeline;
@@ -43,7 +43,7 @@ let build_result ?options ?ff ~pitch ~yield_model tech nets ~targets ~t_target
     stage_areas = Array.map Net.area nets;
     stage_yields = Yield.stage_yields pipeline ~t_target;
     total_area = Array.fold_left (fun acc n -> acc +. Net.area n) 0.0 nets;
-    pipeline_yield = eval_yield yield_model pipeline ~t_target;
+    pipeline_yield = eval_yield yield_model ctx ~t_target;
     order = Array.copy order;
   }
 
@@ -51,7 +51,7 @@ let per_stage_z ~yield_target ~n =
   Spv_stats.Special.big_phi_inv
     (Yield.per_stage_yield_target ~yield:yield_target ~n_stages:n)
 
-let individually_optimised ?options ?ff ?(pitch = 1.0)
+let individually_optimised_ctx ?options ?ff ?(pitch = 1.0)
     ?(yield_model = Independent) tech nets ~t_target ~yield_target =
   let n = Array.length nets in
   if n = 0 then invalid_arg "Global_opt: no stages";
@@ -62,8 +62,14 @@ let individually_optimised ?options ?ff ?(pitch = 1.0)
     nets;
   let targets = Array.make n t_target in
   let order = Array.init n (fun i -> i) in
-  build_result ?options ?ff ~pitch ~yield_model tech nets ~targets ~t_target
-    ~order
+  let ctx = ctx_of ?options ?ff ~pitch tech nets in
+  (build_result ~yield_model ctx nets ~targets ~t_target ~order, ctx)
+
+let individually_optimised ?options ?ff ?pitch ?yield_model tech nets ~t_target
+    ~yield_target =
+  fst
+    (individually_optimised_ctx ?options ?ff ?pitch ?yield_model tech nets
+       ~t_target ~yield_target)
 
 (* Slope order (eq. 14) from per-stage area-delay curves evaluated at
    each stage's current nominal delay. *)
@@ -85,16 +91,12 @@ let ri_order ?options ?ff tech nets ~z ~ascending =
     order;
   order
 
-let pipeline_yield_of ?options ?ff ~pitch ~yield_model tech nets ~t_target =
-  eval_yield yield_model (build_pipeline ?options ?ff ~pitch tech nets)
-    ~t_target
-
-let ensure_yield ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25)
+let ensure_yield_ctx ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25)
     ?(tighten = 0.03) ?(yield_model = Independent) tech nets ~t_target
     ~yield_target =
-  let base =
-    individually_optimised ?options ?ff ~pitch ~yield_model tech nets ~t_target
-      ~yield_target
+  let base, ctx0 =
+    individually_optimised_ctx ?options ?ff ~pitch ~yield_model tech nets
+      ~t_target ~yield_target
   in
   let n = Array.length base.nets in
   let z = per_stage_z ~yield_target ~n in
@@ -106,12 +108,16 @@ let ensure_yield ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25)
       nets
   in
   let order = ri_order ?options ?ff tech nets ~z ~ascending:true in
+  (* The context is refreshed one stage at a time as the optimiser
+     mutates gate sizes: each yield probe re-analyses only the touched
+     stage instead of rebuilding the whole pipeline. *)
+  let ctx = ref ctx0 in
+  let refresh s = ctx := Engine.Ctx.refresh_stage !ctx s in
+  let pipeline_yield () = eval_yield yield_model !ctx ~t_target in
   let rec rounds remaining =
     if remaining = 0 then ()
     else begin
-      let current =
-        pipeline_yield_of ?options ?ff ~pitch ~yield_model tech nets ~t_target
-      in
+      let current = pipeline_yield () in
       if current >= yield_target then ()
       else begin
         (* One pass over stages, cheapest delay first; accept the first
@@ -126,10 +132,8 @@ let ensure_yield ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25)
                 ignore
                   (Lagrangian.size_stage ?options ?ff tech nets.(s)
                      ~t_target:candidate ~z);
-                let trial =
-                  pipeline_yield_of ?options ?ff ~pitch ~yield_model tech nets
-                    ~t_target
-                in
+                refresh s;
+                let trial = pipeline_yield () in
                 if trial > current +. 1e-9 then begin
                   Log.debug (fun m ->
                       m "tighten stage %d to %.1f ps: yield %.4f -> %.4f" s
@@ -137,7 +141,10 @@ let ensure_yield ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25)
                   targets.(s) <- candidate;
                   improved := true
                 end
-                else Net.restore_sizes nets.(s) snapshot
+                else begin
+                  Net.restore_sizes nets.(s) snapshot;
+                  refresh s
+                end
               end
             end)
           order;
@@ -146,13 +153,18 @@ let ensure_yield ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25)
     end
   in
   rounds max_rounds;
-  build_result ?options ?ff ~pitch ~yield_model tech nets ~targets ~t_target
-    ~order
+  (build_result ~yield_model !ctx nets ~targets ~t_target ~order, !ctx)
+
+let ensure_yield ?options ?ff ?pitch ?max_rounds ?tighten ?yield_model tech
+    nets ~t_target ~yield_target =
+  fst
+    (ensure_yield_ctx ?options ?ff ?pitch ?max_rounds ?tighten ?yield_model
+       tech nets ~t_target ~yield_target)
 
 let minimise_area ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25) ?(relax = 0.015)
     ?(yield_model = Independent) tech nets ~t_target ~yield_target =
-  let ensured =
-    ensure_yield ?options ?ff ~pitch ~max_rounds ~yield_model tech nets
+  let ensured, ctx0 =
+    ensure_yield_ctx ?options ?ff ~pitch ~max_rounds ~yield_model tech nets
       ~t_target ~yield_target
   in
   let n = Array.length ensured.nets in
@@ -166,12 +178,9 @@ let minimise_area ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25) ?(relax = 0.015
   in
   let order = ri_order ?options ?ff tech nets ~z ~ascending:false in
   let tighten_step = 0.015 in
-  let resize s target =
-    ignore (Lagrangian.size_stage ?options ?ff tech nets.(s) ~t_target:target ~z)
-  in
-  let current_yield () =
-    pipeline_yield_of ?options ?ff ~pitch ~yield_model tech nets ~t_target
-  in
+  let ctx = ref ctx0 in
+  let refresh s = ctx := Engine.Ctx.refresh_stage !ctx s in
+  let current_yield () = eval_yield yield_model !ctx ~t_target in
   let total_area () =
     Array.fold_left (fun acc net -> acc +. Net.area net) 0.0 nets
   in
@@ -184,6 +193,13 @@ let minimise_area ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25) ?(relax = 0.015
     let snapshots = Array.map Net.sizes_snapshot nets in
     let saved_targets = Array.copy targets in
     let area_before = total_area () in
+    let touched = ref [] in
+    let resize s target =
+      ignore
+        (Lagrangian.size_stage ?options ?ff tech nets.(s) ~t_target:target ~z);
+      refresh s;
+      if not (List.mem s !touched) then touched := s :: !touched
+    in
     let relaxed = targets.(s_relax) *. (1.0 +. relax) in
     resize s_relax relaxed;
     targets.(s_relax) <- relaxed;
@@ -224,6 +240,7 @@ let minimise_area ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25) ?(relax = 0.015
     else begin
       Array.iteri (fun i net -> Net.restore_sizes net snapshots.(i)) nets;
       Array.blit saved_targets 0 targets 0 n;
+      List.iter refresh !touched;
       false
     end
   in
@@ -243,5 +260,4 @@ let minimise_area ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25) ?(relax = 0.015
     end
   in
   rounds max_rounds;
-  build_result ?options ?ff ~pitch ~yield_model tech nets ~targets ~t_target
-    ~order
+  build_result ~yield_model !ctx nets ~targets ~t_target ~order

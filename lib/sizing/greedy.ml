@@ -24,12 +24,12 @@ type report = {
 }
 
 let stat_delay_of ~options ?ff tech net ~z =
-  let total =
-    (Spv_circuit.Ssta.analyse_stage ~output_load:options.output_load ?ff tech
-       net)
-      .Spv_circuit.Ssta.total
+  let ctx =
+    Spv_engine.Engine.Ctx.of_circuits ~output_load:options.output_load ?ff tech
+      [| net |]
   in
-  (total, total.Gd.nominal +. (z *. Gd.total_sigma total))
+  ( Spv_engine.Engine.Ctx.stage_delay_model ctx 0,
+    Spv_engine.Engine.Ctx.stat_delay ctx ~stage:0 ~z )
 
 let size_stage ?options ?ff tech net ~t_target ~z =
   let options = Option.value options ~default:default_options in

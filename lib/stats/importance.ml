@@ -69,23 +69,31 @@ let mixture_weight ~shifts ~alphas z =
     shifts;
   if !denom <= 0.0 then 0.0 else 1.0 /. !denom
 
-let failure_above ?z_shifts mvn rng ~n ~threshold =
-  if n <= 0 then invalid_arg "Importance.failure_above: n <= 0";
+(* ---- single-trial sampler kernel ------------------------------------ *)
+
+type plan = {
+  p_mvn : Mvn.t;
+  p_threshold : float;
+  p_shifts : float array array;
+  p_alphas : float array;
+  p_cumulative : float array;
+}
+
+let plan ?z_shifts mvn ~threshold =
   let d = Mvn.dim mvn in
   let shifts, alphas =
     match z_shifts with
     | Some ss ->
         if Array.length ss = 0 then
-          invalid_arg "Importance.failure_above: empty shift set";
+          invalid_arg "Importance.plan: empty shift set";
         Array.iter
           (fun s ->
             if Array.length s <> d then
-              invalid_arg "Importance.failure_above: shift dimension mismatch")
+              invalid_arg "Importance.plan: shift dimension mismatch")
           ss;
         (ss, Array.make (Array.length ss) (1.0 /. float_of_int (Array.length ss)))
     | None -> default_mixture mvn ~threshold
   in
-  let k = Array.length shifts in
   let cumulative =
     let acc = ref 0.0 in
     Array.map
@@ -94,21 +102,35 @@ let failure_above ?z_shifts mvn rng ~n ~threshold =
         !acc)
       alphas
   in
+  {
+    p_mvn = mvn;
+    p_threshold = threshold;
+    p_shifts = shifts;
+    p_alphas = alphas;
+    p_cumulative = cumulative;
+  }
+
+let draw_weight p rng =
+  let k = Array.length p.p_shifts in
   let pick_mode u =
-    let rec go j = if j >= k - 1 || u < cumulative.(j) then j else go (j + 1) in
+    let rec go j =
+      if j >= k - 1 || u < p.p_cumulative.(j) then j else go (j + 1)
+    in
     go 0
   in
-  let values =
-    Array.init n (fun _ ->
-        let j = pick_mode (Rng.float rng) in
-        let z =
-          Array.init d (fun i -> shifts.(j).(i) +. Rng.gaussian rng)
-        in
-        let x = Mvn.transform mvn z in
-        let worst = Array.fold_left Float.max neg_infinity x in
-        if worst > threshold then mixture_weight ~shifts ~alphas z else 0.0)
-  in
-  summarise values
+  let j = pick_mode (Rng.float rng) in
+  let d = Mvn.dim p.p_mvn in
+  let z = Array.init d (fun i -> p.p_shifts.(j).(i) +. Rng.gaussian rng) in
+  let x = Mvn.transform p.p_mvn z in
+  let worst = Array.fold_left Float.max neg_infinity x in
+  if worst > p.p_threshold then
+    mixture_weight ~shifts:p.p_shifts ~alphas:p.p_alphas z
+  else 0.0
+
+let failure_above ?z_shifts mvn rng ~n ~threshold =
+  if n <= 0 then invalid_arg "Importance.failure_above: n <= 0";
+  let p = plan ?z_shifts mvn ~threshold in
+  summarise (Array.init n (fun _ -> draw_weight p rng))
 
 let plain_failure_above mvn rng ~n ~threshold =
   if n <= 0 then invalid_arg "Importance.plain_failure_above: n <= 0";

@@ -22,13 +22,29 @@ type estimate = {
           diagnostic: tiny values mean the shift is poorly placed *)
 }
 
+type plan
+(** Immutable single-trial sampler: the mixture of mean shifts and
+    their weights, built once per (mvn, threshold).  Safe to share
+    across domains; pair with one {!Rng.t} per domain. *)
+
+val plan : ?z_shifts:float array array -> Mvn.t -> threshold:float -> plan
+(** Build the mixture plan.  [z_shifts] (one whitened shift per
+    mixture component, equal mixture weights when given explicitly)
+    defaults to the automatic per-stage construction described above.
+    Raises [Invalid_argument] on an empty or dimension-mismatched
+    shift set. *)
+
+val draw_weight : plan -> Rng.t -> float
+(** One importance-sampling trial: the reweighted failure indicator
+    (0 when the draw does not fail).  The mean of these values over
+    many trials estimates P{max_i X_i > threshold}. *)
+
 val failure_above :
   ?z_shifts:float array array -> Mvn.t -> Rng.t -> n:int -> threshold:float ->
   estimate
-(** P{max_i X_i > threshold} (the pipeline's yield-loss event).
-    [z_shifts] (one whitened shift per mixture component, equal
-    mixture weights when given explicitly) defaults to the automatic
-    per-stage construction described above. *)
+(** P{max_i X_i > threshold} (the pipeline's yield-loss event) — a
+    thin sequential shim over {!plan}/{!draw_weight}.  Deprecated: new
+    code should use [Spv_engine.Engine.yield ~method_:Importance]. *)
 
 val plain_failure_above : Mvn.t -> Rng.t -> n:int -> threshold:float -> estimate
 (** The unshifted estimator, for comparison (std_error computed the

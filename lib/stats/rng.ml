@@ -42,9 +42,15 @@ let bits64 t =
   t.s3 <- rotl t.s3 45;
   result
 
-let split t =
-  let seed = Int64.to_int (bits64 t) in
-  create ~seed
+let split t n =
+  if n <= 0 then invalid_arg "Rng.split: n <= 0";
+  (* Distinct-seed mixing: each child seed is an independent 63-bit
+     draw from the parent, expanded into 256 bits of state through
+     splitmix64 (the xoshiro authors' recommended seeding), so child
+     streams are decorrelated from the parent and from each other. *)
+  Array.init n (fun _ ->
+      let seed = Int64.to_int (bits64 t) in
+      create ~seed)
 
 let float t =
   (* 53 high bits scaled into [0,1). *)

@@ -15,9 +15,15 @@ val create : seed:int -> t
 val copy : t -> t
 (** Independent snapshot of the current state. *)
 
-val split : t -> t
-(** [split rng] derives a new generator from [rng], advancing [rng].
-    Streams of the parent and child are (statistically) independent. *)
+val split : t -> int -> t array
+(** [split rng n] derives [n] generators from [rng], advancing [rng].
+    Each child is seeded from a distinct 63-bit parent draw expanded
+    through splitmix64 (distinct-seed mixing), so the child streams are
+    (statistically) independent of the parent and of each other.  The
+    result is a pure function of the parent's state: equal parent
+    states and equal [n] yield bit-identical stream arrays — the basis
+    for the engine's deterministic domain-parallel Monte-Carlo.
+    Requires [n > 0]. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -72,11 +72,46 @@ let test_gaussian_mu_sigma () =
 
 let test_split_independence () =
   let parent = Rng.create ~seed:11 in
-  let child = Rng.split parent in
+  let child = (Rng.split parent 1).(0) in
   let xs = Array.init 5000 (fun _ -> Rng.float parent) in
   let ys = Array.init 5000 (fun _ -> Rng.float child) in
   let rho = Spv_stats.Correlation.sample_correlation xs ys in
   check_in_range "split streams uncorrelated" ~lo:(-0.05) ~hi:0.05 rho
+
+let test_split_cross_stream_correlation () =
+  (* Every pair of sibling streams must be (statistically) uncorrelated:
+     this is what makes shard-parallel Monte-Carlo sound. *)
+  let parent = Rng.create ~seed:17 in
+  let streams = Rng.split parent 6 in
+  let draws =
+    Array.map (fun s -> Array.init 4000 (fun _ -> Rng.float s)) streams
+  in
+  for i = 0 to Array.length draws - 1 do
+    for j = i + 1 to Array.length draws - 1 do
+      let rho = Spv_stats.Correlation.sample_correlation draws.(i) draws.(j) in
+      check_in_range
+        (Printf.sprintf "streams %d/%d uncorrelated" i j)
+        ~lo:(-0.06) ~hi:0.06 rho
+    done
+  done
+
+let test_split_determinism () =
+  let mk () = Rng.split (Rng.create ~seed:23) 4 in
+  let a = mk () and b = mk () in
+  Array.iteri
+    (fun i sa ->
+      for d = 0 to 31 do
+        Alcotest.(check int64)
+          (Printf.sprintf "stream %d draw %d equal" i d)
+          (Rng.bits64 sa) (Rng.bits64 b.(i))
+      done)
+    a
+
+let test_split_rejects_nonpositive () =
+  let parent = Rng.create ~seed:29 in
+  Alcotest.check_raises "split 0 rejected"
+    (Invalid_argument "Rng.split: n <= 0") (fun () ->
+      ignore (Rng.split parent 0))
 
 let test_copy () =
   let a = Rng.create ~seed:12 in
@@ -106,6 +141,9 @@ let suite =
     slow "gaussian KS normality" test_gaussian_normality;
     slow "gaussian mu/sigma" test_gaussian_mu_sigma;
     quick "split independence" test_split_independence;
+    slow "split cross-stream correlation" test_split_cross_stream_correlation;
+    quick "split determinism" test_split_determinism;
+    quick "split rejects n <= 0" test_split_rejects_nonpositive;
     quick "copy" test_copy;
     quick "shuffle is a permutation" test_shuffle_permutation;
   ]
