@@ -113,7 +113,14 @@ let lint_cmd =
     let doc = "Path to the .bench netlist file to check." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run path =
+  let werror =
+    let doc =
+      "Treat warnings as errors: exit with the Lint code (4) when any \
+       diagnostic fires, not only on hard errors."
+    in
+    Arg.(value & flag & info [ "werror" ] ~doc)
+  in
+  let run path werror =
     handle
       (let* diags = Checked.lint_bench_file path in
        List.iter
@@ -123,19 +130,26 @@ let lint_cmd =
        let errs =
          List.filter (fun d -> d.Errors.severity = Errors.Err) diags
        in
-       if errs = [] then begin
-         Printf.printf "%s: %d warning(s), no errors\n" path
-           (List.length diags);
-         Ok ()
-       end
-       else Error (Errors.lint ~path errs))
+       match (errs, diags) with
+       | [], [] ->
+           Printf.printf "%s: no diagnostics\n" path;
+           Ok ()
+       | [], warnings when not werror ->
+           Printf.printf "%s: %d warning(s), no errors\n" path
+             (List.length warnings);
+           Ok ()
+       | [], warnings ->
+           (* --werror promotes the warnings themselves into the
+              Lint_error so the exit-4 contract names what fired. *)
+           Error (Errors.lint ~path warnings)
+       | errs, _ -> Error (Errors.lint ~path errs))
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Check a .bench netlist for structural defects (loops, undriven \
           wires, multiple drivers, ...) without running any analysis.")
-    Term.(const run $ file)
+    Term.(const run $ file $ werror)
 
 (* ---- yield / mc commands ------------------------------------------ *)
 
@@ -648,16 +662,134 @@ let vth_cmd =
        ~doc:"Criticality-guided dual-Vth assignment for leakage recovery.")
     Term.(const run $ circuit_arg $ slack)
 
+(* ---- analyze command ------------------------------------------------- *)
+
+let analyze_cmd =
+  let circuits_arg =
+    let doc =
+      "Pipeline stage circuit (repeatable; builtin name or .bench path).  \
+       Mutually exclusive with --mu/--sigma."
+    in
+    Arg.(value & opt_all string [] & info [ "c"; "circuit" ] ~doc)
+  in
+  let mus =
+    let doc = "Stage mean delays in ps (repeatable; moments mode)." in
+    Arg.(value & opt_all float [] & info [ "mu" ] ~doc)
+  in
+  let sigmas =
+    let doc = "Stage delay sigmas in ps (repeatable, same count as --mu)." in
+    Arg.(value & opt_all float [] & info [ "sigma" ] ~doc)
+  in
+  let rho =
+    let doc = "Uniform stage correlation (moments mode)." in
+    Arg.(value & opt float 0.0 & info [ "rho" ] ~doc)
+  in
+  let kappa =
+    let doc =
+      "Half-width of the bounded-variation box in sigmas: every bound holds \
+       for worlds within +-k sigma per component."
+    in
+    Arg.(value & opt float 6.0 & info [ "k" ] ~doc)
+  in
+  let target =
+    let doc =
+      "Optional clock-period target in ps: also checks the closed-form \
+       yield estimators against the Fréchet bounds."
+    in
+    Arg.(value & opt (some float) None & info [ "t"; "target" ] ~doc)
+  in
+  let json =
+    let doc = "Emit the report as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run circuits mus sigmas rho kappa target json =
+    handle
+      (let* ctx =
+         match (circuits, mus) with
+         | [], [] ->
+             Error
+               (Errors.domain ~param:"--circuit"
+                  "give at least one --circuit, or --mu/--sigma moments")
+         | _ :: _, _ :: _ ->
+             Error
+               (Errors.domain ~param:"--circuit"
+                  "give either --circuit or --mu/--sigma, not both")
+         | [], _ ->
+             let mus = Array.of_list mus and sigmas = Array.of_list sigmas in
+             let* p =
+               Checked.pipeline_of_moments ~on_warning:warn ~mus ~sigmas ~rho
+                 ()
+             in
+             Checked.engine_ctx_of_pipeline p
+         | names, [] ->
+             let* nets =
+               List.fold_left
+                 (fun acc name ->
+                   let* acc = acc in
+                   let* net = lookup_circuit name in
+                   Ok (net :: acc))
+                 (Ok []) names
+             in
+             let tech = Spv_process.Tech.bptm70 in
+             let ff = Spv_process.Flipflop.default tech in
+             Checked.engine_ctx_of_circuits ~ff tech
+               (Array.of_list (List.rev nets))
+       in
+       let* r = Checked.analyze ~k:kappa ?t_target:target ctx in
+       let report = r.Spv_analysis.Analyze.report in
+       if json then print_string (Spv_analysis.Report.to_json report)
+       else begin
+         print_string (Spv_analysis.Report.to_text report);
+         let b = r.Spv_analysis.Analyze.bounds in
+         Printf.printf "pipeline delay bound (k=%g): %s ps\n"
+           b.Spv_analysis.Bounds.k
+           (Spv_analysis.Interval.to_string b.Spv_analysis.Bounds.delay);
+         (match r.Spv_analysis.Analyze.criticality with
+         | None -> ()
+         | Some cs ->
+             Array.iteri
+               (fun i c ->
+                 Printf.printf
+                   "stage %d: %d/%d gates possibly critical (%.0f%% prunable)\n"
+                   i c.Spv_analysis.Criticality.n_active_gates
+                   c.Spv_analysis.Criticality.n_gates
+                   (100.0 *. Spv_analysis.Criticality.prunable_fraction c))
+               cs);
+         Printf.printf "%d finding(s): %d error(s), %d warning(s)\n"
+           (List.length report.Spv_analysis.Report.findings)
+           (Spv_analysis.Report.count report Spv_analysis.Report.Error)
+           (Spv_analysis.Report.count report Spv_analysis.Report.Warn)
+       end;
+       (* Error findings surface after the report is printed, with the
+          documented Lint exit code. *)
+       match Checked.analysis_errors r with
+       | None -> Ok ()
+       | Some e -> Error e)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static analysis of a pipeline: guaranteed interval delay bounds, \
+          reconvergent-fanout and correlation-risk diagnostics, static \
+          criticality/prunability, and Fréchet-bound checks of the engine's \
+          closed-form yield estimators.")
+    Term.(
+      const run $ circuits_arg $ mus $ sigmas $ rho $ kappa $ target $ json)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
+  (* Debug-mode bounds postconditions: the oracle is always registered;
+     the engine only consults it when SPV_DEBUG_BOUNDS is set (or a
+     test enables it explicitly). *)
+  Spv_analysis.Bounds.install_engine_check ();
   let doc = "statistical pipeline delay / yield toolkit (DATE'05 reproduction)" in
   let info = Cmd.info "spv_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [
-            experiment_cmd; lint_cmd; yield_cmd; mc_cmd; sta_cmd; size_cmd; power_cmd;
-            export_cmd; criticality_cmd; curve_cmd; report_cmd; hold_cmd;
-            fmax_cmd; abb_cmd; vth_cmd;
+            experiment_cmd; lint_cmd; analyze_cmd; yield_cmd; mc_cmd; sta_cmd;
+            size_cmd; power_cmd; export_cmd; criticality_cmd; curve_cmd;
+            report_cmd; hold_cmd; fmax_cmd; abb_cmd; vth_cmd;
           ]))

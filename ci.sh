@@ -1,0 +1,21 @@
+#!/bin/sh
+# Local CI: every gate a change must pass, in order, fail-fast.
+# Mirrors what reviewers run by hand; see README "Build, test, reproduce".
+set -eu
+
+cd "$(dirname "$0")"
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run dune build @check
+run dune build           # dev profile, full build
+run dune runtest
+run dune build @fmt      # dune-file formatting
+run dune build @fault    # fault-injection corpus
+run dune build @analysis # static-analyzer suite
+run dune build --profile release  # warnings are errors here
+
+echo "ci.sh: all gates passed"

@@ -1,0 +1,91 @@
+module Engine = Spv_engine.Engine
+
+type result = {
+  report : Report.t;
+  bounds : Bounds.t;
+  criticality : Criticality.t array option;
+}
+
+let estimate_findings ~ctx bounds ~t_target =
+  List.map
+    (fun (label, verdict, (e : Engine.estimate)) ->
+      let base_data =
+        [
+          ("method", Report.Text label);
+          ("value", Report.Num e.value);
+          ("t_target", Report.Num t_target);
+        ]
+      in
+      match verdict with
+      | Bounds.Pass { bound; slack } ->
+          Report.finding ~pass:"bounds-check"
+            ~data:
+              (base_data
+              @ [
+                  ("lo", Report.Num (Interval.lo bound));
+                  ("hi", Report.Num (Interval.hi bound));
+                  ("slack", Report.Num slack);
+                ])
+            "estimate within Fréchet yield bounds"
+      | Bounds.Fail { bound; slack; excess; _ } ->
+          Report.finding ~severity:Report.Error ~pass:"bounds-check"
+            ~data:
+              (base_data
+              @ [
+                  ("lo", Report.Num (Interval.lo bound));
+                  ("hi", Report.Num (Interval.hi bound));
+                  ("slack", Report.Num slack);
+                  ("excess", Report.Num excess);
+                ])
+            "estimate OUTSIDE Fréchet yield bounds")
+    (List.map
+       (fun method_ ->
+         let e = Engine.yield ~method_ ctx ~t_target in
+         (Engine.method_name method_, Bounds.check ~t_target bounds e, e))
+       [ Engine.Analytic_clark; Engine.Exact_independent; Engine.Quadrature ])
+
+let run ?k ?t_target ctx =
+  let bounds = Bounds.of_ctx ?k ctx in
+  let gate = Engine.Ctx.gate_level ctx in
+  let n = Engine.Ctx.n_stages ctx in
+  let bounds_findings = Bounds.findings bounds in
+  let pipeline_findings =
+    Structure.pipeline_findings (Engine.Ctx.pipeline ctx)
+  in
+  let reconv_findings =
+    if not gate then []
+    else
+      List.concat
+        (List.init n (fun i ->
+             Structure.netlist_findings ~stage:i (Engine.Ctx.netlist ctx i)))
+  in
+  let criticality =
+    if not gate then None
+    else
+      Some
+        (Array.init n (fun i ->
+             Criticality.analyse ?k
+               ~output_load:(Engine.Ctx.output_load ctx)
+               (Engine.Ctx.tech ctx) (Engine.Ctx.netlist ctx i)))
+  in
+  let crit_findings =
+    match criticality with
+    | None -> []
+    | Some cs ->
+        List.concat
+          (List.mapi
+             (fun i c -> Criticality.findings ~stage:i c)
+             (Array.to_list cs))
+  in
+  let check_findings =
+    match t_target with
+    | None -> []
+    | Some t_target -> estimate_findings ~ctx bounds ~t_target
+  in
+  let report =
+    Report.sorted
+      (Report.of_findings
+         (bounds_findings @ pipeline_findings @ reconv_findings
+        @ crit_findings @ check_findings))
+  in
+  { report; bounds; criticality }

@@ -1,0 +1,25 @@
+(** The analyzer driver: run every pass over one evaluation context
+    and aggregate the findings.
+
+    Passes (see the per-module docs):
+    - ["bounds"] — interval delay bounds ({!Bounds});
+    - ["reconvergence"] — reconvergent-fanout detection, gate-level
+      contexts only ({!Structure.netlist_findings});
+    - ["correlation"] — tie/skew and Clark-order risk
+      ({!Structure.pipeline_findings});
+    - ["criticality"] — static criticality and prunability, gate-level
+      contexts only ({!Criticality});
+    - ["bounds-check"] — with a [t_target], the closed-form engine
+      estimators (clark / independent / quadrature) are evaluated and
+      asserted against the Fréchet yield bounds; a violation is an
+      [Error] finding. *)
+
+type result = {
+  report : Report.t;  (** sorted findings of every pass *)
+  bounds : Bounds.t;
+  criticality : Criticality.t array option;  (** per stage; gate-level only *)
+}
+
+val run : ?k:float -> ?t_target:float -> Spv_engine.Engine.Ctx.t -> result
+(** Raises [Invalid_argument] on invalid [k] and [Failure] via the
+    engine only if engine debug checks are enabled and violated. *)

@@ -1,0 +1,40 @@
+type t = { lo : float; hi : float }
+
+let make ~lo ~hi =
+  if Float.is_nan lo || Float.is_nan hi then
+    invalid_arg "Interval.make: NaN endpoint";
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let point x = make ~lo:x ~hi:x
+let lo i = i.lo
+let hi i = i.hi
+let width i = i.hi -. i.lo
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+
+let scale i k =
+  if Float.is_nan k || k < 0.0 then
+    invalid_arg "Interval.scale: negative or NaN factor";
+  { lo = i.lo *. k; hi = i.hi *. k }
+
+let shift i d = { lo = i.lo +. d; hi = i.hi +. d }
+let max2 a b = { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let max_many = function
+  | [||] -> invalid_arg "Interval.max_many: empty"
+  | is -> Array.fold_left max2 is.(0) is
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let contains ?(slack = 0.0) i x =
+  (not (Float.is_nan x)) && x >= i.lo -. slack && x <= i.hi +. slack
+
+let is_finite i = Float.is_finite i.lo && Float.is_finite i.hi
+
+let mem_all ?slack i xs =
+  Array.fold_left
+    (fun acc x -> if contains ?slack i x then acc else acc + 1)
+    0 xs
+
+let pp ppf i = Format.fprintf ppf "[%g, %g]" i.lo i.hi
+let to_string i = Format.asprintf "%a" pp i

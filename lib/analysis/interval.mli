@@ -1,0 +1,50 @@
+(** Closed real intervals — the abstract domain of the bounds pass.
+
+    An interval [\[lo, hi\]] stands for "every concrete value this
+    quantity can take (under the analyzer's bounded-variation
+    hypothesis) lies between [lo] and [hi]".  Operations are the exact
+    interval-arithmetic counterparts of the concrete ones used by the
+    timing model (sum along a path, max over fanins/stages, scaling by
+    a non-negative nominal delay), so propagation is sound by
+    construction. *)
+
+type t = private { lo : float; hi : float }
+
+val make : lo:float -> hi:float -> t
+(** Raises [Invalid_argument] when [lo > hi] or either end is NaN.
+    Infinite endpoints are allowed (degenerate bounds are represented,
+    then reported by the passes). *)
+
+val point : float -> t
+(** The singleton [\[x, x\]].  Raises on NaN. *)
+
+val lo : t -> float
+val hi : t -> float
+val width : t -> float
+
+val add : t -> t -> t
+val scale : t -> float -> t
+(** Scale by a non-negative factor; raises on negative. *)
+
+val shift : t -> float -> t
+(** Translate both endpoints. *)
+
+val max2 : t -> t -> t
+(** Interval max: [\[max lo lo', max hi hi'\]]. *)
+
+val max_many : t array -> t
+(** Raises on an empty array. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val contains : ?slack:float -> t -> float -> bool
+(** [contains i x]: [lo - slack <= x <= hi + slack] (default slack 0).
+    NaN is never contained. *)
+
+val is_finite : t -> bool
+val mem_all : ?slack:float -> t -> float array -> int
+(** Number of array entries {e outside} the (slack-widened) interval. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

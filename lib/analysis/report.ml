@@ -1,0 +1,148 @@
+type severity = Info | Warn | Error
+
+type location =
+  | Pipeline
+  | Stage of int
+  | Node of { stage : int; node : int }
+
+type value = Num of float | Int of int | Text of string | Flag of bool
+
+type finding = {
+  pass : string;
+  severity : severity;
+  location : location;
+  message : string;
+  data : (string * value) list;
+}
+
+type t = { findings : finding list }
+
+let finding ?(severity = Info) ?(location = Pipeline) ?(data = []) ~pass
+    message =
+  { pass; severity; location; message; data }
+
+let empty = { findings = [] }
+let of_findings findings = { findings }
+let concat ts = { findings = List.concat_map (fun t -> t.findings) ts }
+
+let count t sev =
+  List.length (List.filter (fun f -> f.severity = sev) t.findings)
+
+let has_errors t = List.exists (fun f -> f.severity = Error) t.findings
+let severity_rank = function Error -> 0 | Warn -> 1 | Info -> 2
+
+let location_rank = function
+  | Pipeline -> (-1, -1)
+  | Stage s -> (s, -1)
+  | Node { stage; node } -> (stage, node)
+
+let sorted t =
+  let cmp a b =
+    let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c
+    else
+      let c = compare a.pass b.pass in
+      if c <> 0 then c
+      else compare (location_rank a.location) (location_rank b.location)
+  in
+  { findings = List.stable_sort cmp t.findings }
+
+let severity_name = function
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let location_name = function
+  | Pipeline -> "pipeline"
+  | Stage s -> Printf.sprintf "stage %d" s
+  | Node { stage; node } -> Printf.sprintf "stage %d node %d" stage node
+
+let value_text = function
+  | Num x -> Printf.sprintf "%g" x
+  | Int i -> string_of_int i
+  | Text s -> s
+  | Flag b -> string_of_bool b
+
+let to_text t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-5s %-13s %s: %s"
+           (severity_name f.severity)
+           f.pass
+           (location_name f.location)
+           f.message);
+      (match f.data with
+      | [] -> ()
+      | data ->
+          Buffer.add_string buf
+            (Printf.sprintf " (%s)"
+               (String.concat ", "
+                  (List.map
+                     (fun (k, v) -> Printf.sprintf "%s=%s" k (value_text v))
+                     data))));
+      Buffer.add_char buf '\n')
+    t.findings;
+  Buffer.contents buf
+
+(* Minimal JSON emission (the repo carries no JSON dependency). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.17g" x
+  else if Float.is_nan x then json_string "nan"
+  else if x > 0.0 then json_string "inf"
+  else json_string "-inf"
+
+let json_value = function
+  | Num x -> json_float x
+  | Int i -> string_of_int i
+  | Text s -> json_string s
+  | Flag b -> string_of_bool b
+
+let json_location = function
+  | Pipeline -> {|{"kind": "pipeline"}|}
+  | Stage s -> Printf.sprintf {|{"kind": "stage", "stage": %d}|} s
+  | Node { stage; node } ->
+      Printf.sprintf {|{"kind": "node", "stage": %d, "node": %d}|} stage node
+
+let json_finding f =
+  let data =
+    String.concat ", "
+      (List.map (fun (k, v) -> json_string k ^ ": " ^ json_value v) f.data)
+  in
+  Printf.sprintf
+    {|{"pass": %s, "severity": %s, "location": %s, "message": %s, "data": {%s}}|}
+    (json_string f.pass)
+    (json_string (severity_name f.severity))
+    (json_location f.location)
+    (json_string f.message)
+    data
+
+let to_json t =
+  let findings = String.concat ",\n    " (List.map json_finding t.findings) in
+  Printf.sprintf
+    {|{
+  "findings": [
+    %s
+  ],
+  "counts": {"error": %d, "warn": %d, "info": %d}
+}
+|}
+    findings (count t Error) (count t Warn) (count t Info)

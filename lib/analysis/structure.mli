@@ -1,0 +1,53 @@
+(** Reconvergent-fanout and correlation-structure detection.
+
+    The engine's closed forms lean on two approximations whose error is
+    governed by netlist/pipeline {e structure}:
+
+    - the path-based stage model treats the critical path as one chain,
+      ignoring the correlation (and max-pressure) that reconvergent
+      fanout creates between near-critical paths;
+    - Clark's iterated max treats each partial max as Gaussian, which
+      is least true when stage means are nearly tied (the max of tied
+      Gaussians is maximally skewed) and when the fold order matters.
+
+    This pass flags both, with per-stage risk scores. *)
+
+type stem = {
+  stem : int;  (** node id where the paths diverge *)
+  branches : int;  (** gate fanouts of the stem *)
+  reconvergence_count : int;  (** nodes reached by >= 2 distinct paths *)
+  max_paths : float;  (** largest path multiplicity (saturating count) *)
+}
+
+val stems : Spv_circuit.Netlist.t -> stem list
+(** Every multi-fanout node whose branches reconverge somewhere
+    downstream, by per-stem path-count propagation (exact for counts
+    below 1e15, saturating above). *)
+
+val tie_scores : Spv_core.Pipeline.t -> float array
+(** Per stage [i]: [2 Phi(-|mu_i - mu_l| / a_il)] against the
+    slowest other stage [l], where [a_il] is the standard deviation of
+    [X_i - X_l] under the pipeline's correlation.  1.0 means exactly
+    tied (worst case for the Gaussian-max approximation), near 0 means
+    the pair is almost surely ordered.  A single-stage pipeline scores
+    [\[| 0 |\]]. *)
+
+type order_spread = {
+  mu_spread : float;  (** max - min Clark mean over fold orders *)
+  sigma_spread : float;  (** max - min Clark sigma over fold orders *)
+}
+
+val order_sensitivity : Spv_core.Pipeline.t -> order_spread
+(** Spread of the Clark result across the three fold orders
+    ([Increasing_mean], [Decreasing_mean], [As_given]) — a direct
+    measure of the iterated approximation's ambiguity. *)
+
+val netlist_findings :
+  ?stage:int -> Spv_circuit.Netlist.t -> Report.finding list
+(** Reconvergence findings for one stage's netlist
+    ([pass = "reconvergence"]).  Warns when reconvergent regions cover
+    more than a quarter of the gates. *)
+
+val pipeline_findings : Spv_core.Pipeline.t -> Report.finding list
+(** Tie/skew and order-sensitivity findings
+    ([pass = "correlation"]). *)

@@ -34,14 +34,22 @@ let loads ?wire net ~output_load =
   done;
   loads
 
-let run_internal ~output_load ?wire (tech : Spv_process.Tech.t) net ~factors =
+let run_internal ~output_load ?wire ?active (tech : Spv_process.Tech.t) net
+    ~factors =
   let n = Netlist.n_nodes net in
   let loads = loads ?wire net ~output_load in
   let arrival = Array.make n 0.0 in
   let gate_delays = Array.make n 0.0 in
+  let is_active i = match active with None -> true | Some m -> m.(i) in
   for i = 0 to n - 1 do
     match Netlist.node net i with
     | Netlist.Primary_input _ -> ()
+    | Netlist.Gate _ when not (is_active i) ->
+        (* Statically non-critical gate: its arrival stays 0, exactly as
+           if the node were an input.  Loads (and hence the delays of
+           every active gate) are computed over the full netlist, so an
+           active gate's delay is bit-identical to the unmasked run. *)
+        ()
     | Netlist.Gate { kind; fanin } ->
         let gate_d =
           tech.tau
@@ -112,10 +120,14 @@ let run_internal ~output_load ?wire (tech : Spv_process.Tech.t) net ~factors =
 let run ?(output_load = 4.0) ?wire tech net =
   run_internal ~output_load ?wire tech net ~factors:None
 
-let run_with_factors ?(output_load = 4.0) ?wire tech net ~factors =
+let run_with_factors ?(output_load = 4.0) ?wire ?active tech net ~factors =
   if Array.length factors <> Netlist.n_nodes net then
     invalid_arg "Sta.run_with_factors: factors length mismatch";
-  run_internal ~output_load ?wire tech net ~factors:(Some factors)
+  (match active with
+  | Some m when Array.length m <> Netlist.n_nodes net ->
+      invalid_arg "Sta.run_with_factors: active mask length mismatch"
+  | _ -> ());
+  run_internal ~output_load ?wire ?active tech net ~factors:(Some factors)
 
 let path_delay result path =
   List.fold_left (fun acc i -> acc +. result.gate_delays.(i)) 0.0 path

@@ -1,4 +1,3 @@
-module G = Spv_stats.Gaussian
 module Gd = Spv_process.Gate_delay
 
 type corr_source = Explicit | Derived of float  (* corr_length *)

@@ -19,6 +19,7 @@ module Ctx = struct
     sizes : float array array;
     s_vth : float;
     s_leff : float;
+    prune : bool array array option;
   }
 
   type t = {
@@ -71,6 +72,7 @@ module Ctx = struct
           sizes = Array.map Netlist.sizes_snapshot nets;
           s_vth = Spv_process.Tech.delay_sensitivity_vth tech;
           s_leff = Spv_process.Tech.delay_sensitivity_leff tech;
+          prune = None;
         }
       pipeline
 
@@ -107,6 +109,41 @@ module Ctx = struct
     let g = require_gate ~where:"Engine.Ctx.delay_sensitivities" t in
     (g.s_vth, g.s_leff)
 
+  let tech t = (require_gate ~where:"Engine.Ctx.tech" t).tech
+  let output_load t = (require_gate ~where:"Engine.Ctx.output_load" t).output_load
+  let pitch t = (require_gate ~where:"Engine.Ctx.pitch" t).pitch
+  let flipflop t = (require_gate ~where:"Engine.Ctx.flipflop" t).ff
+
+  let netlist t i =
+    let g = require_gate ~where:"Engine.Ctx.netlist" t in
+    check_stage ~where:"Engine.Ctx.netlist" t i;
+    g.nets.(i)
+
+  let prune_masks t =
+    match t.gate with
+    | None -> None
+    | Some g -> Option.map (Array.map Array.copy) g.prune
+
+  let with_prune t masks =
+    let where = "Engine.Ctx.with_prune" in
+    let g = require_gate ~where t in
+    if Array.length masks <> Array.length g.nets then
+      invalid_arg (where ^ ": one mask per stage required");
+    Array.iteri
+      (fun i mask ->
+        let net = g.nets.(i) in
+        if Array.length mask <> Netlist.n_nodes net then
+          invalid_arg (where ^ ": mask length <> node count");
+        if not (Array.exists (fun o -> mask.(o)) (Netlist.outputs net)) then
+          invalid_arg (where ^ ": stage with every output masked"))
+      masks;
+    { t with gate = Some { g with prune = Some (Array.map Array.copy masks) } }
+
+  let without_prune t =
+    match t.gate with
+    | None | Some { prune = None; _ } -> t
+    | Some g -> { t with gate = Some { g with prune = None } }
+
   let stage_delay_model t i =
     check_stage ~where:"Engine.Ctx.stage_delay_model" t i;
     (Pipeline.stage t.pipeline i).Stage.delay
@@ -132,7 +169,9 @@ module Ctx = struct
         a.Ssta.total
     in
     let pipeline = Pipeline.with_stage t.pipeline i stage in
-    finish ~gate:{ g with analyses; sizes } pipeline
+    (* Gate sizes changed, so any criticality mask computed for the old
+       sizes is stale; drop it rather than risk unsound pruning. *)
+    finish ~gate:{ g with analyses; sizes; prune = None } pipeline
 end
 
 (* ---- estimator taxonomy --------------------------------------------- *)
@@ -185,6 +224,39 @@ let pp_estimate ppf e =
 
 let recommended ctx =
   if Ctx.nearly_independent ctx then Exact_independent else Analytic_clark
+
+(* ---- debug-mode postconditions --------------------------------------- *)
+
+(* [Spv_analysis.Bounds] registers interval-bound oracles here (a
+   function pointer avoids a dependency cycle: analysis depends on the
+   engine, not vice versa).  Checks only run when debug mode is on. *)
+
+type check = Ctx.t -> t_target:float option -> estimate -> (unit, string) result
+
+let estimate_check : check option ref = ref None
+
+let debug_checks =
+  ref
+    (match Sys.getenv_opt "SPV_DEBUG_BOUNDS" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let set_debug_checks b = debug_checks := b
+let debug_checks_enabled () = !debug_checks
+let register_estimate_check f = estimate_check := Some f
+
+let postcondition ~where ctx ~t_target e =
+  (if !debug_checks then
+     match !estimate_check with
+     | None -> ()
+     | Some f -> (
+         match f ctx ~t_target e with
+         | Ok () -> ()
+         | Error msg ->
+             failwith
+               (Printf.sprintf "%s: bounds postcondition violated: %s" where
+                  msg)));
+  e
 
 (* ---- deterministic shard-parallel cores ------------------------------ *)
 
@@ -361,6 +433,8 @@ let yield ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
   let where = "Engine.yield" in
   check_target ~where t_target;
   check_positive ~where "shards" shards;
+  postcondition ~where ctx ~t_target:(Some t_target)
+  @@
   match method_ with
   | Analytic_clark -> closed ~method_ (clark_yield ctx ~t_target)
   | Exact_independent ->
@@ -419,6 +493,8 @@ let delay_mean ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
     ?(rel_se_target = 0.01) ?(max_samples = 1_000_000) ctx =
   let where = "Engine.delay_mean" in
   check_positive ~where "shards" shards;
+  postcondition ~where ctx ~t_target:None
+  @@
   match method_ with
   | Analytic_clark -> closed ~method_ (G.mu (Ctx.delay_distribution ctx))
   | Mc ->
@@ -466,7 +542,7 @@ let gate_sampler ~where ?exact ctx =
   let g = Ctx.require_gate ~where ctx in
   fun () ->
     Ssta.sampler ~output_load:g.Ctx.output_load ?exact ~pitch:g.Ctx.pitch
-      ?ff:g.Ctx.ff g.Ctx.tech g.Ctx.nets
+      ?ff:g.Ctx.ff ?active:g.Ctx.prune g.Ctx.tech g.Ctx.nets
 
 let gate_level_delays ?exact ?jobs ?(shards = default_shards)
     ?(seed = default_seed) ctx ~n =

@@ -82,6 +82,43 @@ module Ctx : sig
       [delay_factor = 1 + s_vth dVth + s_leff dLeff/Leff].  Gate-level
       contexts only. *)
 
+  val tech : t -> Spv_process.Tech.t
+  (** The technology the context was built with.  Gate-level only. *)
+
+  val netlist : t -> int -> Spv_circuit.Netlist.t
+  (** One stage's netlist (shared, not copied — treat as read-only).
+      Gate-level contexts only; raises [Invalid_argument] out of
+      range. *)
+
+  val output_load : t -> float
+  (** Primary-output load the context's STA uses.  Gate-level only. *)
+
+  val pitch : t -> float
+  (** Stage-to-stage die pitch of the context's layout.  Gate-level
+      only. *)
+
+  val flipflop : t -> Spv_process.Flipflop.t option
+  (** The flip-flop whose overhead each stage pays, if any.  Gate-level
+      only. *)
+
+  val with_prune : t -> bool array array -> t
+  (** [with_prune ctx masks] returns a context whose gate-level
+      Monte-Carlo samplers skip gates masked [false] (one mask entry
+      per node per stage).  Masks come from the static-criticality pass
+      in [Spv_analysis]: when every dropped gate provably never sets
+      its stage delay, gate-level estimates are unchanged bit-for-bit
+      (masked trials consume the identical RNG stream and only skip
+      arithmetic).  Analytic/MVN estimators are unaffected.  Raises
+      [Invalid_argument] on mask shape mismatch, a stage whose every
+      primary output is masked, or a moments-only context. *)
+
+  val without_prune : t -> t
+  (** Drop any installed prune masks. *)
+
+  val prune_masks : t -> bool array array option
+  (** The installed prune masks (fresh copy), if any.  [None] for
+      moments-only contexts and unpruned gate-level contexts. *)
+
   val stage_delay_model : t -> int -> Spv_process.Gate_delay.t
   (** The decomposed delay model of one stage. *)
 
@@ -135,6 +172,27 @@ val recommended : Ctx.t -> method_
 (** The paper's recommended closed form for this context:
     [Exact_independent] when the stages are (near) independent,
     [Analytic_clark] otherwise. *)
+
+(** {1 Debug-mode postconditions}
+
+    [Spv_analysis.Bounds.install_engine_check] registers an
+    interval-bound oracle here (a function pointer, so the engine does
+    not depend on the analysis layer).  When debug checks are enabled —
+    [set_debug_checks true], or the [SPV_DEBUG_BOUNDS] environment
+    variable set to anything but [""]/["0"] at startup — every
+    {!yield} ([t_target] passed as [Some]) and {!delay_mean}
+    ([t_target = None]) result is handed to the registered check and a
+    violated bound raises [Failure] with the oracle's message. *)
+
+type check = Ctx.t -> t_target:float option -> estimate -> (unit, string) result
+
+val register_estimate_check : check -> unit
+(** Install (or replace) the postcondition oracle. *)
+
+val set_debug_checks : bool -> unit
+(** Enable/disable running the registered oracle. *)
+
+val debug_checks_enabled : unit -> bool
 
 (** {1 Estimators}
 

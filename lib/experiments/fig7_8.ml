@@ -1,5 +1,4 @@
 module Balance = Spv_core.Balance
-module G = Spv_stats.Gaussian
 
 type setup = {
   models : Balance.stage_model array;

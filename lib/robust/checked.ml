@@ -1,5 +1,4 @@
 module Bf = Spv_circuit.Bench_format
-module G = Spv_stats.Gaussian
 
 let ( let* ) = Result.bind
 
@@ -230,6 +229,42 @@ let engine_gate_level_delays ?exact ?jobs ?shards ?seed ctx ~n =
   in
   let* _ = Guard.finite_array ~where:"engine gate-level MC" samples in
   Ok samples
+
+(* ---- static-analysis entry points ----------------------------------- *)
+
+module Analyze = Spv_analysis.Analyze
+
+let analyze ?k ?t_target ctx =
+  let* r =
+    protect ~where:"analyze" (fun () -> Analyze.run ?k ?t_target ctx)
+  in
+  if
+    not
+      (Spv_analysis.Interval.is_finite r.Analyze.bounds.Spv_analysis.Bounds.delay)
+  then
+    Error
+      (Errors.numeric ~where:"analyze"
+         "degenerate interval bounds: the variation box crosses the device \
+          cutoff (overdrive <= 0); lower k or the variation sigmas")
+  else Ok r
+
+let analysis_errors (r : Analyze.result) =
+  let errs =
+    List.filter
+      (fun f -> f.Spv_analysis.Report.severity = Spv_analysis.Report.Error)
+      r.Analyze.report.Spv_analysis.Report.findings
+  in
+  match errs with
+  | [] -> None
+  | errs ->
+      Some
+        (Errors.lint
+           (List.map
+              (fun f ->
+                Errors.diagnostic ~code:"analysis"
+                  ~signal:f.Spv_analysis.Report.pass
+                  f.Spv_analysis.Report.message)
+              errs))
 
 (* ---- circuit-level entry points ------------------------------------- *)
 

@@ -105,6 +105,25 @@ val engine_gate_level_delays :
   ?exact:bool -> ?jobs:int -> ?shards:int -> ?seed:int ->
   Spv_engine.Engine.Ctx.t -> n:int -> (float array, Errors.t) result
 
+(** {1 Static analysis} *)
+
+val analyze :
+  ?k:float -> ?t_target:float -> Spv_engine.Engine.Ctx.t ->
+  (Spv_analysis.Analyze.result, Errors.t) result
+(** {!Spv_analysis.Analyze.run} behind the typed-error boundary: an
+    invalid [k] maps to [Domain_error]; degenerate (non-finite)
+    pipeline delay bounds — the variation box crossing the device
+    cutoff — map to [Numeric_error].  Error-severity findings do {e
+    not} fail this call (the caller still wants the report printed);
+    turn them into an exit-code-bearing error with
+    {!analysis_errors}. *)
+
+val analysis_errors : Spv_analysis.Analyze.result -> Errors.t option
+(** [Some (Lint_error ...)] carrying one diagnostic per error-severity
+    finding (code ["analysis"]), [None] when the report has none.  The
+    CLI prints the report first, then exits with the Lint code through
+    this. *)
+
 (** {1 Circuit timing and sizing} *)
 
 val ssta_stage :

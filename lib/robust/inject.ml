@@ -82,6 +82,19 @@ let tech = Spv_process.Tech.bptm70
 
 let small_net () = Spv_circuit.Generators.inverter_chain ~depth:4 ()
 
+(* Analyzer cases report the finding count; error-severity findings
+   (degenerate bounds, out-of-bound estimates) become the Lint-coded
+   typed error the CLI exits with. *)
+let analysis_summary (r : Spv_analysis.Analyze.result) =
+  match Checked.analysis_errors r with
+  | Some e -> Error e
+  | None ->
+      let report = r.Spv_analysis.Analyze.report in
+      Ok
+        (Printf.sprintf "%d findings (%d warn)"
+           (List.length report.Spv_analysis.Report.findings)
+           (Spv_analysis.Report.count report Spv_analysis.Report.Warn))
+
 (* A healthy moments-level engine context shared by the engine cases. *)
 let engine_ctx () =
   let* p =
@@ -416,6 +429,89 @@ let corpus () =
               ~method_:Spv_engine.Engine.Quadrature ctx
           in
           show "mean" e.Spv_engine.Engine.value);
+    };
+    (* -- static analyzer -- *)
+    {
+      name = "analyze/cyclic-netlist";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          (* A combinational loop must die at the parse/lint boundary,
+             before the analyzer can levelise it. *)
+          let* net =
+            Checked.parse_bench_string
+              "INPUT(a)\nx = NAND(a, y)\ny = INV(x)\nOUTPUT(y)\n"
+          in
+          let* ctx = Checked.engine_ctx_of_circuits tech [| net |] in
+          let* r = Checked.analyze ctx in
+          analysis_summary r);
+    };
+    {
+      name = "analyze/k-zero";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* ctx = Checked.engine_ctx_of_circuits tech [| small_net () |] in
+          let* r = Checked.analyze ~k:0.0 ctx in
+          analysis_summary r);
+    };
+    {
+      name = "analyze/k-nan";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* ctx = Checked.engine_ctx_of_circuits tech [| small_net () |] in
+          let* r = Checked.analyze ~k:Float.nan ctx in
+          analysis_summary r);
+    };
+    {
+      name = "analyze/degenerate-bounds-huge-k";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          (* k=500 pushes the Vth box across the device cutoff: the
+             exact alpha-power factor diverges and the interval goes
+             non-finite, which must surface as a typed numeric error,
+             not as a NaN/inf report. *)
+          let* ctx = Checked.engine_ctx_of_circuits tech [| small_net () |] in
+          let* r = Checked.analyze ~k:500.0 ctx in
+          analysis_summary r);
+    };
+    {
+      name = "analyze/empty-pipeline";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* ctx = Checked.engine_ctx_of_circuits tech [||] in
+          let* r = Checked.analyze ctx in
+          analysis_summary r);
+    };
+    {
+      name = "analyze/target-nan";
+      expect = Expect_error;
+      run =
+        (fun () ->
+          let* ctx = Checked.engine_ctx_of_circuits tech [| small_net () |] in
+          let* r = Checked.analyze ~t_target:Float.nan ctx in
+          analysis_summary r);
+    };
+    {
+      name = "control/analyze-circuit-healthy";
+      expect = Expect_ok;
+      run =
+        (fun () ->
+          let* ctx = Checked.engine_ctx_of_circuits tech [| small_net () |] in
+          let* r = Checked.analyze ~t_target:200.0 ctx in
+          analysis_summary r);
+    };
+    {
+      name = "control/analyze-moments-healthy";
+      expect = Expect_ok;
+      run =
+        (fun () ->
+          let* ctx = engine_ctx () in
+          let* r = Checked.analyze ~t_target:120.0 ctx in
+          analysis_summary r);
     };
     (* -- healthy controls: the harness must not reject good input -- *)
     {
