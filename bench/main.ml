@@ -200,6 +200,138 @@ let run_pruning_study () =
      logic; the k-sigma box proves almost nothing never-critical)\n"
     f
 
+(* --- affine-vs-interval tightness study ------------------------------ *)
+
+module An = Spv_analysis.Affine_sta
+module Iv = Spv_analysis.Interval
+
+type affine_row = {
+  a_name : string;
+  a_stage_ratios : float array;  (* affine/interval width per stage *)
+  a_delay_ratio : float;
+  a_yield_ratio : float;
+  a_t_target : float;
+  a_escape : float;  (* analytic escape budget of the enclosures *)
+  a_trials : int;
+  a_model_escapes : int;  (* MC samples outside the delay enclosure *)
+  a_gate_escapes : int;
+}
+
+let median xs =
+  let s = Array.copy xs in
+  Array.sort compare s;
+  let n = Array.length s in
+  if n = 0 then Float.nan
+  else if n mod 2 = 1 then s.(n / 2)
+  else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+
+let count_escapes enclosure samples =
+  Array.fold_left
+    (fun acc x -> if Iv.contains enclosure x then acc else acc + 1)
+    0 samples
+
+let affine_row ~k ~trials name ctx =
+  let a = An.of_ctx ~k ctx in
+  let d = Engine.Ctx.delay_distribution ctx in
+  let t_target =
+    d.Spv_stats.Gaussian.mu +. (2.0 *. d.Spv_stats.Gaussian.sigma)
+  in
+  let yield_affine = An.yield_bounds a ~t_target in
+  let yield_frechet =
+    Spv_analysis.Bounds.yield_bounds a.An.bounds ~t_target
+  in
+  let ratio tight wide =
+    let wt = Iv.width tight and ww = Iv.width wide in
+    if Float.is_finite wt && Float.is_finite ww && ww > 0.0 then wt /. ww
+    else 1.0
+  in
+  let model_escapes =
+    count_escapes a.An.delay (Engine.sample_delays ctx ~n:trials)
+  in
+  let gate_escapes =
+    if Engine.Ctx.gate_level ctx then
+      count_escapes a.An.delay
+        (Engine.gate_level_delays ~exact:false ctx ~n:trials)
+    else 0
+  in
+  {
+    a_name = name;
+    a_stage_ratios = Array.map (fun s -> s.An.width_ratio) a.An.stages;
+    a_delay_ratio = a.An.delay_ratio;
+    a_yield_ratio = ratio yield_affine yield_frechet;
+    a_t_target = t_target;
+    a_escape = a.An.escape;
+    a_trials = trials;
+    a_model_escapes = model_escapes;
+    a_gate_escapes = gate_escapes;
+  }
+
+let affine_rows () =
+  let tech = E.Common.base_tech in
+  let ff = Spv_process.Flipflop.default tech in
+  let gate name nets = (name, Engine.Ctx.of_circuits ~ff tech nets) in
+  let k = 6.0 and trials = 10_000 in
+  List.map
+    (fun (name, ctx) -> affine_row ~k ~trials name ctx)
+    [
+      gate "chain10x4"
+        (Spv_circuit.Generators.inverter_chain_pipeline ~stages:4 ~depth:10 ());
+      gate "rca8+chain10"
+        [|
+          Spv_circuit.Generators.ripple_carry_adder ~bits:8;
+          Spv_circuit.Generators.inverter_chain ~depth:10 ();
+        |];
+      gate "c432" [| Spv_circuit.Generators.c432 () |];
+      ( "moments-12stage",
+        Engine.Ctx.of_pipeline
+          (Spv_core.Pipeline.make
+             (Array.init 12 (fun i ->
+                  Spv_core.Stage.of_moments ~mu:(100.0 +. float_of_int i)
+                    ~sigma:5.0 ()))
+             ~corr:(Spv_stats.Correlation.uniform ~n:12 ~rho:0.3)) );
+    ]
+
+let write_affine_json path rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"k\": 6.0,\n  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"name\": %S, \"median_stage_ratio\": %.4f, \"delay_ratio\": \
+         %.4f, \"yield_ratio\": %.4f, \"t_target\": %.3f, \"escape\": %.3g, \
+         \"trials\": %d, \"model_escapes\": %d, \"gate_escapes\": %d}%s\n"
+        r.a_name (median r.a_stage_ratios) r.a_delay_ratio r.a_yield_ratio
+        r.a_t_target r.a_escape r.a_trials r.a_model_escapes r.a_gate_escapes
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let run_affine_study () =
+  E.Common.section
+    "Affine vs interval enclosures: width ratios and MC containment (k=6)";
+  let rows = affine_rows () in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-16s stage ratio (median) %.3f  delay ratio %.3f  yield ratio \
+         %.3f  escapes %d+%d/%d (budget %.2g)\n"
+        r.a_name (median r.a_stage_ratios) r.a_delay_ratio r.a_yield_ratio
+        r.a_model_escapes r.a_gate_escapes r.a_trials r.a_escape)
+    rows;
+  (match
+     List.filter (fun r -> r.a_model_escapes + r.a_gate_escapes > 0) rows
+   with
+  | [] -> Printf.printf "  all sampled delays inside the affine enclosures\n"
+  | bad ->
+      List.iter
+        (fun r -> Printf.printf "  WARNING: %s had MC escapes\n" r.a_name)
+        bad);
+  write_affine_json "BENCH_affine.json" rows;
+  Printf.printf "  wrote BENCH_affine.json\n"
+
 (* --- experiment registry --------------------------------------------- *)
 
 let experiments =
@@ -231,6 +363,10 @@ let experiments =
     ( "pruning",
       "Static criticality pruning: pruned vs unpruned gate-level MC",
       run_pruning_study );
+    ( "affine",
+      "Affine vs interval enclosure tightness + MC containment (writes \
+       BENCH_affine.json)",
+      run_affine_study );
   ]
 
 (* --- Bechamel micro-benchmarks of the analysis kernels -------------- *)

@@ -4,8 +4,9 @@
 
    Every command funnels its failures through Spv_robust.Errors, so
    each failure class gets a one-line stderr message and a distinct
-   exit code (Io 2, Parse 3, Lint 4, Numeric 5, Domain 6, Internal 7);
-   cmdliner keeps its own 124 for command-line syntax errors. *)
+   exit code (Io 2, Parse 3, Lint 4, Numeric 5, Domain 6, Internal 7,
+   Certificate refuted 8); cmdliner keeps its own 124 for command-line
+   syntax errors. *)
 
 open Cmdliner
 module Errors = Spv_robust.Errors
@@ -699,10 +700,20 @@ let analyze_cmd =
     Arg.(value & opt (some float) None & info [ "t"; "target" ] ~doc)
   in
   let json =
-    let doc = "Emit the report as JSON instead of text." in
+    let doc = "Emit the report as JSON instead of text (same as --format json)." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run circuits mus sigmas rho kappa target json =
+  let format_arg =
+    let doc =
+      "Report format: $(b,text) or $(b,json).  JSON documents carry a \
+       top-level schema_version field."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let run circuits mus sigmas rho kappa target json format =
     handle
       (let* ctx =
          match (circuits, mus) with
@@ -737,13 +748,21 @@ let analyze_cmd =
        in
        let* r = Checked.analyze ~k:kappa ?t_target:target ctx in
        let report = r.Spv_analysis.Analyze.report in
-       if json then print_string (Spv_analysis.Report.to_json report)
+       if json || format = `Json then
+         print_string (Spv_analysis.Report.to_json report)
        else begin
          print_string (Spv_analysis.Report.to_text report);
          let b = r.Spv_analysis.Analyze.bounds in
          Printf.printf "pipeline delay bound (k=%g): %s ps\n"
            b.Spv_analysis.Bounds.k
            (Spv_analysis.Interval.to_string b.Spv_analysis.Bounds.delay);
+         let a = r.Spv_analysis.Analyze.affine in
+         Printf.printf
+           "affine delay enclosure:      %s ps (%.0f%% of interval width, \
+            escape < %.2g)\n"
+           (Spv_analysis.Interval.to_string a.Spv_analysis.Affine_sta.delay)
+           (100.0 *. a.Spv_analysis.Affine_sta.delay_ratio)
+           a.Spv_analysis.Affine_sta.escape;
          (match r.Spv_analysis.Analyze.criticality with
          | None -> ()
          | Some cs ->
@@ -770,26 +789,139 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Static analysis of a pipeline: guaranteed interval delay bounds, \
-          reconvergent-fanout and correlation-risk diagnostics, static \
-          criticality/prunability, and Fréchet-bound checks of the engine's \
-          closed-form yield estimators.")
+          correlation-aware affine enclosures, reconvergent-fanout and \
+          correlation-risk diagnostics, static criticality/prunability, and \
+          Fréchet/affine-envelope checks of the engine's closed-form yield \
+          estimators.")
     Term.(
-      const run $ circuits_arg $ mus $ sigmas $ rho $ kappa $ target $ json)
+      const run $ circuits_arg $ mus $ sigmas $ rho $ kappa $ target $ json
+      $ format_arg)
+
+(* ---- certify command ------------------------------------------------- *)
+
+let certify_cmd =
+  let solution =
+    let doc =
+      "Path to a sizing-solution file ($(b,t_target <ps>), $(b,yield <p>), \
+       $(b,stage <i> <mu> <sigma>) lines; '#' comments).  Mutually \
+       exclusive with --mu/--sigma."
+    in
+    Arg.(value & opt (some string) None & info [ "s"; "solution" ] ~doc)
+  in
+  let mus =
+    let doc = "Achieved stage mean delays in ps (repeatable)." in
+    Arg.(value & opt_all float [] & info [ "mu" ] ~doc)
+  in
+  let sigmas =
+    let doc = "Achieved stage delay sigmas in ps (repeatable)." in
+    Arg.(value & opt_all float [] & info [ "sigma" ] ~doc)
+  in
+  let target =
+    let doc = "Clock-period target in ps (required with --mu)." in
+    Arg.(value & opt (some float) None & info [ "t"; "target" ] ~doc)
+  in
+  let yield =
+    let doc = "Pipeline yield target in (0.5, 1) (with --mu)." in
+    Arg.(value & opt float 0.9 & info [ "yield" ] ~doc)
+  in
+  let nonneg =
+    let doc =
+      "Assume nonnegative stage correlations, enabling the Slepian prove \
+       path (the independence product becomes a valid lower bound)."
+    in
+    Arg.(value & flag & info [ "assume-nonneg-corr" ] ~doc)
+  in
+  let json =
+    let doc = "Emit the findings as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run solution mus sigmas target yield nonneg json =
+    handle
+      (let* cert =
+         match (solution, mus) with
+         | None, [] ->
+             Error
+               (Errors.domain ~param:"--solution"
+                  "give a --solution file, or --mu/--sigma moments with \
+                   --target")
+         | Some _, _ :: _ ->
+             Error
+               (Errors.domain ~param:"--solution"
+                  "give either --solution or --mu/--sigma, not both")
+         | Some path, [] ->
+             Checked.certify_solution_file ~nonneg_correlation:nonneg path
+         | None, _ :: _ ->
+             if List.length mus <> List.length sigmas then
+               Error
+                 (Errors.domain ~param:"--sigma"
+                    (Printf.sprintf "%d sigmas for %d means"
+                       (List.length sigmas) (List.length mus)))
+             else
+               let* t =
+                 match target with
+                 | Some t -> Ok t
+                 | None ->
+                     Error
+                       (Errors.domain ~param:"--target"
+                          "required in --mu/--sigma mode")
+               in
+               let points =
+                 Array.of_list
+                   (List.map2
+                      (fun mu sigma -> { Spv_core.Design_space.mu; sigma })
+                      mus sigmas)
+               in
+               Checked.certify_points ~nonneg_correlation:nonneg ~t_target:t
+                 ~yield points
+       in
+       let report =
+         Spv_analysis.Report.sorted
+           (Spv_analysis.Report.of_findings
+              (Spv_analysis.Certify.findings cert))
+       in
+       if json then print_string (Spv_analysis.Report.to_json report)
+       else begin
+         print_string (Spv_analysis.Report.to_text report);
+         Printf.printf
+           "certificate %s: yield in [%.6f, %.6f], product %.6f, target %.6f \
+            at T = %g ps\n"
+           (Spv_analysis.Certify.status_name cert.Spv_analysis.Certify.status)
+           cert.Spv_analysis.Certify.frechet_lo
+           cert.Spv_analysis.Certify.min_yield
+           cert.Spv_analysis.Certify.product_yield
+           cert.Spv_analysis.Certify.yield cert.Spv_analysis.Certify.t_target
+       end;
+       (* A refuted certificate exits 8 after the findings are printed. *)
+       match Checked.certificate_error cert with
+       | None -> Ok ()
+       | Some e -> Error e)
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Static sizing certificate: prove or refute that achieved stage \
+          delay moments reach a pipeline yield target (the paper's eq. 10-13 \
+          design space), without sampling.  A refuted certificate exits \
+          with code 8 and a structured counterexample finding.")
+    Term.(const run $ solution $ mus $ sigmas $ target $ yield $ nonneg $ json)
 
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
-  (* Debug-mode bounds postconditions: the oracle is always registered;
-     the engine only consults it when SPV_DEBUG_BOUNDS is set (or a
-     test enables it explicitly). *)
+  (* Debug-mode postconditions: the oracles are always registered; the
+     engine only consults them when SPV_DEBUG_BOUNDS is set (or a test
+     enables it explicitly), and the sizers only consult theirs when
+     SPV_CERTIFY_SIZING is set. *)
   Spv_analysis.Bounds.install_engine_check ();
+  Spv_analysis.Affine_sta.install_engine_check ();
+  Spv_analysis.Certify.install_sizing_check ();
   let doc = "statistical pipeline delay / yield toolkit (DATE'05 reproduction)" in
   let info = Cmd.info "spv_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [
-            experiment_cmd; lint_cmd; analyze_cmd; yield_cmd; mc_cmd; sta_cmd;
-            size_cmd; power_cmd; export_cmd; criticality_cmd; curve_cmd;
-            report_cmd; hold_cmd; fmax_cmd; abb_cmd; vth_cmd;
+            experiment_cmd; lint_cmd; analyze_cmd; certify_cmd; yield_cmd;
+            mc_cmd; sta_cmd; size_cmd; power_cmd; export_cmd; criticality_cmd;
+            curve_cmd; report_cmd; hold_cmd; fmax_cmd; abb_cmd; vth_cmd;
           ]))

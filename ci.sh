@@ -18,4 +18,16 @@ run dune build @fault    # fault-injection corpus
 run dune build @analysis # static-analyzer suite
 run dune build --profile release  # warnings are errors here
 
+# Certify gate: the shipped feasible solution must prove (exit 0) and
+# the deliberately infeasible one must refute with exactly exit 8.
+CLI=_build/default/bin/spv_cli.exe
+run "$CLI" certify -s examples/solutions/pipe3_t700.solution
+echo "==> $CLI certify -s examples/solutions/pipe3_t520_infeasible.solution (expect exit 8)"
+rc=0
+"$CLI" certify -s examples/solutions/pipe3_t520_infeasible.solution || rc=$?
+if [ "$rc" -ne 8 ]; then
+  echo "ci.sh: infeasible certificate was not refuted (exit $rc, want 8)" >&2
+  exit 1
+fi
+
 echo "ci.sh: all gates passed"

@@ -1,0 +1,280 @@
+type symbol =
+  | Factor of int
+  | Vth_inter
+  | Leff_inter
+  | Sys of int
+  | Rand of { stage : int; node : int }
+
+let symbol_to_string = function
+  | Factor j -> Printf.sprintf "factor[%d]" j
+  | Vth_inter -> "vth_inter"
+  | Leff_inter -> "leff_inter"
+  | Sys j -> Printf.sprintf "sys[%d]" j
+  | Rand { stage; node } ->
+      if node < 0 then Printf.sprintf "rand[%d.ff]" stage
+      else Printf.sprintf "rand[%d.%d]" stage node
+
+let class_name = function
+  | Factor _ -> "factor"
+  | Vth_inter -> "vth_inter"
+  | Leff_inter -> "leff_inter"
+  | Sys _ -> "systematic"
+  | Rand _ -> "random"
+
+type t = {
+  center : float;
+  terms : (symbol * float) array;
+  rem : Interval.t;
+  events : int;
+}
+
+let check_coeff c =
+  if Float.is_nan c then invalid_arg "Affine: NaN coefficient"
+
+let const c =
+  if Float.is_nan c then invalid_arg "Affine.const: NaN";
+  { center = c; terms = [||]; rem = Interval.point 0.0; events = 0 }
+
+(* Terms stay sorted by symbol (structural order) so merges are linear
+   and shared symbols always line up. *)
+let normalise terms =
+  let terms =
+    List.filter (fun (_, c) -> check_coeff c; c <> 0.0) terms
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) terms in
+  let rec merge = function
+    | (s1, c1) :: (s2, c2) :: rest when s1 = s2 ->
+        merge ((s1, c1 +. c2) :: rest)
+    | kv :: rest -> kv :: merge rest
+    | [] -> []
+  in
+  Array.of_list (List.filter (fun (_, c) -> c <> 0.0) (merge sorted))
+
+let make ?(events = 0) ~center ~terms ~rem () =
+  if Float.is_nan center then invalid_arg "Affine.make: NaN center";
+  if events < 0 then invalid_arg "Affine.make: negative events";
+  { center; terms = normalise terms; rem; events }
+
+let center t = t.center
+let rem t = t.rem
+let n_terms t = Array.length t.terms
+let events t = t.events
+
+let coeff t s =
+  match Array.find_opt (fun (s', _) -> s' = s) t.terms with
+  | Some (_, c) -> c
+  | None -> 0.0
+
+(* Linear-time merge of two sorted term arrays; [fb] maps the second
+   operand's coefficients (so [sub] and the relu composition reuse it). *)
+let merge_terms ?(fb = Fun.id) a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = ref [] and i = ref 0 and j = ref 0 in
+  let push s c = if c <> 0.0 then out := (s, c) :: !out in
+  while !i < la || !j < lb do
+    if !j >= lb then begin
+      let s, c = a.(!i) in
+      push s c; incr i
+    end
+    else if !i >= la then begin
+      let s, c = b.(!j) in
+      push s (fb c); incr j
+    end
+    else
+      let sa, ca = a.(!i) and sb, cb = b.(!j) in
+      let cmp = compare sa sb in
+      if cmp < 0 then begin push sa ca; incr i end
+      else if cmp > 0 then begin push sb (fb cb); incr j end
+      else begin
+        push sa (ca +. fb cb);
+        incr i; incr j
+      end
+  done;
+  Array.of_list (List.rev !out)
+
+(* Event counts add under every composition: the union bound tolerates
+   the double counting of shared history (it only over-budgets). *)
+let add a b =
+  {
+    center = a.center +. b.center;
+    terms = merge_terms a.terms b.terms;
+    rem = Interval.add a.rem b.rem;
+    events = a.events + b.events;
+  }
+
+let add_const t c =
+  if Float.is_nan c then invalid_arg "Affine.add_const: NaN";
+  { t with center = t.center +. c }
+
+let scale t s =
+  if not (Float.is_finite s) then
+    invalid_arg "Affine.scale: non-finite factor";
+  {
+    center = t.center *. s;
+    terms =
+      (if s = 0.0 then [||]
+       else Array.map (fun (sym, c) -> (sym, c *. s)) t.terms);
+    rem = Interval.mul t.rem (Interval.point s);
+    events = t.events;
+  }
+
+let sub a b =
+  {
+    center = a.center -. b.center;
+    terms = merge_terms ~fb:Float.neg a.terms b.terms;
+    rem = Interval.add a.rem (Interval.neg b.rem);
+    events = a.events + b.events;
+  }
+
+let linear_radius t =
+  Array.fold_left (fun acc (_, c) -> acc +. Float.abs c) 0.0 t.terms
+
+let sigma t =
+  sqrt (Array.fold_left (fun acc (_, c) -> acc +. (c *. c)) 0.0 t.terms)
+
+let check_k ~where k =
+  if not (Float.is_finite k && k > 0.0) then
+    invalid_arg (where ^ ": k must be finite and positive")
+
+let range ~k t =
+  check_k ~where:"Affine.range" k;
+  let span = k *. linear_radius t in
+  Interval.add (Interval.sym span) (Interval.shift t.rem t.center)
+
+let concentration ~k t =
+  check_k ~where:"Affine.concentration" k;
+  let span = k *. sigma t in
+  Interval.add (Interval.sym span) (Interval.shift t.rem t.center)
+
+let escape_probability ~k t =
+  check_k ~where:"Affine.escape_probability" k;
+  float_of_int (n_terms t + t.events + 1)
+  *. 2.0
+  *. Spv_stats.Special.big_phi (-.k)
+
+(* Phi((x - m) / s), degenerating to the step function at s = 0. *)
+let phi_at ~mu ~sigma x =
+  if sigma > 0.0 then Spv_stats.Special.big_phi ((x -. mu) /. sigma)
+  else if x >= mu then 1.0
+  else 0.0
+
+let clamp01 p = Float.max 0.0 (Float.min 1.0 p)
+
+let cdf_bounds ~k t x =
+  check_k ~where:"Affine.cdf_bounds" k;
+  if Float.is_nan x then invalid_arg "Affine.cdf_bounds: NaN threshold";
+  let s = sigma t in
+  let esc = escape_probability ~k t in
+  (* value <= center + L + rem.hi, so P{value <= x} >= P{center + L +
+     rem.hi <= x} minus the mass where the box (hence the remainder
+     bound) fails; symmetrically above. *)
+  let lo = phi_at ~mu:(t.center +. Interval.hi t.rem) ~sigma:s x -. esc in
+  let hi = phi_at ~mu:(t.center +. Interval.lo t.rem) ~sigma:s x +. esc in
+  Interval.make ~lo:(clamp01 lo) ~hi:(clamp01 hi)
+
+let mean_interval t = Interval.shift t.rem t.center
+
+(* max(x, y) with the remainders separated from the linear parts.
+
+   Write x = X + r_x, y = Y + r_y with X, Y purely affine-linear and
+   r_x in R_x, r_y in R_y.  Then
+
+     max(x, y) in max(X, Y) + [min bounds, max bounds of r_x / r_y],
+
+   so the result's remainder takes a hull-style bound instead of the
+   sum — remainders do not pile up across a deep netlist's max chain.
+
+   max(X, Y) itself is Y + relu(D) with D = X - Y purely linear, and
+   relu is over-approximated by its chord on D's range [a, b]
+   (a < 0 < b): relu(v) = lam (v - a) + e with lam = b/(b-a) and the
+   Chebyshev error e in [ab/(b-a), 0] (the chord touches relu at both
+   ends and overshoots most at v = 0).  The chord interval is the
+   +-k sigma concentration band of D rather than its +-k L1 radius —
+   D is an exact Gaussian, so this costs one probabilistic event
+   (counted in [events], budgeted by {!escape_probability}) and is
+   dramatically tighter when many independent symbols partially
+   cancel.
+
+   The early dominance tests use the full hard ranges (box hypothesis
+   only, no event): when one operand dominates everywhere it is
+   returned exactly. *)
+let max2 ~k x y =
+  check_k ~where:"Affine.max2" k;
+  let d = sub x y in
+  let dr = range ~k d in
+  if Interval.lo dr >= 0.0 then x
+  else if Interval.hi dr <= 0.0 then y
+  else if
+    not (Float.is_finite (Interval.lo dr) && Float.is_finite (Interval.hi dr))
+  then
+    (* Degenerate operand (device-cutoff remainder): fall back to the
+       interval hull — correlation is lost but soundness is kept. *)
+    {
+      center = 0.0;
+      terms = [||];
+      rem = Interval.hull (range ~k x) (range ~k y);
+      events = x.events + y.events;
+    }
+  else begin
+    (* Chord band of the linear difference D: +-k sigma, one event. *)
+    let half = k *. Float.min (sigma d) (linear_radius d) in
+    let a = d.center -. half and b = d.center +. half in
+    let events = x.events + y.events + 1 in
+    let rxl = Interval.lo x.rem and rxh = Interval.hi x.rem in
+    let ryl = Interval.lo y.rem and ryh = Interval.hi y.rem in
+    if a >= 0.0 then
+      (* X dominates Y on the event: result is X, with y's remainder
+         able to intrude from above only by r_y - a. *)
+      { x with rem = Interval.make ~lo:rxl ~hi:(Float.max rxh (ryh -. a)); events }
+    else if b <= 0.0 then
+      { y with rem = Interval.make ~lo:ryl ~hi:(Float.max ryh (rxh +. b)); events }
+    else
+      let lam = b /. (b -. a) in
+      let rem_hull =
+        Interval.make ~lo:(Float.min rxl ryl) ~hi:(Float.max rxh ryh)
+      in
+      let cheb = Interval.make ~lo:(a *. b /. (b -. a)) ~hi:0.0 in
+      {
+        center = y.center +. (lam *. (d.center -. a));
+        terms = merge_terms ~fb:(fun c -> lam *. c) y.terms d.terms;
+        rem = Interval.add rem_hull cheb;
+        events;
+      }
+  end
+
+let max_many ~k = function
+  | [||] -> invalid_arg "Affine.max_many: empty"
+  | ts -> Array.fold_left (max2 ~k) ts.(0) ts
+
+let eval_interval t eps =
+  let v =
+    Array.fold_left (fun acc (s, c) -> acc +. (c *. eps s)) t.center t.terms
+  in
+  Interval.shift t.rem v
+
+let attribution t =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun (s, c) ->
+      let key = class_name s in
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (prev +. (c *. c)))
+    t.terms;
+  Hashtbl.fold (fun key ss acc -> (key, sqrt ss) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let dominant ?(n = 5) t =
+  let by_mag = Array.copy t.terms in
+  Array.sort (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a)) by_mag;
+  Array.to_list (Array.sub by_mag 0 (min n (Array.length by_mag)))
+
+let pp ppf t =
+  Format.fprintf ppf "%g" t.center;
+  Array.iter
+    (fun (s, c) ->
+      Format.fprintf ppf " %s %g*%s"
+        (if c >= 0.0 then "+" else "-")
+        (Float.abs c) (symbol_to_string s))
+    t.terms;
+  if Interval.width t.rem > 0.0 || Interval.lo t.rem <> 0.0 then
+    Format.fprintf ppf " + %a" Interval.pp t.rem

@@ -3,10 +3,11 @@ module Engine = Spv_engine.Engine
 type result = {
   report : Report.t;
   bounds : Bounds.t;
+  affine : Affine_sta.t;
   criticality : Criticality.t array option;
 }
 
-let estimate_findings ~ctx bounds ~t_target =
+let verdict_findings ~pass ~what ~t_target checks =
   List.map
     (fun (label, verdict, (e : Engine.estimate)) ->
       let base_data =
@@ -18,7 +19,7 @@ let estimate_findings ~ctx bounds ~t_target =
       in
       match verdict with
       | Bounds.Pass { bound; slack } ->
-          Report.finding ~pass:"bounds-check"
+          Report.finding ~pass
             ~data:
               (base_data
               @ [
@@ -26,9 +27,9 @@ let estimate_findings ~ctx bounds ~t_target =
                   ("hi", Report.Num (Interval.hi bound));
                   ("slack", Report.Num slack);
                 ])
-            "estimate within Fréchet yield bounds"
+            (Printf.sprintf "estimate within %s" what)
       | Bounds.Fail { bound; slack; excess; _ } ->
-          Report.finding ~severity:Report.Error ~pass:"bounds-check"
+          Report.finding ~severity:Report.Error ~pass
             ~data:
               (base_data
               @ [
@@ -37,18 +38,32 @@ let estimate_findings ~ctx bounds ~t_target =
                   ("slack", Report.Num slack);
                   ("excess", Report.Num excess);
                 ])
-            "estimate OUTSIDE Fréchet yield bounds")
-    (List.map
-       (fun method_ ->
-         let e = Engine.yield ~method_ ctx ~t_target in
-         (Engine.method_name method_, Bounds.check ~t_target bounds e, e))
-       [ Engine.Analytic_clark; Engine.Exact_independent; Engine.Quadrature ])
+            (Printf.sprintf "estimate OUTSIDE %s" what))
+    checks
+
+let estimate_findings ~ctx bounds affine ~t_target =
+  let estimates =
+    List.map
+      (fun method_ ->
+        (Engine.method_name method_, Engine.yield ~method_ ctx ~t_target))
+      [ Engine.Analytic_clark; Engine.Exact_independent; Engine.Quadrature ]
+  in
+  let against ~pass ~what check =
+    verdict_findings ~pass ~what ~t_target
+      (List.map (fun (label, e) -> (label, check e, e)) estimates)
+  in
+  against ~pass:"bounds-check" ~what:"Fréchet yield bounds"
+    (Bounds.check ~t_target bounds)
+  @ against ~pass:"affine-check" ~what:"affine yield envelope"
+      (Affine_sta.check ~t_target affine)
 
 let run ?k ?t_target ctx =
   let bounds = Bounds.of_ctx ?k ctx in
+  let affine = Affine_sta.of_ctx ?k ctx in
   let gate = Engine.Ctx.gate_level ctx in
   let n = Engine.Ctx.n_stages ctx in
   let bounds_findings = Bounds.findings bounds in
+  let affine_findings = Affine_sta.findings ?t_target affine in
   let pipeline_findings =
     Structure.pipeline_findings (Engine.Ctx.pipeline ctx)
   in
@@ -80,12 +95,12 @@ let run ?k ?t_target ctx =
   let check_findings =
     match t_target with
     | None -> []
-    | Some t_target -> estimate_findings ~ctx bounds ~t_target
+    | Some t_target -> estimate_findings ~ctx bounds affine ~t_target
   in
   let report =
     Report.sorted
       (Report.of_findings
-         (bounds_findings @ pipeline_findings @ reconv_findings
-        @ crit_findings @ check_findings))
+         (bounds_findings @ affine_findings @ pipeline_findings
+        @ reconv_findings @ crit_findings @ check_findings))
   in
-  { report; bounds; criticality }
+  { report; bounds; affine; criticality }

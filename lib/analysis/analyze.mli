@@ -3,6 +3,9 @@
 
     Passes (see the per-module docs):
     - ["bounds"] — interval delay bounds ({!Bounds});
+    - ["affine"] — correlation-aware affine (zonotope) enclosures
+      nested inside the interval bounds, with width ratios and
+      per-symbol-class sensitivity attributions ({!Affine_sta});
     - ["reconvergence"] — reconvergent-fanout detection, gate-level
       contexts only ({!Structure.netlist_findings});
     - ["correlation"] — tie/skew and Clark-order risk
@@ -12,11 +15,14 @@
     - ["bounds-check"] — with a [t_target], the closed-form engine
       estimators (clark / independent / quadrature) are evaluated and
       asserted against the Fréchet yield bounds; a violation is an
-      [Error] finding. *)
+      [Error] finding;
+    - ["affine-check"] — the same estimates asserted against the
+      affine yield envelope ({!Affine_sta.check}). *)
 
 type result = {
   report : Report.t;  (** sorted findings of every pass *)
   bounds : Bounds.t;
+  affine : Affine_sta.t;
   criticality : Criticality.t array option;  (** per stage; gate-level only *)
 }
 

@@ -1,0 +1,348 @@
+module Ds = Spv_core.Design_space
+module Special = Spv_stats.Special
+module Engine = Spv_engine.Engine
+
+type status = Proved | Refuted | Inconclusive
+
+let status_name = function
+  | Proved -> "proved"
+  | Refuted -> "refuted"
+  | Inconclusive -> "inconclusive"
+
+type stage_check = {
+  stage : int;
+  point : Ds.point;
+  stage_yield : float;
+  required_yield : float;
+  sigma_cap_equality : float;
+  sigma_cap_relaxed : float;
+  admissible : bool;
+}
+
+type t = {
+  t_target : float;
+  yield : float;
+  n_stages : int;
+  stages : stage_check array;
+  product_yield : float;
+  min_yield : float;
+  frechet_lo : float;
+  mu_t_cap : float;
+  nonneg_correlation : bool;
+  status : status;
+  counterexample : stage_check option;
+}
+
+let stage_yield ~t_target (p : Ds.point) =
+  if p.Ds.sigma > 0.0 then
+    Special.big_phi ((t_target -. p.Ds.mu) /. p.Ds.sigma)
+  else if p.Ds.mu <= t_target then 1.0
+  else 0.0
+
+let validate ~t_target ~yield points =
+  if Array.length points = 0 then invalid_arg "Certify: no stages";
+  if not (Float.is_finite t_target && t_target > 0.0) then
+    invalid_arg "Certify: t_target must be finite and positive";
+  if not (Float.is_finite yield && yield > 0.5 && yield < 1.0) then
+    invalid_arg "Certify: yield must lie in (0.5, 1)";
+  Array.iteri
+    (fun i (p : Ds.point) ->
+      if not (Float.is_finite p.Ds.mu) then
+        invalid_arg (Printf.sprintf "Certify: stage %d: non-finite mu" i);
+      if not (Float.is_finite p.Ds.sigma && p.Ds.sigma >= 0.0) then
+        invalid_arg
+          (Printf.sprintf "Certify: stage %d: sigma must be finite >= 0" i))
+    points
+
+let of_points ?(nonneg_correlation = false) ~t_target ~yield points =
+  validate ~t_target ~yield points;
+  let n = Array.length points in
+  let required_yield = yield ** (1.0 /. float_of_int n) in
+  let stages =
+    Array.mapi
+      (fun i (p : Ds.point) ->
+        {
+          stage = i;
+          point = p;
+          stage_yield = stage_yield ~t_target p;
+          required_yield;
+          sigma_cap_equality =
+            Ds.equality_sigma_bound ~t_target ~yield ~n_stages:n ~mu:p.Ds.mu;
+          sigma_cap_relaxed = Ds.relaxed_sigma_bound ~t_target ~yield ~mu:p.Ds.mu;
+          admissible = Ds.admissible ~t_target ~yield ~n_stages:n p;
+        })
+      points
+  in
+  let product_yield =
+    Array.fold_left (fun acc s -> acc *. s.stage_yield) 1.0 stages
+  in
+  let min_yield =
+    Array.fold_left (fun acc s -> Float.min acc s.stage_yield) 1.0 stages
+  in
+  let frechet_lo =
+    Float.max 0.0
+      (1.0
+      -. Array.fold_left (fun acc s -> acc +. (1.0 -. s.stage_yield)) 0.0 stages
+      )
+  in
+  let sigma_max =
+    Array.fold_left (fun acc (p : Ds.point) -> Float.max acc p.Ds.sigma) 0.0
+      points
+  in
+  let mu_t_cap = Ds.mu_t_upper_bound ~t_target ~yield ~sigma_t:sigma_max in
+  let status, counterexample =
+    if min_yield < yield then
+      (* Fréchet upper bound: the true yield is at most the worst
+         stage's marginal yield, under any dependence. *)
+      let worst =
+        Array.fold_left
+          (fun acc s -> if s.stage_yield < acc.stage_yield then s else acc)
+          stages.(0) stages
+      in
+      (Refuted, Some worst)
+    else if frechet_lo >= yield then (Proved, None)
+    else if nonneg_correlation && product_yield >= yield then
+      (* Slepian: nonnegative stage correlations make the independence
+         product a lower bound on the joint probability. *)
+      (Proved, None)
+    else (Inconclusive, None)
+  in
+  {
+    t_target;
+    yield;
+    n_stages = n;
+    stages;
+    product_yield;
+    min_yield;
+    frechet_lo;
+    mu_t_cap;
+    nonneg_correlation;
+    status;
+    counterexample;
+  }
+
+let nonneg_correlation_of ctx =
+  let pipe = Engine.Ctx.pipeline ctx in
+  let corr = Spv_core.Pipeline.correlation pipe in
+  let n = Spv_core.Pipeline.n_stages pipe in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Spv_stats.Correlation.get corr i j < -1e-9 then ok := false
+    done
+  done;
+  !ok
+
+let of_ctx ?t_target ~yield ctx =
+  let d = Engine.Ctx.delay_distribution ctx in
+  let t_target =
+    match t_target with
+    | Some t -> t
+    | None ->
+        d.Spv_stats.Gaussian.mu +. (3.0 *. d.Spv_stats.Gaussian.sigma)
+  in
+  let points =
+    Array.map
+      (fun (g : Spv_stats.Gaussian.t) ->
+        { Ds.mu = g.Spv_stats.Gaussian.mu; Ds.sigma = g.Spv_stats.Gaussian.sigma })
+      (Spv_core.Pipeline.stage_gaussians (Engine.Ctx.pipeline ctx))
+  in
+  of_points ~nonneg_correlation:(nonneg_correlation_of ctx) ~t_target ~yield
+    points
+
+(* {2 Solution files} *)
+
+type solution = {
+  sol_t_target : float;
+  sol_yield : float;
+  points : Ds.point array;
+}
+
+let parse_float ~line ~what s =
+  match float_of_string_opt s with
+  | Some f when Float.is_finite f -> Ok f
+  | _ -> Error (Printf.sprintf "line %d: %s: not a finite number: %S" line what s)
+
+let parse_solution text =
+  let ( let* ) = Result.bind in
+  let t_target = ref None and yield = ref None in
+  let stages : (int * Ds.point) list ref = ref [] in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let ln = i + 1 in
+      let body =
+        match String.index_opt raw '#' with
+        | Some p -> String.sub raw 0 p
+        | None -> raw
+      in
+      let tokens =
+        String.split_on_char ' ' body
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> s <> "")
+      in
+      match tokens with
+      | [] -> ()
+      | [ "t_target"; v ] -> (
+          match parse_float ~line:ln ~what:"t_target" v with
+          | Ok f when f > 0.0 -> t_target := Some f
+          | Ok _ -> fail (Printf.sprintf "line %d: t_target must be > 0" ln)
+          | Error e -> fail e)
+      | [ "yield"; v ] -> (
+          match parse_float ~line:ln ~what:"yield" v with
+          | Ok f when f > 0.5 && f < 1.0 -> yield := Some f
+          | Ok _ -> fail (Printf.sprintf "line %d: yield must lie in (0.5, 1)" ln)
+          | Error e -> fail e)
+      | [ "stage"; si; smu; ssigma ] -> (
+          match int_of_string_opt si with
+          | None -> fail (Printf.sprintf "line %d: stage index: %S" ln si)
+          | Some idx when idx < 0 ->
+              fail (Printf.sprintf "line %d: stage index: %S" ln si)
+          | Some idx -> (
+              match
+                let* mu = parse_float ~line:ln ~what:"mu" smu in
+                let* sigma = parse_float ~line:ln ~what:"sigma" ssigma in
+                if sigma < 0.0 then
+                  Error (Printf.sprintf "line %d: sigma must be >= 0" ln)
+                else Ok { Ds.mu; Ds.sigma }
+              with
+              | Ok p ->
+                  if List.mem_assoc idx !stages then
+                    fail (Printf.sprintf "line %d: duplicate stage %d" ln idx)
+                  else stages := (idx, p) :: !stages
+              | Error e -> fail e))
+      | w :: _ ->
+          fail
+            (Printf.sprintf
+               "line %d: unknown directive %S (expected t_target / yield / \
+                stage)"
+               ln w))
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None -> (
+      match (!t_target, !yield, !stages) with
+      | None, _, _ -> Error "missing t_target line"
+      | _, None, _ -> Error "missing yield line"
+      | _, _, [] -> Error "no stage lines"
+      | Some t, Some y, pairs ->
+          let n = List.length pairs in
+          let points = Array.make n { Ds.mu = 0.0; Ds.sigma = 0.0 } in
+          let seen = Array.make n false in
+          let bad = ref None in
+          List.iter
+            (fun (idx, p) ->
+              if idx >= n then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "stage indices must be contiguous 0..%d (got %d)" (n - 1)
+                       idx)
+              else begin
+                points.(idx) <- p;
+                seen.(idx) <- true
+              end)
+            pairs;
+          (match !bad with
+          | Some e -> Error e
+          | None ->
+              if Array.for_all Fun.id seen then
+                Ok { sol_t_target = t; sol_yield = y; points }
+              else Error "stage indices must be contiguous 0..n-1"))
+
+(* {2 Findings} *)
+
+let findings t =
+  let open Report in
+  let pipeline =
+    let message =
+      match t.status with
+      | Proved -> "sizing certificate proved: design space membership holds"
+      | Refuted -> "sizing certificate refuted"
+      | Inconclusive ->
+          "sizing certificate inconclusive: bounds do not decide the target"
+    in
+    finding ~pass:"certify"
+      ~severity:(match t.status with Refuted -> Error | _ -> Info)
+      ~data:
+        [
+          ("status", Text (status_name t.status));
+          ("t_target", Num t.t_target);
+          ("yield_target", Num t.yield);
+          ("n_stages", Int t.n_stages);
+          ("product_yield", Num t.product_yield);
+          ("frechet_lower", Num t.frechet_lo);
+          ("frechet_upper", Num t.min_yield);
+          ("mu_t_cap", Num t.mu_t_cap);
+          ("nonneg_correlation", Flag t.nonneg_correlation);
+        ]
+      message
+  in
+  let dependence =
+    if t.nonneg_correlation then []
+    else
+      [
+        finding ~pass:"certify" ~severity:Warn
+          "stage correlations not known nonnegative: Slepian prove path \
+           disabled, only dependence-free bounds used";
+      ]
+  in
+  let stage_findings =
+    Array.to_list
+      (Array.map
+         (fun s ->
+           let refuting =
+             match t.counterexample with
+             | Some c -> c.stage = s.stage
+             | None -> false
+           in
+           let severity =
+             if refuting then Error
+             else if not s.admissible then Warn
+             else Info
+           in
+           let message =
+             if refuting then
+               Printf.sprintf
+                 "counterexample: stage yield %.6f below pipeline target %.6f"
+                 s.stage_yield t.yield
+             else if not s.admissible then
+               "outside the eq. 12 equal-allocation design space"
+             else "inside the eq. 12 design space"
+           in
+           finding ~pass:"certify" ~severity ~location:(Stage s.stage)
+             ~data:
+               [
+                 ("mu", Num s.point.Ds.mu);
+                 ("sigma", Num s.point.Ds.sigma);
+                 ("stage_yield", Num s.stage_yield);
+                 ("required_yield", Num s.required_yield);
+                 ("sigma_cap_equality", Num s.sigma_cap_equality);
+                 ("sigma_cap_relaxed", Num s.sigma_cap_relaxed);
+                 ("sigma_excess", Num (s.point.Ds.sigma -. s.sigma_cap_equality));
+                 ("admissible", Flag s.admissible);
+               ]
+             message)
+         t.stages)
+  in
+  (pipeline :: dependence) @ stage_findings
+
+(* {2 Sizing hook} *)
+
+let sizing_tolerance = 1e-2
+
+let sizing_check ~where:_ ~t_target ~z ~converged ~mu ~sigma =
+  if (not converged) || z <= 0.0 then Ok ()
+  else
+    let stat = mu +. (z *. sigma) in
+    if stat <= t_target *. (1.0 +. sizing_tolerance) then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "stage (mu=%.6g, sigma=%.6g) misses its yield allocation: mu + z \
+            sigma = %.6g > t_target %.6g (z = %.3g)"
+           mu sigma stat t_target z)
+
+let install_sizing_check () = Spv_sizing.Certify_hook.register sizing_check

@@ -18,6 +18,25 @@ let scale i k =
   { lo = i.lo *. k; hi = i.hi *. k }
 
 let shift i d = { lo = i.lo +. d; hi = i.hi +. d }
+let neg i = { lo = -.i.hi; hi = -.i.lo }
+
+let sym r =
+  if Float.is_nan r then invalid_arg "Interval.sym: NaN radius";
+  let r = Float.abs r in
+  { lo = -.r; hi = r }
+
+let mul a b =
+  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
+  let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  (* 0 * inf = NaN under IEEE but the interval-arithmetic convention
+     (IEEE 1788) is 0 * inf = 0: the zero endpoint is attained, the
+     infinite one is an open bound. *)
+  let corner p = if Float.is_nan p then 0.0 else p in
+  let p1 = corner p1 and p2 = corner p2 and p3 = corner p3 and p4 = corner p4 in
+  {
+    lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+    hi = Float.max (Float.max p1 p2) (Float.max p3 p4);
+  }
 let max2 a b = { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi }
 
 let max_many = function

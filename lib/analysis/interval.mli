@@ -29,6 +29,17 @@ val scale : t -> float -> t
 val shift : t -> float -> t
 (** Translate both endpoints. *)
 
+val neg : t -> t
+(** [\[-hi, -lo\]]. *)
+
+val sym : float -> t
+(** [sym r] is the symmetric interval [\[-|r|, |r|\]].  Raises on NaN. *)
+
+val mul : t -> t -> t
+(** Exact interval product (all four endpoint products, min/max) —
+    needed when an affine remainder is scaled by an interval
+    coefficient.  Sound for mixed-sign operands, unlike {!scale}. *)
+
 val max2 : t -> t -> t
 (** Interval max: [\[max lo lo', max hi hi'\]]. *)
 

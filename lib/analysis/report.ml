@@ -135,14 +135,21 @@ let json_finding f =
     (json_string f.message)
     data
 
+(* Bump on any structural change to the JSON document (new top-level
+   fields, renamed keys): consumers pin on this, not on the CLI
+   version.  2 = schema_version field added alongside the affine
+   pass. *)
+let schema_version = 2
+
 let to_json t =
   let findings = String.concat ",\n    " (List.map json_finding t.findings) in
   Printf.sprintf
     {|{
+  "schema_version": %d,
   "findings": [
     %s
   ],
   "counts": {"error": %d, "warn": %d, "info": %d}
 }
 |}
-    findings (count t Error) (count t Warn) (count t Info)
+    schema_version findings (count t Error) (count t Warn) (count t Info)

@@ -45,7 +45,12 @@ val to_text : t -> string
 (** One line per finding:
     [severity pass location: message (k=v, ...)]. *)
 
+val schema_version : int
+(** Version of the JSON document layout emitted by {!to_json}; bumped
+    on structural changes so consumers can pin on it. *)
+
 val to_json : t -> string
-(** Self-contained JSON document: [{"findings": \[...\], "counts":
-    {...}}].  Non-finite numbers are emitted as JSON strings
-    (["inf"], ["-inf"], ["nan"]) so the document always parses. *)
+(** Self-contained JSON document: [{"schema_version": n, "findings":
+    \[...\], "counts": {...}}].  Non-finite numbers are emitted as
+    JSON strings (["inf"], ["-inf"], ["nan"]) so the document always
+    parses. *)

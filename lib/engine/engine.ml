@@ -233,7 +233,10 @@ let recommended ctx =
 
 type check = Ctx.t -> t_target:float option -> estimate -> (unit, string) result
 
-let estimate_check : check option ref = ref None
+(* Checks run in registration order; [register_estimate_check] keeps
+   its historical replace-the-oracle semantics (it resets the whole
+   list), [add_estimate_check] appends. *)
+let estimate_checks : check list ref = ref []
 
 let debug_checks =
   ref
@@ -243,19 +246,20 @@ let debug_checks =
 
 let set_debug_checks b = debug_checks := b
 let debug_checks_enabled () = !debug_checks
-let register_estimate_check f = estimate_check := Some f
+let register_estimate_check f = estimate_checks := [ f ]
+let add_estimate_check f = estimate_checks := !estimate_checks @ [ f ]
 
 let postcondition ~where ctx ~t_target e =
   (if !debug_checks then
-     match !estimate_check with
-     | None -> ()
-     | Some f -> (
+     List.iter
+       (fun f ->
          match f ctx ~t_target e with
          | Ok () -> ()
          | Error msg ->
              failwith
                (Printf.sprintf "%s: bounds postcondition violated: %s" where
-                  msg)));
+                  msg))
+       !estimate_checks);
   e
 
 (* ---- deterministic shard-parallel cores ------------------------------ *)

@@ -187,7 +187,13 @@ val recommended : Ctx.t -> method_
 type check = Ctx.t -> t_target:float option -> estimate -> (unit, string) result
 
 val register_estimate_check : check -> unit
-(** Install (or replace) the postcondition oracle. *)
+(** Install the postcondition oracle, replacing every previously
+    registered or added one. *)
+
+val add_estimate_check : check -> unit
+(** Append a further oracle; all registered checks run in order and
+    the first violation raises.  [Spv_analysis.Affine_sta] uses this
+    to stack the affine-envelope check on top of the interval one. *)
 
 val set_debug_checks : bool -> unit
 (** Enable/disable running the registered oracle. *)

@@ -4,10 +4,25 @@ let ( let* ) = Result.bind
 
 (* ---- the exception-to-typed-error boundary -------------------------- *)
 
+(* The sizing certificate hook ([Spv_sizing.Certify_hook]) signals a
+   refuted certificate through [Failure] with this marker in the
+   message; it must surface as [Certificate_refuted] (exit 8), not as
+   a numeric error. *)
+let refutation_marker = "certificate refuted"
+
+let is_refutation msg =
+  let lm = String.length refutation_marker and l = String.length msg in
+  let rec scan i =
+    i + lm <= l && (String.sub msg i lm = refutation_marker || scan (i + 1))
+  in
+  scan 0
+
 let protect ~where f =
   match f () with
   | v -> Ok v
   | exception Invalid_argument msg -> Error (Errors.domain ~param:where msg)
+  | exception Failure msg when is_refutation msg ->
+      Error (Errors.refuted ~what:where msg)
   | exception Failure msg -> Error (Errors.numeric ~where msg)
   | exception Sys_error msg -> Error (Errors.io ~path:where msg)
   | exception Division_by_zero ->
@@ -265,6 +280,41 @@ let analysis_errors (r : Analyze.result) =
                   ~signal:f.Spv_analysis.Report.pass
                   f.Spv_analysis.Report.message)
               errs))
+
+(* ---- certificate entry points --------------------------------------- *)
+
+module Certify = Spv_analysis.Certify
+
+let certify_points ?nonneg_correlation ~t_target ~yield points =
+  protect ~where:"certify" (fun () ->
+      Certify.of_points ?nonneg_correlation ~t_target ~yield points)
+
+let certify_solution_file ?nonneg_correlation path =
+  let* text = slurp path in
+  match Certify.parse_solution text with
+  | Error msg -> Error (Errors.parse ~path msg)
+  | Ok sol ->
+      certify_points ?nonneg_correlation ~t_target:sol.Certify.sol_t_target
+        ~yield:sol.Certify.sol_yield sol.Certify.points
+
+let certify_ctx ?t_target ~yield ctx =
+  protect ~where:"certify" (fun () -> Certify.of_ctx ?t_target ~yield ctx)
+
+let certificate_error (c : Certify.t) =
+  match c.Certify.status with
+  | Certify.Refuted ->
+      let detail =
+        match c.Certify.counterexample with
+        | Some s ->
+            Printf.sprintf
+              "stage %d (mu=%.6g, sigma=%.6g) has yield %.6g < target %.6g"
+              s.Certify.stage s.Certify.point.Spv_core.Design_space.mu
+              s.Certify.point.Spv_core.Design_space.sigma s.Certify.stage_yield
+              c.Certify.yield
+        | None -> "design space membership disproved"
+      in
+      Some (Errors.refuted ~what:"sizing certificate" detail)
+  | Certify.Proved | Certify.Inconclusive -> None
 
 (* ---- circuit-level entry points ------------------------------------- *)
 

@@ -9,9 +9,17 @@
 
 val protect : where:string -> (unit -> 'a) -> ('a, Errors.t) result
 (** Run [f ()], converting escaped exceptions into typed errors:
-    [Invalid_argument] → [Domain_error], [Failure] → [Numeric_error],
+    [Invalid_argument] → [Domain_error], [Failure] → [Numeric_error]
+    (or [Certificate_refuted] when {!is_refutation} holds),
     [Sys_error] → [Io_error], stack/memory exhaustion →
     [Numeric_error], anything else unexpected → [Internal_error]. *)
+
+val is_refutation : string -> bool
+(** True when a [Failure] message carries the sizing-certificate
+    refutation marker (["certificate refuted"], raised by
+    [Spv_sizing.Certify_hook.postcondition]); {!protect} maps such
+    failures onto {!Errors.Certificate_refuted} (exit code 8) instead
+    of [Numeric_error]. *)
 
 (** {1 Parsing and linting} *)
 
@@ -123,6 +131,31 @@ val analysis_errors : Spv_analysis.Analyze.result -> Errors.t option
     finding (code ["analysis"]), [None] when the report has none.  The
     CLI prints the report first, then exits with the Lint code through
     this. *)
+
+(** {1 Sizing certificates} *)
+
+val certify_points :
+  ?nonneg_correlation:bool -> t_target:float -> yield:float ->
+  Spv_core.Design_space.point array ->
+  (Spv_analysis.Certify.t, Errors.t) result
+(** {!Spv_analysis.Certify.of_points} behind the typed-error boundary
+    (bad moments / targets map to [Domain_error]). *)
+
+val certify_solution_file :
+  ?nonneg_correlation:bool -> string ->
+  (Spv_analysis.Certify.t, Errors.t) result
+(** Read and certify a solution file ([t_target] / [yield] / [stage i
+    mu sigma] lines).  Unreadable files are [Io_error], malformed
+    contents [Parse_error]. *)
+
+val certify_ctx :
+  ?t_target:float -> yield:float -> Spv_engine.Engine.Ctx.t ->
+  (Spv_analysis.Certify.t, Errors.t) result
+
+val certificate_error : Spv_analysis.Certify.t -> Errors.t option
+(** [Some (Certificate_refuted ...)] carrying the counterexample when
+    the certificate is refuted (the CLI exits 8 through this), [None]
+    on proved or inconclusive certificates. *)
 
 (** {1 Circuit timing and sizing} *)
 

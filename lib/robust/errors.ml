@@ -32,6 +32,7 @@ type t =
   | Numeric_error of { where : string; message : string }
   | Domain_error of { param : string; message : string }
   | Internal_error of { where : string; message : string }
+  | Certificate_refuted of { what : string; detail : string }
 
 let to_string = function
   | Io_error { path; message } -> Printf.sprintf "I/O error: %s: %s" path message
@@ -55,6 +56,8 @@ let to_string = function
       Printf.sprintf "invalid %s: %s" param message
   | Internal_error { where; message } ->
       Printf.sprintf "internal error in %s: %s" where message
+  | Certificate_refuted { what; detail } ->
+      Printf.sprintf "certificate refuted: %s: %s" what detail
 
 (* Stable CLI contract — documented in README "Error handling & exit
    codes"; the fault-injection suite pins these values. *)
@@ -65,6 +68,7 @@ let exit_code = function
   | Numeric_error _ -> 5
   | Domain_error _ -> 6
   | Internal_error _ -> 7
+  | Certificate_refuted _ -> 8
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 let pp_diagnostic fmt d = Format.pp_print_string fmt (diagnostic_to_string d)
@@ -75,6 +79,7 @@ let lint ?path diagnostics = Lint_error { path; diagnostics }
 let numeric ~where message = Numeric_error { where; message }
 let domain ~param message = Domain_error { param; message }
 let internal ~where message = Internal_error { where; message }
+let refuted ~what detail = Certificate_refuted { what; detail }
 
 let of_parse_error ?path (e : Spv_circuit.Bench_format.parse_error) =
   Parse_error { path; line = e.line; message = e.message }

@@ -39,13 +39,18 @@ type t =
       (** A caller-supplied parameter is outside its domain. *)
   | Internal_error of { where : string; message : string }
       (** An unexpected exception escaped — a bug, not bad input. *)
+  | Certificate_refuted of { what : string; detail : string }
+      (** A static certificate check ({!Spv_analysis.Certify})
+          disproved the claim it was asked to verify — well-formed
+          input whose answer is "no". *)
 
 val to_string : t -> string
 (** One line, no trailing newline — what the CLI prints on stderr. *)
 
 val exit_code : t -> int
 (** Distinct documented process exit code per constructor:
-    Io 2, Parse 3, Lint 4, Numeric 5, Domain 6, Internal 7. *)
+    Io 2, Parse 3, Lint 4, Numeric 5, Domain 6, Internal 7,
+    Certificate_refuted 8. *)
 
 val pp : Format.formatter -> t -> unit
 
@@ -57,6 +62,7 @@ val lint : ?path:string -> diagnostic list -> t
 val numeric : where:string -> string -> t
 val domain : param:string -> string -> t
 val internal : where:string -> string -> t
+val refuted : what:string -> string -> t
 
 val of_parse_error : ?path:string -> Spv_circuit.Bench_format.parse_error -> t
 val of_sample_error : where:string -> Spv_stats.Descriptive.sample_error -> t

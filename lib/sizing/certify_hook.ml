@@ -1,0 +1,31 @@
+type check =
+  where:string ->
+  t_target:float ->
+  z:float ->
+  converged:bool ->
+  mu:float ->
+  sigma:float ->
+  (unit, string) result
+
+let checker : check option ref = ref None
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "SPV_CERTIFY_SIZING" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+let register f = checker := Some f
+
+let postcondition ~where ~t_target ~z ~converged ~mu ~sigma =
+  if !enabled then
+    match !checker with
+    | None -> ()
+    | Some f -> (
+        match f ~where ~t_target ~z ~converged ~mu ~sigma with
+        | Ok () -> ()
+        | Error msg ->
+            failwith
+              (Printf.sprintf "%s: sizing certificate refuted: %s" where msg))

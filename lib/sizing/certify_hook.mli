@@ -1,0 +1,43 @@
+(** Optional sizing-result certificate hook.
+
+    Mirrors the engine's [SPV_DEBUG_BOUNDS] postcondition pattern: the
+    analysis layer registers a certificate oracle here (a function
+    pointer, so sizing does not depend on analysis), and when the hook
+    is enabled — [set_enabled true], or the [SPV_CERTIFY_SIZING]
+    environment variable set to anything but [""]/["0"] at startup —
+    every {!Lagrangian.size_stage} / {!Greedy.size_stage} report is
+    handed to the oracle before being returned.  A refuted certificate
+    raises [Failure "<where>: sizing certificate refuted: <msg>"].
+
+    [Spv_analysis.Certify.install_sizing_check] registers the
+    eq. 10–13 design-space membership check. *)
+
+type check =
+  where:string ->
+  t_target:float ->
+  z:float ->
+  converged:bool ->
+  mu:float ->
+  sigma:float ->
+  (unit, string) result
+(** [mu]/[sigma] describe the achieved stage-delay Gaussian; [z] is
+    the sizer's yield quantile; [converged] is the sizer's own
+    verdict (oracles typically skip unconverged reports — the sizer
+    already signals failure through them). *)
+
+val register : check -> unit
+(** Install (or replace) the certificate oracle. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val postcondition :
+  where:string ->
+  t_target:float ->
+  z:float ->
+  converged:bool ->
+  mu:float ->
+  sigma:float ->
+  unit
+(** Run the registered oracle when enabled; raises [Failure] on a
+    refuted certificate.  Called by the sizers on every report. *)

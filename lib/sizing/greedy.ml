@@ -89,9 +89,13 @@ let size_stage ?options ?ff tech net ~t_target ~z =
     | None -> ())
   done;
   let achieved, stat_delay = stat_delay_of ~options ?ff tech net ~z in
+  let converged = stat_delay <= t_target *. 1.005 in
+  let g = Gd.to_gaussian achieved in
+  Certify_hook.postcondition ~where:"Greedy.size_stage" ~t_target ~z ~converged
+    ~mu:g.Spv_stats.Gaussian.mu ~sigma:g.Spv_stats.Gaussian.sigma;
   {
     moves = !moves;
-    converged = stat_delay <= t_target *. 1.005;
+    converged;
     achieved;
     stat_delay;
     area = Net.area net;

@@ -172,9 +172,13 @@ let size_stage ?options ?ff tech net ~t_target ~z =
   | None -> Net.restore_sizes net !best_sizes);
   let achieved = analyse ~options:opts ?ff tech net in
   let stat_delay = achieved.Gd.nominal +. (z *. Gd.total_sigma achieved) in
+  let converged = stat_delay <= t_target *. (1.0 +. opts.tolerance) in
+  let g = Gd.to_gaussian achieved in
+  Certify_hook.postcondition ~where:"Lagrangian.size_stage" ~t_target ~z
+    ~converged ~mu:g.Spv_stats.Gaussian.mu ~sigma:g.Spv_stats.Gaussian.sigma;
   {
     iterations = !iterations;
-    converged = stat_delay <= t_target *. (1.0 +. opts.tolerance);
+    converged;
     achieved;
     stat_delay;
     area = Net.area net;
