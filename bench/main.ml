@@ -332,6 +332,121 @@ let run_affine_study () =
   write_affine_json "BENCH_affine.json" rows;
   Printf.printf "  wrote BENCH_affine.json\n"
 
+(* --- sweep shared-context caching study ------------------------------ *)
+
+module Grid = Spv_workload.Grid
+module Sweep = Spv_workload.Sweep
+
+let sweep_tech = Spv_process.Tech.bptm70
+
+let sweep_grid () =
+  (* the CLI smoke grid with the MC draw count raised so per-scenario
+     sampling is visible against the context-build cost *)
+  { (Grid.smoke ()) with Grid.n = 20_000 }
+
+(* The pre-`sweep` baseline: one engine call per scenario, each
+   rebuilding its context (Cholesky factorisation, Clark recursion,
+   SSTA) from scratch — exactly what scripting the single-scenario CLI
+   in a loop costs. *)
+let sweep_cold ~jobs (grid : Grid.t) =
+  let seed = Engine.default_seed and n = grid.Grid.n in
+  let shards = grid.Grid.shards in
+  let rows = ref [] in
+  List.iter
+    (fun source ->
+      let processes =
+        match source with
+        | Grid.Moments _ -> [ Grid.nominal ]
+        | Grid.Circuit _ -> grid.Grid.processes
+      in
+      List.iter
+        (fun process ->
+          List.iter
+            (fun method_ ->
+              Array.iter
+                (fun t_target ->
+                  let ctx = Sweep.ctx_for ~tech:sweep_tech source process in
+                  let e =
+                    Engine.yield ~method_ ~jobs ~shards ~seed ~n ctx ~t_target
+                  in
+                  rows := e.Engine.value :: !rows)
+                grid.Grid.targets)
+            grid.Grid.methods)
+        processes)
+    grid.Grid.sources;
+  Array.of_list (List.rev !rows)
+
+type sweep_bench_row = {
+  s_jobs : int;
+  s_cold : float;
+  s_cached : float;
+  s_identical : bool;
+}
+
+let write_sweep_json path (grid : Grid.t) n_contexts rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b
+    "  \"scenarios\": %d, \"contexts\": %d, \"mc_samples\": %d,\n"
+    (Grid.n_scenarios grid) n_contexts grid.Grid.n;
+  Buffer.add_string b "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"jobs\": %d, \"cold_seconds\": %.6f, \"cached_seconds\": \
+         %.6f, \"speedup\": %.3f, \"identical_results\": %b}%s\n"
+        r.s_jobs r.s_cold r.s_cached (r.s_cold /. r.s_cached) r.s_identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let run_sweep_study () =
+  E.Common.section
+    "Scenario sweep: shared-context caching vs per-scenario rebuilds";
+  let grid = sweep_grid () in
+  let n_scen = Grid.n_scenarios grid in
+  let n_contexts = ref 0 in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun jobs ->
+           let cold = ref [||] and cached = ref None in
+           let s_cold = wall (fun () -> cold := sweep_cold ~jobs grid) in
+           let s_cached =
+             wall (fun () ->
+                 cached := Some (Sweep.run ~jobs ~tech:sweep_tech grid))
+           in
+           let r = Option.get !cached in
+           n_contexts := r.Sweep.n_contexts;
+           (* the whole point of the cached path is that sharing never
+              changes an answer: yields must match the per-scenario
+              engine calls bit for bit *)
+           let s_identical =
+             Array.length !cold = Array.length r.Sweep.rows
+             && Array.for_all2
+                  (fun v (row : Sweep.row) ->
+                    v = row.Sweep.estimate.Engine.value)
+                  !cold r.Sweep.rows
+           in
+           { s_jobs = jobs; s_cold; s_cached; s_identical })
+         !jobs_sweep)
+  in
+  Printf.printf "  %d scenarios share %d contexts (MC n = %d)\n" n_scen
+    !n_contexts grid.Grid.n;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "    jobs=%-2d cold %7.3f s   cached %7.3f s   speedup x%.2f   %s\n"
+        r.s_jobs r.s_cold r.s_cached (r.s_cold /. r.s_cached)
+        (if r.s_identical then "results identical"
+         else "RESULTS DIFFER (bug!)"))
+    rows;
+  write_sweep_json "BENCH_sweep.json" grid !n_contexts rows;
+  Printf.printf "  wrote BENCH_sweep.json\n"
+
 (* --- experiment registry --------------------------------------------- *)
 
 let experiments =
@@ -367,6 +482,10 @@ let experiments =
       "Affine vs interval enclosure tightness + MC containment (writes \
        BENCH_affine.json)",
       run_affine_study );
+    ( "sweep",
+      "Scenario sweep: shared-context caching vs cold per-scenario runs \
+       (writes BENCH_sweep.json)",
+      run_sweep_study );
   ]
 
 (* --- Bechamel micro-benchmarks of the analysis kernels -------------- *)

@@ -27,38 +27,10 @@ let handle = function
 
 (* ---- shared circuit lookup ---------------------------------------- *)
 
-let circuits =
-  [
-    ("c432", fun () -> Spv_circuit.Generators.c432 ());
-    ("c1908", fun () -> Spv_circuit.Generators.c1908 ());
-    ("c2670", fun () -> Spv_circuit.Generators.c2670 ());
-    ("c3540", fun () -> Spv_circuit.Generators.c3540 ());
-    ("rca8", fun () -> Spv_circuit.Generators.ripple_carry_adder ~bits:8);
-    ("alu8", fun () -> Spv_circuit.Generators.alu_slice ~bits:8 ());
-    ("dec4", fun () -> Spv_circuit.Generators.decoder ~select:4 ());
-    ("chain10", fun () -> Spv_circuit.Generators.inverter_chain ~depth:10 ());
-  ]
-
-let lookup_circuit name =
-  match List.assoc_opt name circuits with
-  | Some f -> Ok (f ())
-  | None -> (
-      (* Anything else is a .bench path.  No Sys.file_exists pre-check:
-         parse_bench_file owns the open, so a file deleted between
-         check and read is an Io_error, not an uncaught Sys_error. *)
-      match Checked.parse_bench_file ~on_warning:warn name with
-      | Ok net -> Ok net
-      | Error (Errors.Io_error _)
-        when (not (String.contains name '/'))
-             && not (String.contains name '.') ->
-          (* A bare word that is not a readable file was almost
-             certainly meant as a builtin circuit name. *)
-          Error
-            (Errors.domain ~param:"--circuit"
-               (Printf.sprintf
-                  "unknown circuit %S (known: %s, or a .bench file path)" name
-                  (String.concat ", " (List.map fst circuits))))
-      | Error e -> Error e)
+(* The builtin table lives in Spv_workload.Grid so grid files and the
+   CLI resolve the same names; Checked.lookup_circuit adds the .bench
+   path fallback and typed errors. *)
+let lookup_circuit name = Checked.lookup_circuit ~on_warning:warn name
 
 let circuit_arg =
   let doc =
@@ -905,6 +877,138 @@ let certify_cmd =
           with code 8 and a structured counterexample finding.")
     Term.(const run $ solution $ mus $ sigmas $ target $ yield $ nonneg $ json)
 
+(* ---- sweep command -------------------------------------------------- *)
+
+let sweep_cmd =
+  let module Grid = Spv_workload.Grid in
+  let module Sweep = Spv_workload.Sweep in
+  let grid_file =
+    let doc =
+      "Path to the scenario-grid file ($(b,circuit)/$(b,stages)/$(b,targets)/\
+       $(b,method)/$(b,inter_vth_mv)/... directives; see the README).  \
+       Required unless --smoke."
+    in
+    Arg.(value & opt (some string) None & info [ "g"; "grid" ] ~docv:"FILE" ~doc)
+  in
+  let format_arg =
+    let doc =
+      "Output format: $(b,jsonl) (one schema_version-stamped JSON object \
+       per scenario) or $(b,text)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("text", `Text) ]) `Jsonl
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let smoke =
+    let doc =
+      "Self-check on the built-in smoke grid: runs it at --jobs 1, 2 and 4, \
+       verifies the JSONL outputs are bit-identical and schema-valid, and \
+       prints a one-line summary instead of the rows."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  (* The --smoke gate: determinism really is "same bytes for any
+     --jobs", so compare the serialised JSONL verbatim. *)
+  let required_keys =
+    [
+      "\"schema_version\":"; "\"scenario\":"; "\"source\":"; "\"process\":";
+      "\"method\":"; "\"t_target\":"; "\"yield\":"; "\"std_error\":";
+      "\"n_samples\":"; "\"stop\":"; "\"loss\":";
+    ]
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let check_schema jsonl n_expected =
+    let lines =
+      List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+    in
+    if List.length lines <> n_expected then
+      Error
+        (Errors.numeric ~where:"sweep --smoke"
+           (Printf.sprintf "expected %d JSONL rows, got %d" n_expected
+              (List.length lines)))
+    else
+      let bad =
+        List.find_opt
+          (fun l -> List.exists (fun k -> not (contains l k)) required_keys)
+          lines
+      in
+      match bad with
+      | None -> Ok ()
+      | Some l ->
+          Error
+            (Errors.numeric ~where:"sweep --smoke"
+               (Printf.sprintf "row missing a required key: %s" l))
+  in
+  let run_smoke seed =
+    let grid = Grid.smoke () in
+    let n = Grid.n_scenarios grid in
+    let* r1 = Checked.sweep_run ~jobs:1 ~seed grid in
+    let* r2 = Checked.sweep_run ~jobs:2 ~seed grid in
+    let* r4 = Checked.sweep_run ~jobs:4 ~seed grid in
+    let j1 = Sweep.to_jsonl r1
+    and j2 = Sweep.to_jsonl r2
+    and j4 = Sweep.to_jsonl r4 in
+    let* () = check_schema j1 n in
+    if j1 <> j2 || j1 <> j4 then
+      Error
+        (Errors.numeric ~where:"sweep --smoke"
+           "JSONL output differs across --jobs 1/2/4 at a fixed seed")
+    else begin
+      Printf.printf
+        "sweep smoke OK: %d scenarios, %d contexts, bit-identical across \
+         --jobs 1/2/4 (seed %d)\n"
+        n r1.Sweep.n_contexts seed;
+      Ok ()
+    end
+  in
+  let print_text (r : Sweep.result) =
+    Array.iter
+      (fun (row : Sweep.row) ->
+        let s = row.Sweep.scenario in
+        let e = row.Sweep.estimate in
+        Printf.printf
+          "[%d] %s/%s %s T=%g: yield %.6f (se %.3g, n=%d, %s), loss %.3g\n"
+          s.Sweep.index s.Sweep.source s.Sweep.process
+          (Engine.method_name s.Sweep.method_)
+          s.Sweep.t_target e.Engine.value e.Engine.std_error
+          e.Engine.n_samples
+          (Engine.stop_reason_name e.Engine.stop)
+          row.Sweep.loss)
+      r.Sweep.rows;
+    Printf.printf "%d scenario(s), %d context(s) built\n"
+      (Array.length r.Sweep.rows) r.Sweep.n_contexts
+  in
+  let run grid_file format smoke jobs seed =
+    handle
+      (if smoke then run_smoke seed
+       else
+         match grid_file with
+         | None ->
+             Error
+               (Errors.domain ~param:"--grid" "required unless --smoke is set")
+         | Some path ->
+             let* grid = Checked.sweep_grid_of_file ~on_warning:warn path in
+             let* r = Checked.sweep_run ?jobs ~seed grid in
+             (match format with
+             | `Jsonl -> print_string (Sweep.to_jsonl r)
+             | `Text -> print_text r);
+             Ok ())
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Batched scenario sweep: evaluate a declarative grid (sources x \
+          process overrides x estimators x clock targets) with one shared \
+          engine context per (source, process) pair, streaming one JSONL \
+          row per scenario.  Results are bit-identical for any --jobs at a \
+          fixed seed.")
+    Term.(const run $ grid_file $ format_arg $ smoke $ jobs_arg $ seed_arg)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -924,4 +1028,5 @@ let () =
             experiment_cmd; lint_cmd; analyze_cmd; certify_cmd; yield_cmd;
             mc_cmd; sta_cmd; size_cmd; power_cmd; export_cmd; criticality_cmd;
             curve_cmd; report_cmd; hold_cmd; fmax_cmd; abb_cmd; vth_cmd;
+            sweep_cmd;
           ]))

@@ -16,6 +16,7 @@ run dune runtest
 run dune build @fmt      # dune-file formatting
 run dune build @fault    # fault-injection corpus
 run dune build @analysis # static-analyzer suite
+run dune build @workload # sweep-runner suite
 run dune build --profile release  # warnings are errors here
 
 # Certify gate: the shipped feasible solution must prove (exit 0) and
@@ -29,5 +30,10 @@ if [ "$rc" -ne 8 ]; then
   echo "ci.sh: infeasible certificate was not refuted (exit $rc, want 8)" >&2
   exit 1
 fi
+
+# Sweep gate: the built-in smoke grid must produce schema-valid JSONL
+# that is bit-identical across --jobs 1/2/4 (the sweep binary checks
+# both and exits nonzero on any mismatch).
+run "$CLI" sweep --smoke
 
 echo "ci.sh: all gates passed"

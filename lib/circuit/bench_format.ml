@@ -76,7 +76,13 @@ let parse_paren_form lineno keyword line =
     in
     match String.index_opt inner ')' with
     | None -> fail_line lineno "missing ')' in %s statement" keyword
-    | Some close -> strip (String.sub inner 0 close)
+    | Some close ->
+        let rest =
+          strip (String.sub inner (close + 1) (String.length inner - close - 1))
+        in
+        if rest <> "" then
+          fail_line lineno "trailing garbage %S after %s statement" rest keyword;
+        strip (String.sub inner 0 close)
   end
 
 let parse_def lineno line =
@@ -113,6 +119,13 @@ let parse_def lineno line =
           (match String.index_opt rest ')' with
           | None -> fail_line lineno "missing ')'"
           | Some pclose ->
+              let tail =
+                strip
+                  (String.sub rest (pclose + 1)
+                     (String.length rest - pclose - 1))
+              in
+              if tail <> "" then
+                fail_line lineno "trailing garbage %S after definition" tail;
               let args_str = String.sub rest 0 pclose in
               let args =
                 if strip args_str = "" then []

@@ -90,11 +90,29 @@ let integrate_standard_normal f =
   done;
   !acc
 
+let conditional_loss policy d ~t_target ~i_std =
+  let c = correction policy d ~i_std in
+  let n = Array.length d.mus in
+  let gs =
+    Array.init n (fun k ->
+        G.make
+          ~mu:(c *. (d.mus.(k) +. (d.s_inter.(k) *. i_std)))
+          ~sigma:(c *. d.residual.(k)))
+  in
+  let tp = Clark.max_n gs ~corr:d.corr_res in
+  G.sf tp t_target
+
 let yield_with_abb ?(policy = default_policy) pipeline ~t_target =
   check policy;
   let d = decompose pipeline in
   integrate_standard_normal (fun i_std ->
       conditional_yield policy d ~t_target ~i_std)
+
+let loss_with_abb ?(policy = default_policy) pipeline ~t_target =
+  check policy;
+  let d = decompose pipeline in
+  integrate_standard_normal (fun i_std ->
+      conditional_loss policy d ~t_target ~i_std)
 
 let yield_gain ?policy pipeline ~t_target =
   yield_with_abb ?policy pipeline ~t_target

@@ -30,6 +30,12 @@ val yield_with_abb : ?policy:policy -> Pipeline.t -> t_target:float -> float
 (** Yield when every die applies the clamped cancellation policy.
     Default range 0.10. *)
 
+val loss_with_abb : ?policy:policy -> Pipeline.t -> t_target:float -> float
+(** Yield loss under the same policy, integrating the conditional
+    survival function directly (via {!Spv_stats.Gaussian.sf}) so a
+    deep-tail loss is not lost to [1. -. yield] cancellation.  With
+    [range = 0.0] this is the plain quadrature yield loss. *)
+
 val yield_gain : ?policy:policy -> Pipeline.t -> t_target:float -> float
 (** [yield_with_abb - clark_gaussian yield]; >= 0 up to quadrature
     noise whenever an inter-die component exists. *)

@@ -91,6 +91,36 @@ let max_n ?(order = Increasing_mean) gs ~corr =
 let max_n_independent ?order gs =
   max_n ?order gs ~corr:(Spv_stats.Correlation.independent ~n:(Array.length gs))
 
+let prefix_maxes gs ~corr =
+  let n = Array.length gs in
+  if n = 0 then invalid_arg "Clark.prefix_maxes: empty";
+  if Spv_stats.Matrix.rows corr <> n then
+    invalid_arg "Clark.prefix_maxes: correlation dimension mismatch";
+  (* The As_given fold already passes through every prefix max: after
+     step k the running max is exactly the fold of gs[0..k], and its
+     tracked correlations only ever read the leading (k+1)x(k+1) block
+     of [corr].  Recording the running state gives all n prefixes in
+     one recursion instead of one recursion per prefix. *)
+  let out = Array.make n gs.(0) in
+  let current = ref gs.(0) in
+  let corr_with_current =
+    Array.init n (fun k -> Spv_stats.Correlation.get corr 0 k)
+  in
+  for step = 1 to n - 1 do
+    let g2 = gs.(step) in
+    let rho = corr_with_current.(step) in
+    let m = max2_moments !current g2 ~rho in
+    let s1 = G.sigma !current and s2 = G.sigma g2 in
+    for k = step + 1 to n - 1 do
+      let r1 = corr_with_current.(k) in
+      let r2 = Spv_stats.Correlation.get corr step k in
+      corr_with_current.(k) <- correlation_with_max ~s1 ~s2 ~r1 ~r2 m
+    done;
+    current := G.make ~mu:m.mean ~sigma:(sqrt m.variance);
+    out.(step) <- !current
+  done;
+  out
+
 let exact_max_cdf_independent gs t =
   Array.fold_left (fun acc g -> acc *. G.cdf g t) 1.0 gs
 

@@ -53,6 +53,16 @@ val max_n_independent :
   ?order:order -> Spv_stats.Gaussian.t array -> Spv_stats.Gaussian.t
 (** [max_n] with the identity correlation. *)
 
+val prefix_maxes :
+  Spv_stats.Gaussian.t array -> corr:Spv_stats.Correlation.t ->
+  Spv_stats.Gaussian.t array
+(** Memoised prefix moments: element [k] is the Clark max of
+    [gs.(0) .. gs.(k)] folded in the given order
+    ([max_n ~order:As_given] over the leading (k+1)x(k+1) correlation
+    block, bit-for-bit), all [n] prefixes from one recursion pass.
+    This is what makes a stage-count sweep O(n^2) in pairwise folds
+    instead of O(n^3).  Requires at least one variable. *)
+
 val exact_max_cdf_independent :
   Spv_stats.Gaussian.t array -> float -> float
 (** Exact CDF of the max for independent stages —

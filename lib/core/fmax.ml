@@ -17,7 +17,7 @@ let quantile pipeline ~p =
 let cdf pipeline f =
   if f <= 0.0 then invalid_arg "Fmax.cdf: non-positive frequency";
   let tp = Pipeline.delay_distribution pipeline in
-  1.0 -. G.cdf tp (1.0 /. f)
+  G.sf tp (1.0 /. f)
 
 type bin = { f_lo : float; f_hi : float; fraction : float }
 

@@ -28,7 +28,7 @@ let hold_yield_stage ?output_load tech ~ff ~hold_ps net =
   if hold_ps < 0.0 then invalid_arg "Hold.hold_yield_stage: negative hold";
   let margin = Gd.to_gaussian (race_margin ?output_load tech ~ff net) in
   if G.sigma margin = 0.0 then if G.mu margin >= hold_ps then 1.0 else 0.0
-  else 1.0 -. G.cdf margin hold_ps
+  else G.sf margin hold_ps
 
 let hold_yield_pipeline ?output_load ?corr_length ?(pitch = 1.0) tech ~ff
     ~hold_ps nets =
@@ -51,7 +51,7 @@ let hold_yield_pipeline ?output_load ?corr_length ?(pitch = 1.0) tech ~ff
   in
   let worst = min_n (Array.map Gd.to_gaussian margins) ~corr in
   if G.sigma worst = 0.0 then if G.mu worst >= hold_ps then 1.0 else 0.0
-  else 1.0 -. G.cdf worst hold_ps
+  else G.sf worst hold_ps
 
 let combined_yield ~setup ~hold =
   if setup < 0.0 || setup > 1.0 || hold < 0.0 || hold > 1.0 then

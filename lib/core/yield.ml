@@ -17,6 +17,35 @@ let clark_gaussian ?order pipeline ~t_target =
   if G.sigma tp = 0.0 then if G.mu tp <= t_target then 1.0 else 0.0
   else G.cdf tp t_target
 
+(* ---- stable yield-loss complements ---------------------------------- *)
+
+(* The tails below never compute [1. -. cdf]: once a stage yield rounds
+   to 1 the subtraction reports a zero loss, which is exactly wrong for
+   the high-sigma targets where the loss is the quantity of interest. *)
+
+(* log Phi(z), full relative precision on both sides: log1p of the
+   stable upper tail for z >= 0, the Mills-ratio-backed log_big_phi in
+   the left tail. *)
+let log_stage_cdf z =
+  if z >= 0.0 then Float.log1p (-.Spv_stats.Special.upper_tail z)
+  else Spv_stats.Special.log_big_phi z
+
+let independent_exact_loss pipeline ~t_target =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun g ->
+      let s = G.sigma g in
+      if s = 0.0 then begin
+        if G.mu g > t_target then acc := neg_infinity
+      end
+      else acc := !acc +. log_stage_cdf ((t_target -. G.mu g) /. s))
+    (Pipeline.stage_gaussians pipeline);
+  if !acc = neg_infinity then 1.0 else -.Float.expm1 !acc
+
+let clark_gaussian_loss ?order pipeline ~t_target =
+  let tp = Pipeline.delay_distribution ?order pipeline in
+  G.sf tp t_target
+
 let nearly_independent pipeline =
   let corr = Pipeline.correlation pipeline in
   let n = Pipeline.n_stages pipeline in
@@ -31,6 +60,10 @@ let nearly_independent pipeline =
 let estimate pipeline ~t_target =
   if nearly_independent pipeline then independent_exact pipeline ~t_target
   else clark_gaussian pipeline ~t_target
+
+let loss pipeline ~t_target =
+  if nearly_independent pipeline then independent_exact_loss pipeline ~t_target
+  else clark_gaussian_loss pipeline ~t_target
 
 let target_delay_for_yield ?order pipeline ~yield =
   if not (yield > 0.0 && yield < 1.0) then

@@ -19,6 +19,22 @@ val estimate : Pipeline.t -> t_target:float -> float
     off-diagonal correlations are (near) zero, [clark_gaussian]
     otherwise. *)
 
+val independent_exact_loss : Pipeline.t -> t_target:float -> float
+(** Yield loss [1 - independent_exact], computed as
+    [-expm1(sum_i log Phi_i)] with stable per-stage log-CDFs so the
+    loss keeps full relative precision deep in the tail (where the
+    naive complement of a yield that rounds to 1 reports 0). *)
+
+val clark_gaussian_loss :
+  ?order:Clark.order -> Pipeline.t -> t_target:float -> float
+(** Yield loss [1 - clark_gaussian] through the stable survival
+    function {!Spv_stats.Gaussian.sf} — nonzero out to ~38 sigma. *)
+
+val loss : Pipeline.t -> t_target:float -> float
+(** Stable complement of {!estimate}: [independent_exact_loss] when
+    the stages are (near) independent, [clark_gaussian_loss]
+    otherwise. *)
+
 val target_delay_for_yield : ?order:Clark.order -> Pipeline.t -> yield:float -> float
 (** Smallest T with [clark_gaussian >= yield]:
     [mu_T + sigma_T * Phi^-1(yield)].  Requires yield in (0,1). *)

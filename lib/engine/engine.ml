@@ -332,6 +332,32 @@ let bernoulli_fixed ~jobs ~shards ~seed ~n ~make_trial =
   let tasks = Array.init shards (count_task trials counts) in
   Array.fold_left ( + ) 0 (Par.run ~jobs tasks)
 
+(* Multi-threshold Bernoulli: one sample stream, one success counter
+   per target.  Each trial draws exactly one sample (same draws as a
+   single-target [bernoulli_fixed] whose trial is [sample () <= t]),
+   so per-target counts are bit-identical to separate single-target
+   runs at the same (seed, shards, n) — a T_target sweep pays for the
+   sampling once. *)
+let bernoulli_fixed_multi ~jobs ~shards ~seed ~n ~make_sample ~targets =
+  let samplers = Array.map make_sample (shard_streams ~seed ~shards) in
+  let counts = shard_counts n shards in
+  let nt = Array.length targets in
+  let tasks =
+    Array.init shards (fun i () ->
+        let s = samplers.(i) in
+        let succ = Array.make nt 0 in
+        for _ = 1 to counts.(i) do
+          let x = s () in
+          for k = 0 to nt - 1 do
+            if x <= targets.(k) then succ.(k) <- succ.(k) + 1
+          done
+        done;
+        succ)
+  in
+  let per_shard = Par.run ~jobs tasks in
+  Array.init nt (fun k ->
+      Array.fold_left (fun acc succ -> acc + succ.(k)) 0 per_shard)
+
 let bernoulli_adaptive ~jobs ~shards ~seed ~batch ~min_samples ~rel_se_target
     ~max_samples ~make_trial =
   let trials = Array.map make_trial (shard_streams ~seed ~shards) in
@@ -486,6 +512,102 @@ let yield ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       let se = if Float.is_finite se then se else 0.0 in
       {
         value = Float.max 0.0 (Float.min 1.0 (1.0 -. p_fail));
+        std_error = se;
+        n_samples = n;
+        method_;
+        stop = Fixed_n;
+      }
+
+let yield_targets ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
+    ?(seed = default_seed) ?(n = 10_000) ?batch ?min_samples ?rel_se_target
+    ?max_samples ctx ~t_targets =
+  let where = "Engine.yield_targets" in
+  if Array.length t_targets = 0 then invalid_arg (where ^ ": no targets");
+  Array.iter (check_target ~where) t_targets;
+  match method_ with
+  | Mc when Array.length t_targets > 1 ->
+      let jobs = resolve_jobs ~where jobs in
+      check_positive ~where "shards" shards;
+      check_positive ~where "n" n;
+      let mvn = Ctx.mvn ctx in
+      let make_sample rng () = Mvn.sample_max mvn rng in
+      let successes =
+        bernoulli_fixed_multi ~jobs ~shards ~seed ~n ~make_sample
+          ~targets:t_targets
+      in
+      Array.mapi
+        (fun k s ->
+          let p = float_of_int s /. float_of_int n in
+          let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int n) in
+          postcondition ~where ctx ~t_target:(Some t_targets.(k))
+            { value = p; std_error = se; n_samples = n; method_; stop = Fixed_n })
+        successes
+  | _ ->
+      Array.map
+        (fun t_target ->
+          yield ~method_ ?jobs ~shards ~seed ~n ?batch ?min_samples
+            ?rel_se_target ?max_samples ctx ~t_target)
+        t_targets
+
+let clark_loss ctx ~t_target =
+  let g = Ctx.delay_distribution ctx in
+  if G.sigma g = 0.0 then if G.mu g <= t_target then 0.0 else 1.0
+  else G.sf g t_target
+
+let yield_loss ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
+    ?(seed = default_seed) ?(n = 10_000) ?(batch = 1024) ?(min_samples = 1000)
+    ?(rel_se_target = 0.01) ?(max_samples = 1_000_000) ctx ~t_target =
+  let where = "Engine.yield_loss" in
+  check_target ~where t_target;
+  check_positive ~where "shards" shards;
+  (* No [postcondition] here: registered oracles check *yield*
+     semantics (interval bounds on P_D) and would falsely fire on a
+     loss value. *)
+  match method_ with
+  | Analytic_clark -> closed ~method_ (clark_loss ctx ~t_target)
+  | Exact_independent ->
+      closed ~method_
+        (Spv_core.Yield.independent_exact_loss (Ctx.pipeline ctx) ~t_target)
+  | Quadrature ->
+      closed ~method_
+        (Spv_core.Adaptive.loss_with_abb
+           ~policy:{ Spv_core.Adaptive.range = 0.0 } (Ctx.pipeline ctx)
+           ~t_target)
+  | Mc ->
+      let jobs = resolve_jobs ~where jobs in
+      check_positive ~where "n" n;
+      let mvn = Ctx.mvn ctx in
+      let make_trial rng () = Mvn.sample_max mvn rng > t_target in
+      let fails = bernoulli_fixed ~jobs ~shards ~seed ~n ~make_trial in
+      let p = float_of_int fails /. float_of_int n in
+      let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int n) in
+      { value = p; std_error = se; n_samples = n; method_; stop = Fixed_n }
+  | Adaptive_mc ->
+      let jobs = resolve_jobs ~where jobs in
+      check_positive ~where "batch" batch;
+      check_positive ~where "min_samples" min_samples;
+      check_positive ~where "max_samples" max_samples;
+      if not (rel_se_target > 0.0) then
+        invalid_arg (where ^ ": rel_se_target must be positive");
+      let mvn = Ctx.mvn ctx in
+      let make_trial rng () = Mvn.sample_max mvn rng > t_target in
+      let fails, drawn, stop =
+        bernoulli_adaptive ~jobs ~shards ~seed ~batch ~min_samples
+          ~rel_se_target ~max_samples ~make_trial
+      in
+      let p = float_of_int fails /. float_of_int drawn in
+      let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int drawn) in
+      { value = p; std_error = se; n_samples = drawn; method_; stop }
+  | Importance ->
+      let jobs = resolve_jobs ~where jobs in
+      check_positive ~where "n" n;
+      let plan = Spv_stats.Importance.plan (Ctx.mvn ctx) ~threshold:t_target in
+      let make_trial rng () = Spv_stats.Importance.draw_weight plan rng in
+      let merged = moments_fixed ~jobs ~shards ~seed ~n ~make_trial in
+      let p_fail, se = mean_se merged in
+      let se = if Float.is_finite se then se else 0.0 in
+      {
+        value = Float.max 0.0 (Float.min 1.0 p_fail);
         std_error = se;
         n_samples = n;
         method_;

@@ -210,6 +210,12 @@ val debug_checks_enabled : unit -> bool
     [t_target], or a gate-level estimator applied to a moments-only
     context. *)
 
+val default_shards : int
+(** 8 — the default RNG substream count. *)
+
+val default_seed : int
+(** 42 — the default master seed. *)
+
 val yield :
   ?method_:method_ -> ?jobs:int -> ?shards:int -> ?seed:int -> ?n:int ->
   ?batch:int -> ?min_samples:int -> ?rel_se_target:float ->
@@ -219,6 +225,34 @@ val yield :
     [Importance]; [batch] (round size, default 1024),
     [min_samples] (1000), [rel_se_target] (0.01) and [max_samples]
     (1_000_000) apply to [Adaptive_mc]. *)
+
+val yield_targets :
+  ?method_:method_ -> ?jobs:int -> ?shards:int -> ?seed:int -> ?n:int ->
+  ?batch:int -> ?min_samples:int -> ?rel_se_target:float ->
+  ?max_samples:int -> Ctx.t -> t_targets:float array -> estimate array
+(** {!yield} over a whole [t_target] sweep, one estimate per target
+    (same defaults).  For [Mc] with more than one target the sampling
+    pass is shared: each trial draws one pipeline delay and updates
+    every target's counter, so a sweep costs one Monte-Carlo run yet
+    each returned estimate is bit-identical to the single-target
+    {!yield} at the same [(seed, shards, n)].  Other methods evaluate
+    per target (closed forms are cheap; adaptive runs stop on
+    per-target criteria and cannot share draws without changing their
+    results).  Raises [Invalid_argument] on an empty target array. *)
+
+val yield_loss :
+  ?method_:method_ -> ?jobs:int -> ?shards:int -> ?seed:int -> ?n:int ->
+  ?batch:int -> ?min_samples:int -> ?rel_se_target:float ->
+  ?max_samples:int -> Ctx.t -> t_target:float -> estimate
+(** [P{pipeline delay > t_target}], reported with full relative
+    precision deep in the tail where [1. -. (yield ...).value] cancels
+    to 0 (closed forms route through {!Spv_stats.Gaussian.sf} /
+    [Yield.independent_exact_loss]; [Importance] reports its estimated
+    failure probability directly; [Mc]/[Adaptive_mc] count failing
+    trials, so their loss is the integer-exact complement of the
+    corresponding yield estimate).  Same parameters and defaults as
+    {!yield}.  Debug-mode bounds oracles are not applied (they check
+    yield, not loss, semantics). *)
 
 val delay_mean :
   ?method_:method_ -> ?jobs:int -> ?shards:int -> ?seed:int -> ?n:int ->

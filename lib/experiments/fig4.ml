@@ -8,6 +8,58 @@ let compute ?(t_target = default_t_target) ?(yield = default_yield)
   Ds.curves ~tech:Common.base_tech ~t_target ~yield ~stage_counts
     ~n_points:40 ()
 
+(* Cross-check: points on the eq. 12 equality curve pin every stage to
+   yield P_D^(1/Ns), so the exact independence product over Ns such
+   stages must recover the pipeline yield target.  Re-evaluate a few
+   sampled points through the batched sweep runner (one shared engine
+   context per point). *)
+let sweep_cross_check c ~t_target ~yield =
+  let module Grid = Spv_workload.Grid in
+  let module Sweep = Spv_workload.Sweep in
+  let sources =
+    List.concat_map
+      (fun (n, sigmas) ->
+        let idxs =
+          (* three feasible points spread across the mu range *)
+          List.filter
+            (fun i ->
+              let s = sigmas.(i) in
+              Float.is_finite s && s > 0.0)
+            [ 5; 15; 25 ]
+        in
+        List.map
+          (fun i ->
+            Grid.Moments
+              {
+                label = Printf.sprintf "Ns=%d mu=%.2f" n c.Ds.mus.(i);
+                stages = Array.make n (c.Ds.mus.(i), sigmas.(i));
+                rho = 0.0;
+              })
+          idxs)
+      c.Ds.equality
+  in
+  let grid =
+    {
+      Grid.sources;
+      processes = [ Grid.nominal ];
+      targets = [| t_target |];
+      methods = [ Spv_engine.Engine.Exact_independent ];
+      n = 1;
+      shards = 1;
+    }
+  in
+  let r = Sweep.run grid in
+  Printf.printf
+    "  sweep cross-check (%d scenarios, %d contexts): equality-curve points \
+     vs yield target %.3f\n"
+    (Array.length r.Sweep.rows) r.Sweep.n_contexts yield;
+  Array.iter
+    (fun (row : Sweep.row) ->
+      Printf.printf "    %-18s -> independent yield %.6f (loss %.3e)\n"
+        row.Sweep.scenario.Sweep.source row.Sweep.estimate.Spv_engine.Engine.value
+        row.Sweep.loss)
+    r.Sweep.rows
+
 let run () =
   Common.section
     "Figure 4: permissible mean/sigma design space per stage \
@@ -30,4 +82,5 @@ let run () =
       @ [ c.Ds.realizable_min; c.Ds.realizable_max ])
   in
   Common.multi_series ~header:"mu (ps) vs sigma bounds (ps)" ~labels
-    ~x:c.Ds.mus columns
+    ~x:c.Ds.mus columns;
+  sweep_cross_check c ~t_target:default_t_target ~yield:default_yield

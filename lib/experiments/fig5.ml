@@ -36,7 +36,10 @@ let panel_b ?stage_counts () =
   let series =
     List.map
       (fun rho ->
-        let raw = V.pipeline_sigma_mu_vs_stages ~stage ~rho ~stage_counts in
+        (* One memoised Clark prefix recursion over the largest count
+           instead of one fold per count; bit-identical to
+           V.pipeline_sigma_mu_vs_stages. *)
+        let raw = Spv_workload.Sweep.stage_count_sweep ~stage ~rho ~stage_counts in
         (Printf.sprintf "rho=%.1f" rho, V.normalise raw))
       [ 0.0; 0.2; 0.5 ]
   in

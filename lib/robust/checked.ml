@@ -245,6 +245,70 @@ let engine_gate_level_delays ?exact ?jobs ?shards ?seed ctx ~n =
   let* _ = Guard.finite_array ~where:"engine gate-level MC" samples in
   Ok samples
 
+(* ---- sweep entry points ---------------------------------------------- *)
+
+module Grid = Spv_workload.Grid
+module Sweep = Spv_workload.Sweep
+
+let lookup_circuit ?(on_warning = ignore) ?(param = "--circuit") name =
+  match List.assoc_opt name Grid.builtin_circuits with
+  | Some f -> protect ~where:("circuit " ^ name) f
+  | None -> (
+      (* Anything else is a .bench path.  No Sys.file_exists pre-check:
+         parse_bench_file owns the open, so a file deleted between
+         check and read is an Io_error, not an uncaught Sys_error. *)
+      match parse_bench_file ~on_warning name with
+      | Ok net -> Ok net
+      | Error (Errors.Io_error _)
+        when (not (String.contains name '/'))
+             && not (String.contains name '.') ->
+          (* A bare word that is not a readable file was almost
+             certainly meant as a builtin circuit name. *)
+          Error
+            (Errors.domain ~param
+               (Printf.sprintf
+                  "unknown circuit %S (known: %s, or a .bench file path)" name
+                  (String.concat ", " (List.map fst Grid.builtin_circuits))))
+      | Error e -> Error e)
+
+let sweep_grid_of_string ?on_warning ?path text =
+  let lookup name =
+    match lookup_circuit ?on_warning ~param:"circuit" name with
+    | Ok net -> Ok net
+    | Error e -> Error (Errors.to_string e)
+  in
+  match Grid.of_string ~lookup text with
+  | Ok grid -> Ok grid
+  | Error e -> Error (Errors.parse ?path ?line:e.Grid.line e.Grid.message)
+
+let sweep_grid_of_file ?on_warning path =
+  let* text = slurp path in
+  sweep_grid_of_string ?on_warning ~path text
+
+let sweep_run ?jobs ?seed ?tech grid =
+  let where = "sweep" in
+  let* r = protect ~where (fun () -> Sweep.run ?jobs ?seed ?tech grid) in
+  let* () =
+    Array.fold_left
+      (fun acc (row : Sweep.row) ->
+        let* () = acc in
+        let v = row.Sweep.estimate.Engine.value and l = row.Sweep.loss in
+        if not (Float.is_finite v && Float.is_finite l) then
+          Error
+            (Errors.numeric ~where
+               (Printf.sprintf "scenario %d: non-finite estimate"
+                  row.Sweep.scenario.Sweep.index))
+        else if v < 0.0 || v > 1.0 || l < 0.0 || l > 1.0 then
+          Error
+            (Errors.numeric ~where
+               (Printf.sprintf
+                  "scenario %d: probability outside [0, 1] (yield %g, loss %g)"
+                  row.Sweep.scenario.Sweep.index v l))
+        else Ok ())
+      (Ok ()) r.Sweep.rows
+  in
+  Ok r
+
 (* ---- static-analysis entry points ----------------------------------- *)
 
 module Analyze = Spv_analysis.Analyze

@@ -113,6 +113,34 @@ val engine_gate_level_delays :
   ?exact:bool -> ?jobs:int -> ?shards:int -> ?seed:int ->
   Spv_engine.Engine.Ctx.t -> n:int -> (float array, Errors.t) result
 
+(** {1 Scenario sweeps} *)
+
+val lookup_circuit :
+  ?on_warning:(string -> unit) -> ?param:string -> string ->
+  (Spv_circuit.Netlist.t, Errors.t) result
+(** Resolve a circuit reference: a builtin name from
+    {!Spv_workload.Grid.builtin_circuits}, else a .bench file path
+    (parsed and linted).  A bare word that is neither maps to
+    [Domain_error] listing the known names ([param], default
+    ["--circuit"], names the offending option); unreadable paths are
+    [Io_error]. *)
+
+val sweep_grid_of_string :
+  ?on_warning:(string -> unit) -> ?path:string -> string ->
+  (Spv_workload.Grid.t, Errors.t) result
+(** Parse and validate a scenario-grid file; syntax problems are
+    [Parse_error] carrying the 1-based line where one is known. *)
+
+val sweep_grid_of_file :
+  ?on_warning:(string -> unit) -> string ->
+  (Spv_workload.Grid.t, Errors.t) result
+
+val sweep_run :
+  ?jobs:int -> ?seed:int -> ?tech:Spv_process.Tech.t ->
+  Spv_workload.Grid.t -> (Spv_workload.Sweep.result, Errors.t) result
+(** {!Spv_workload.Sweep.run} behind the typed-error boundary, with
+    every row's yield and loss verified finite and inside [0, 1]. *)
+
 (** {1 Static analysis} *)
 
 val analyze :

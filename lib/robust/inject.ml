@@ -119,6 +119,10 @@ let corpus () =
     parse "bench/multiply-driven"
       "INPUT(a)\nn1 = INV(a)\nn1 = BUF(a)\nOUTPUT(n1)\n";
     parse "bench/input-redefined" "INPUT(a)\na = INV(a)\nOUTPUT(a)\n";
+    parse "bench/duplicate-gate"
+      "INPUT(a)\nn1 = INV(a)\nn2 = INV(n1)\nn1 = BUF(a)\nOUTPUT(n2)\n";
+    parse "bench/trailing-garbage"
+      "INPUT(a)\ny = INV(a) oops\nOUTPUT(y)\n";
     parse "bench/combinational-loop"
       "INPUT(a)\nx = INV(y)\ny = INV(x)\nOUTPUT(y)\n";
     parse "bench/self-loop" "INPUT(a)\nx = INV(x)\nOUTPUT(x)\n";

@@ -15,6 +15,10 @@ let variability t =
   t.sigma /. t.mu
 
 let cdf t x = Special.normal_cdf ~mu:t.mu ~sigma:t.sigma x
+
+let sf t x =
+  if t.sigma = 0.0 then if x >= t.mu then 0.0 else 1.0
+  else Special.upper_tail ((x -. t.mu) /. t.sigma)
 let pdf t x = Special.normal_pdf ~mu:t.mu ~sigma:t.sigma x
 let quantile t ~p = Special.normal_quantile ~mu:t.mu ~sigma:t.sigma ~p
 let sample t rng = Rng.gaussian_mu_sigma rng ~mu:t.mu ~sigma:t.sigma

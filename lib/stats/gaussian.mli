@@ -23,6 +23,12 @@ val variability : t -> float
 val cdf : t -> float -> float
 (** [cdf g x] = Pr{X <= x}. *)
 
+val sf : t -> float -> float
+(** Survival function [Pr{X > x}], computed through
+    {!Special.upper_tail} so deep upper tails keep full relative
+    precision where [1. -. cdf g x] would cancel to 0 (x beyond
+    ~8 sigma).  [sigma = 0] degenerates to a step. *)
+
 val pdf : t -> float -> float
 (** Density at a point; requires [sigma > 0]. *)
 

@@ -44,13 +44,22 @@ let bits64 t =
 
 let split t n =
   if n <= 0 then invalid_arg "Rng.split: n <= 0";
-  (* Distinct-seed mixing: each child seed is an independent 63-bit
-     draw from the parent, expanded into 256 bits of state through
-     splitmix64 (the xoshiro authors' recommended seeding), so child
-     streams are decorrelated from the parent and from each other. *)
+  (* Each child state word comes from its own 64-bit parent draw mixed
+     through one splitmix64 step, so children receive 256 independent
+     parent bits.  (An earlier version funnelled the whole child state
+     through a single Int64.to_int seed, silently dropping the top bit
+     and collapsing the keyspace to 63 bits.) *)
   Array.init n (fun _ ->
-      let seed = Int64.to_int (bits64 t) in
-      create ~seed)
+      let word () = splitmix64 (ref (bits64 t)) in
+      let s0 = word () in
+      let s1 = word () in
+      let s2 = word () in
+      let s3 = word () in
+      if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+        (* xoshiro forbids the all-zero state; unreachable in practice
+           (probability 2^-256) but cheap to rule out. *)
+        create ~seed:1
+      else { s0; s1; s2; s3; spare = 0.0; has_spare = false })
 
 let float t =
   (* 53 high bits scaled into [0,1). *)
@@ -62,13 +71,15 @@ let uniform t ~lo ~hi =
   lo +. ((hi -. lo) *. float t)
 
 let int t ~bound =
-  assert (bound > 0);
-  (* Rejection sampling to avoid modulo bias. *)
-  let mask = ref 1 in
-  while !mask < bound do
-    mask := !mask lsl 1
-  done;
-  let mask = !mask - 1 in
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Rejection sampling to avoid modulo bias: draw under the smallest
+     all-ones mask covering [bound - 1] and reject overshoots.  The
+     mask is grown as (2^k - 1) values directly — the earlier
+     power-of-two loop [mask lsl 1] wrapped negative for bounds above
+     2^61 and never terminated.  [grow] cannot overflow: it stops at
+     max_int (all 62 value bits set), which covers every valid bound. *)
+  let rec grow m = if m >= bound - 1 then m else grow ((m lsl 1) lor 1) in
+  let mask = if bound = 1 then 0 else grow 1 in
   let rec draw () =
     let v = Int64.to_int (Int64.logand (bits64 t) 0x7FFFFFFFFFFFFFFFL) land mask in
     if v < bound then v else draw ()

@@ -17,13 +17,14 @@ val copy : t -> t
 
 val split : t -> int -> t array
 (** [split rng n] derives [n] generators from [rng], advancing [rng].
-    Each child is seeded from a distinct 63-bit parent draw expanded
-    through splitmix64 (distinct-seed mixing), so the child streams are
-    (statistically) independent of the parent and of each other.  The
-    result is a pure function of the parent's state: equal parent
-    states and equal [n] yield bit-identical stream arrays — the basis
-    for the engine's deterministic domain-parallel Monte-Carlo.
-    Requires [n > 0]. *)
+    Each child's four state words come from four independent 64-bit
+    parent draws, each mixed through one splitmix64 step (the xoshiro
+    authors' recommended seeding), so children carry the parent's full
+    256 bits of entropy and the streams are (statistically) independent
+    of the parent and of each other.  The result is a pure function of
+    the parent's state: equal parent states and equal [n] yield
+    bit-identical stream arrays — the basis for the engine's
+    deterministic domain-parallel Monte-Carlo.  Requires [n > 0]. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
@@ -35,7 +36,9 @@ val uniform : t -> lo:float -> hi:float -> float
 (** Uniform draw in [\[lo, hi)]. Requires [lo <= hi]. *)
 
 val int : t -> bound:int -> int
-(** Uniform integer in [\[0, bound)]. Requires [bound > 0]. *)
+(** Uniform integer in [\[0, bound)] by masked rejection sampling (no
+    modulo bias, any [bound] up to [max_int]).  Raises
+    [Invalid_argument] unless [bound > 0]. *)
 
 val gaussian : t -> float
 (** Standard normal draw (Marsaglia polar method, both antithetic

@@ -68,6 +68,13 @@ let phi x = exp (-0.5 *. x *. x) /. sqrt (2.0 *. Float.pi)
 
 let big_phi x = 0.5 *. erfc (-.x /. sqrt2)
 
+(* Stable survival function: [1. -. big_phi x] cancels catastrophically
+   once big_phi rounds to 1 (x >~ 8), silently reporting a zero tail.
+   erfc_pos keeps full relative precision out to the underflow limit of
+   the double range (x ~ 38), through the same continued fraction the
+   Mills-ratio expansion in [log_big_phi] backs onto. *)
+let upper_tail x = 0.5 *. erfc (x /. sqrt2)
+
 let log_big_phi x =
   if x > -8.0 then log (big_phi x)
   else

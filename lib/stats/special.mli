@@ -24,6 +24,12 @@ val big_phi_inv : float -> float
 val log_big_phi : float -> float
 (** [log (big_phi x)], numerically stable for very negative [x]. *)
 
+val upper_tail : float -> float
+(** [P{X > x} = 1 - big_phi x], computed through [erfc_pos] so
+    high-sigma tails keep full relative precision: [upper_tail 8.0]
+    is ~6.2e-16 where the naive [1. -. big_phi 8.0] rounds to 0.
+    Underflows to 0 only past x ~ 38. *)
+
 val normal_cdf : mu:float -> sigma:float -> float -> float
 (** CDF of N(mu, sigma) at a point. [sigma = 0] degenerates to a step. *)
 

@@ -1,0 +1,185 @@
+module Engine = Spv_engine.Engine
+module G = Spv_stats.Gaussian
+module Stage = Spv_core.Stage
+module Pipeline = Spv_core.Pipeline
+
+let schema_version = 1
+
+type scenario = {
+  index : int;
+  source : string;
+  process : string;
+  method_ : Engine.method_;
+  t_target : float;
+}
+
+type row = { scenario : scenario; estimate : Engine.estimate; loss : float }
+type result = { rows : row array; n_contexts : int }
+
+let clamp01 v = Float.max 0.0 (Float.min 1.0 v)
+
+let ctx_for ~tech source (process : Grid.process) =
+  match source with
+  | Grid.Moments { stages; rho; _ } ->
+      let n = Array.length stages in
+      let sts =
+        Array.mapi
+          (fun i (mu, sigma) ->
+            Stage.of_moments ~name:(Printf.sprintf "s%d" i) ~mu ~sigma ())
+          stages
+      in
+      Engine.Ctx.of_pipeline
+        (Pipeline.make sts ~corr:(Spv_stats.Correlation.uniform ~n ~rho))
+  | Grid.Circuit { net; _ } ->
+      let tech =
+        match process.Grid.inter_vth_mv with
+        | None -> tech
+        | Some mv -> Spv_process.Tech.with_inter_vth tech ~sigma_mv:mv
+      in
+      Engine.Ctx.of_circuits tech [| net |]
+
+(* Yield estimates plus stable losses for one (ctx, method) over the
+   whole target sweep.  The loss source depends on the estimator
+   class: closed forms re-evaluate through [Engine.yield_loss] (cheap,
+   and the only way to keep a deep-tail loss nonzero); sampling
+   estimators take the complement of their own counts, which is exact
+   at Monte-Carlo resolution; importance sampling estimates the loss
+   directly and the yield is derived from it (bit-identical to
+   [Engine.yield], which computes [1 - p_fail] the same way). *)
+let eval_method ~jobs ~seed ~n ~shards ctx method_ targets =
+  match (method_ : Engine.method_) with
+  | Mc ->
+      let estimates =
+        Engine.yield_targets ~method_ ?jobs ~shards ~seed ~n ctx
+          ~t_targets:targets
+      in
+      Array.map
+        (fun (e : Engine.estimate) ->
+          (e, Float.max 0.0 (1.0 -. e.Engine.value)))
+        estimates
+  | Adaptive_mc ->
+      Array.map
+        (fun t_target ->
+          let e = Engine.yield ~method_ ?jobs ~shards ~seed ctx ~t_target in
+          (e, Float.max 0.0 (1.0 -. e.Engine.value)))
+        targets
+  | Importance ->
+      Array.map
+        (fun t_target ->
+          let l =
+            Engine.yield_loss ~method_ ?jobs ~shards ~seed ~n ctx ~t_target
+          in
+          ({ l with Engine.value = clamp01 (1.0 -. l.Engine.value) },
+           l.Engine.value))
+        targets
+  | Analytic_clark | Exact_independent | Quadrature ->
+      Array.map
+        (fun t_target ->
+          let e = Engine.yield ~method_ ?jobs ~shards ~seed ~n ctx ~t_target in
+          let l = Engine.yield_loss ~method_ ctx ~t_target in
+          (e, l.Engine.value))
+        targets
+
+let run ?jobs ?(seed = Engine.default_seed) ?(tech = Spv_process.Tech.bptm70)
+    (grid : Grid.t) =
+  (match Grid.validate grid with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Sweep.run: " ^ msg));
+  let rows = ref [] in
+  let index = ref 0 in
+  let n_contexts = ref 0 in
+  List.iter
+    (fun source ->
+      let processes =
+        match source with
+        | Grid.Moments _ -> [ Grid.nominal ]
+        | Grid.Circuit _ -> grid.Grid.processes
+      in
+      List.iter
+        (fun process ->
+          let ctx = ctx_for ~tech source process in
+          incr n_contexts;
+          List.iter
+            (fun method_ ->
+              let evals =
+                eval_method ~jobs ~seed ~n:grid.Grid.n
+                  ~shards:grid.Grid.shards ctx method_ grid.Grid.targets
+              in
+              Array.iteri
+                (fun k (estimate, loss) ->
+                  rows :=
+                    {
+                      scenario =
+                        {
+                          index = !index;
+                          source = Grid.source_label source;
+                          process = process.Grid.p_label;
+                          method_;
+                          t_target = grid.Grid.targets.(k);
+                        };
+                      estimate;
+                      loss;
+                    }
+                    :: !rows;
+                  incr index)
+                evals)
+            grid.Grid.methods)
+        processes)
+    grid.Grid.sources;
+  { rows = Array.of_list (List.rev !rows); n_contexts = !n_contexts }
+
+(* ---- JSONL ---------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let row_to_json r =
+  let e = r.estimate in
+  Printf.sprintf
+    "{\"schema_version\":%d,\"scenario\":%d,\"source\":\"%s\",\"process\":\"%s\",\"method\":\"%s\",\"t_target\":%.17g,\"yield\":%.17g,\"std_error\":%.17g,\"n_samples\":%d,\"stop\":\"%s\",\"loss\":%.17g}"
+    schema_version r.scenario.index
+    (json_escape r.scenario.source)
+    (json_escape r.scenario.process)
+    (Engine.method_name r.scenario.method_)
+    r.scenario.t_target e.Engine.value e.Engine.std_error e.Engine.n_samples
+    (Engine.stop_reason_name e.Engine.stop)
+    r.loss
+
+let to_jsonl result =
+  let buf = Buffer.create (Array.length result.rows * 160) in
+  Array.iter
+    (fun r ->
+      Buffer.add_string buf (row_to_json r);
+      Buffer.add_char buf '\n')
+    result.rows;
+  Buffer.contents buf
+
+let stage_count_sweep ~stage ~rho ~stage_counts =
+  if Array.length stage_counts = 0 then
+    invalid_arg "Sweep.stage_count_sweep: no stage counts";
+  Array.iter
+    (fun n ->
+      if n <= 0 then invalid_arg "Sweep.stage_count_sweep: stage count <= 0")
+    stage_counts;
+  let n_max = Array.fold_left max 1 stage_counts in
+  let gs = Array.make n_max stage in
+  let corr = Spv_stats.Correlation.uniform ~n:n_max ~rho in
+  let prefixes = Spv_core.Clark.prefix_maxes gs ~corr in
+  Array.map
+    (fun n ->
+      let tp = prefixes.(n - 1) in
+      G.sigma tp /. G.mu tp)
+    stage_counts

@@ -1,0 +1,73 @@
+(** Batched scenario-sweep runner with shared-context caching.
+
+    Expands a {!Grid.t} into scenarios (sources x processes x methods
+    x T_targets, in that nested order) and evaluates them through the
+    unified engine with one {!Spv_engine.Engine.Ctx.t} per
+    (source, process) pair — the Cholesky factorisation, Clark delay
+    distribution and (for circuits) the SSTA stage analyses are built
+    once and reused across every method and target.
+
+    Determinism: every scenario's estimator runs with the caller's
+    [seed] through the engine's shard machinery, so each row is
+    bit-identical to the corresponding single-scenario engine call at
+    the same [(seed, shards, n)] — and [jobs] never changes results,
+    only wall-clock time.  For the [Mc] method all targets of a
+    (source, process) pair share one sampling pass
+    ({!Spv_engine.Engine.yield_targets}), which is itself bit-identical
+    to per-target runs. *)
+
+val schema_version : int
+(** Version stamped into every JSONL row (currently 1). *)
+
+type scenario = {
+  index : int;  (** position in expansion order, 0-based *)
+  source : string;
+  process : string;
+  method_ : Spv_engine.Engine.method_;
+  t_target : float;
+}
+
+type row = {
+  scenario : scenario;
+  estimate : Spv_engine.Engine.estimate;  (** the yield estimate *)
+  loss : float;
+      (** yield loss with stable deep tails: closed forms route
+          through [Engine.yield_loss]; [Mc]/[Adaptive_mc] use the
+          integer-exact complement of their counts; [Importance]
+          reports its failure probability directly *)
+}
+
+type result = {
+  rows : row array;  (** in scenario order *)
+  n_contexts : int;  (** distinct (source, process) contexts built *)
+}
+
+val ctx_for :
+  tech:Spv_process.Tech.t -> Grid.source -> Grid.process ->
+  Spv_engine.Engine.Ctx.t
+(** The engine context a (source, process) pair resolves to — what
+    {!run} builds once per pair.  Exposed so benchmarks and tests can
+    reproduce the uncached per-scenario baseline. *)
+
+val run :
+  ?jobs:int -> ?seed:int -> ?tech:Spv_process.Tech.t -> Grid.t -> result
+(** Evaluate the grid (defaults: engine seed 42, {!Spv_process.Tech.bptm70}).
+    Raises [Invalid_argument] when {!Grid.validate} rejects the grid. *)
+
+val row_to_json : row -> string
+(** One JSON object (single line, no trailing newline): keys
+    [schema_version, scenario, source, process, method, t_target,
+    yield, std_error, n_samples, stop, loss].  Floats printed with
+    [%.17g] so values round-trip bit-exactly. *)
+
+val to_jsonl : result -> string
+(** All rows, newline-terminated — the [spv sweep] output format. *)
+
+val stage_count_sweep :
+  stage:Spv_stats.Gaussian.t -> rho:float -> stage_counts:int array ->
+  float array
+(** sigma/mu of the Clark max of N identical stages under uniform
+    correlation [rho], per stage count — bit-identical to
+    {!Spv_core.Variability.pipeline_sigma_mu_vs_stages} but computed
+    from one {!Spv_core.Clark.prefix_maxes} recursion over the largest
+    count instead of one Clark fold per count. *)

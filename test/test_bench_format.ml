@@ -117,6 +117,53 @@ let test_error_cases () =
   expect_failure "arity" "INPUT(a)\ny = XOR(a)\nOUTPUT(y)\n";
   expect_failure "undefined output" "INPUT(a)\ny = INV(a)\nOUTPUT(q)\n"
 
+let expect_error_line name text ~line ~fragment =
+  match Bf.of_string_result text with
+  | Ok _ -> Alcotest.failf "%s: expected typed parse error" name
+  | Error e ->
+      Alcotest.(check (option int)) (name ^ ": line number") (Some line) e.Bf.line;
+      let contains s sub =
+        let n = String.length sub in
+        let ok = ref false in
+        for i = 0 to String.length s - n do
+          if String.sub s i n = sub then ok := true
+        done;
+        !ok
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: message %S mentions %S" name e.Bf.message fragment)
+        true
+        (contains e.Bf.message fragment)
+
+let test_duplicate_gate_line_number () =
+  (* The reported line must be the SECOND (offending) definition, not
+     the first. *)
+  expect_error_line "duplicate gate"
+    "INPUT(a)\nn1 = INV(a)\nn2 = INV(n1)\nn1 = BUF(a)\nOUTPUT(n2)\n"
+    ~line:4 ~fragment:"duplicate";
+  expect_error_line "gate shadowing input"
+    "INPUT(a)\nINPUT(b)\na = INV(b)\nOUTPUT(a)\n"
+    ~line:3 ~fragment:"duplicate";
+  expect_error_line "duplicate input"
+    "INPUT(a)\nINPUT(a)\ny = INV(a)\nOUTPUT(y)\n"
+    ~line:2 ~fragment:"duplicate"
+
+let test_trailing_garbage_rejected () =
+  expect_error_line "garbage after definition"
+    "INPUT(a)\ny = INV(a) oops\nOUTPUT(y)\n"
+    ~line:2 ~fragment:"trailing garbage";
+  expect_error_line "garbage after INPUT"
+    "INPUT(a) junk\ny = INV(a)\nOUTPUT(y)\n"
+    ~line:1 ~fragment:"trailing garbage";
+  expect_error_line "garbage after OUTPUT"
+    "INPUT(a)\ny = INV(a)\nOUTPUT(y) extra\n"
+    ~line:3 ~fragment:"trailing garbage";
+  (* Comments after a statement are still fine, and a size annotation
+     is not garbage. *)
+  (match Bf.of_string_result "INPUT(a) # fine\ny = INV(a) [size=2] # ok\nOUTPUT(y)\n" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "comment wrongly rejected: %s" e.Bf.message)
+
 let all_cells_netlist () =
   (* One instance of every library cell, in a single netlist. *)
   let module B = Spv_circuit.Builder in
@@ -180,6 +227,8 @@ let suite =
     quick "roundtrip sizes" test_roundtrip_preserves_sizes;
     quick "roundtrip timing" test_roundtrip_timing_identical;
     quick "error cases" test_error_cases;
+    quick "duplicate gate line numbers" test_duplicate_gate_line_number;
+    quick "trailing garbage rejected" test_trailing_garbage_rejected;
     quick "every cell roundtrips" test_every_cell_roundtrips;
     quick "random logic roundtrips" test_random_logic_roundtrips;
     quick "file io" test_file_io;

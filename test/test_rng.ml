@@ -49,6 +49,47 @@ let test_int_bounds () =
     (fun i c -> check_in_range (Printf.sprintf "bucket %d" i) ~lo:9500. ~hi:10500. (float_of_int c))
     counts
 
+let test_int_chi_square () =
+  (* Pearson chi-square over a non-power-of-two range: the rejection
+     mask makes every residue exactly equally likely, so the statistic
+     must sit in the bulk of chi2(df = 11).  Threshold 35 is the
+     ~2e-4 tail — a masked-without-rejection draw over bound 12 biases
+     buckets 0..3 by 33% and blows far past it. *)
+  let rng = Rng.create ~seed:31 in
+  let bound = 12 in
+  let draws = 120_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to draws do
+    let v = Rng.int rng ~bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int bound in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 counts
+  in
+  check_in_range "chi-square df=11" ~lo:0.0 ~hi:35.0 chi2
+
+let test_int_bound_one () =
+  let rng = Rng.create ~seed:37 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "bound 1 draws 0" 0 (Rng.int rng ~bound:1)
+  done
+
+let test_int_huge_bound () =
+  (* Regression: the pre-fix mask loop (mask := mask lsl 1 until >=
+     bound) never terminated for bounds above 2^61 because the shift
+     wraps through min_int to 0.  The bottom-up all-ones mask stops at
+     max_int. *)
+  let rng = Rng.create ~seed:41 in
+  for _ = 1 to 100 do
+    let v = Rng.int rng ~bound:max_int in
+    Alcotest.(check bool) "huge bound in range" true (v >= 0 && v < max_int)
+  done
+
 let test_gaussian_moments () =
   let rng = Rng.create ~seed:5 in
   let xs = Array.init 200_000 (fun _ -> Rng.gaussian rng) in
@@ -107,6 +148,24 @@ let test_split_determinism () =
       done)
     a
 
+let test_split_golden () =
+  (* Pins the four-independent-draw child derivation (each child state
+     word from its own parent draw through splitmix64).  These values
+     changed when the old single Int64.to_int 63-bit funnel was
+     replaced — any future change to the derivation must update this
+     fixture deliberately. *)
+  let streams = Rng.split (Rng.create ~seed:23) 4 in
+  let expected =
+    [| 0x9D597A6DADD0E87CL; 0x3A199AB9E3EB0560L;
+       0x7E18F563A69A9510L; 0xC32634F127CBD3B5L |]
+  in
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check int64)
+        (Printf.sprintf "stream %d first draw" i)
+        expected.(i) (Rng.bits64 s))
+    streams
+
 let test_split_rejects_nonpositive () =
   let parent = Rng.create ~seed:29 in
   Alcotest.check_raises "split 0 rejected"
@@ -137,12 +196,16 @@ let suite =
     slow "uniform moments" test_float_moments;
     quick "uniform range" test_uniform;
     slow "int buckets unbiased" test_int_bounds;
+    slow "int chi-square unbiased" test_int_chi_square;
+    quick "int bound 1" test_int_bound_one;
+    quick "int huge bound terminates" test_int_huge_bound;
     slow "gaussian moments" test_gaussian_moments;
     slow "gaussian KS normality" test_gaussian_normality;
     slow "gaussian mu/sigma" test_gaussian_mu_sigma;
     quick "split independence" test_split_independence;
     slow "split cross-stream correlation" test_split_cross_stream_correlation;
     quick "split determinism" test_split_determinism;
+    quick "split golden fixture" test_split_golden;
     quick "split rejects n <= 0" test_split_rejects_nonpositive;
     quick "copy" test_copy;
     quick "shuffle is a permutation" test_shuffle_permutation;

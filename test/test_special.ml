@@ -65,6 +65,23 @@ let test_log_big_phi () =
   let expected = log (0.5 *. S.erfc (-.x /. sqrt 2.0)) in
   check_close ~rel:1e-6 "log Phi(-20)" expected (S.log_big_phi x)
 
+let test_upper_tail () =
+  (* Moderate range: agrees with the naive complement while that is
+     still well-conditioned. *)
+  check_close ~rel:1e-12 "tail at 0" 0.5 (S.upper_tail 0.0);
+  check_close ~rel:1e-10 "tail at 1" (1.0 -. S.big_phi 1.0) (S.upper_tail 1.0);
+  check_close ~rel:1e-9 "tail at 3" (1.0 -. S.big_phi 3.0) (S.upper_tail 3.0);
+  (* Deep tail: 1. -. big_phi cancels to 0 past ~8 sigma, but the
+     erfc-backed tail keeps full relative precision (reference values
+     from the asymptotic series / mpmath). *)
+  check_close ~rel:1e-9 "tail at 8" 6.22096057427178e-16 (S.upper_tail 8.0);
+  check_close ~rel:1e-9 "tail at 10" 7.61985302416053e-24 (S.upper_tail 10.0);
+  check_close ~rel:1e-8 "tail at 20" 2.75362411860623e-89 (S.upper_tail 20.0);
+  Alcotest.(check bool) "naive complement underflows at 10" true
+    (1.0 -. S.big_phi 10.0 = 0.0);
+  (* Left side is the well-conditioned CDF reflection. *)
+  check_close ~rel:1e-12 "tail at -2" (S.big_phi 2.0) (S.upper_tail (-2.0))
+
 let test_normal_wrappers () =
   check_float ~eps:1e-12 "cdf at mean" 0.5 (S.normal_cdf ~mu:10.0 ~sigma:2.0 10.0);
   check_close ~rel:1e-10 "pdf peak" (S.phi 0.0 /. 2.0)
@@ -99,6 +116,7 @@ let suite =
     quick "big_phi_inv values" test_big_phi_inv_values;
     quick "big_phi_inv domain" test_big_phi_inv_domain;
     quick "log_big_phi" test_log_big_phi;
+    quick "upper_tail" test_upper_tail;
     quick "normal wrappers" test_normal_wrappers;
     prop_phi_inv_monotone;
     prop_cdf_bounds;

@@ -133,6 +133,65 @@ let test_wilson_covers_truth () =
   Alcotest.(check bool) "95% interval covers >= 90% of repeats" true
     (!covered >= 36)
 
+let test_loss_matches_complement_in_bulk () =
+  (* Where 1 - yield is still well-conditioned the stable loss must
+     agree with the naive complement. *)
+  let p0 = pipeline () in
+  check_close ~rel:1e-9 "independent bulk"
+    (1.0 -. Y.independent_exact p0 ~t_target:108.0)
+    (Y.independent_exact_loss p0 ~t_target:108.0);
+  let p5 = pipeline ~rho:0.5 () in
+  check_close ~rel:1e-9 "clark bulk"
+    (1.0 -. Y.clark_gaussian p5 ~t_target:108.0)
+    (Y.clark_gaussian_loss p5 ~t_target:108.0);
+  check_close ~rel:1e-9 "dispatch matches complement"
+    (1.0 -. Y.estimate p0 ~t_target:108.0)
+    (Y.loss p0 ~t_target:108.0)
+
+let test_loss_nonzero_to_8_sigma () =
+  (* An 8-sigma target: every naive complement rounds the loss to 0,
+     but real dies still fail.  Single stage N(100, 5), target at
+     mu + 8 sigma: loss = Q(8) ~ 6.2e-16 per stage. *)
+  let stages = [| Stage.of_moments ~mu:100.0 ~sigma:5.0 () |] in
+  let p = P.make stages ~corr:(C.independent ~n:1) in
+  let t_target = 100.0 +. (8.0 *. 5.0) in
+  let q8 = 6.22096057427178e-16 in
+  (* At 8 sigma the naive complement is a few ULPs of 1.0 — off by ~7%
+     relative; by 10 sigma it is exactly 0.  The stable loss keeps full
+     relative precision at both. *)
+  Alcotest.(check bool) "naive complement off by > 1% at 8 sigma" true
+    (let naive = 1.0 -. Y.independent_exact p ~t_target in
+     abs_float (naive -. q8) /. q8 > 0.01);
+  Alcotest.(check bool) "naive complement exactly 0 at 10 sigma" true
+    (1.0 -. Y.independent_exact p ~t_target:150.0 = 0.0);
+  check_close ~rel:1e-9 "loss = Q(10) at 10 sigma" 7.61985302416053e-24
+    (Y.independent_exact_loss p ~t_target:150.0);
+  check_close ~rel:1e-9 "independent loss = Q(8)" q8
+    (Y.independent_exact_loss p ~t_target);
+  check_close ~rel:1e-9 "clark loss = Q(8)" q8
+    (Y.clark_gaussian_loss p ~t_target);
+  (* Four independent 8-sigma stages: loss ~ 4 Q(8). *)
+  let p4 =
+    P.make
+      (Array.init 4 (fun i ->
+           Stage.of_moments ~name:(Printf.sprintf "s%d" i) ~mu:100.0
+             ~sigma:5.0 ()))
+      ~corr:(C.independent ~n:4)
+  in
+  check_close ~rel:1e-9 "4-stage loss = 4 Q(8)" (4.0 *. q8)
+    (Y.independent_exact_loss p4 ~t_target)
+
+let test_loss_deterministic_stage () =
+  let stages =
+    [| Stage.of_moments ~mu:100.0 ~sigma:0.0 ();
+       Stage.of_moments ~mu:90.0 ~sigma:5.0 () |]
+  in
+  let p = P.make stages ~corr:(C.independent ~n:2) in
+  check_close ~rel:1e-9 "loss below step"
+    (1.0 -. Y.independent_exact p ~t_target:101.0)
+    (Y.independent_exact_loss p ~t_target:101.0);
+  check_float "loss above step" 1.0 (Y.independent_exact_loss p ~t_target:99.0)
+
 let prop_yield_bounded =
   prop "yield in [0,1]"
     QCheck2.Gen.(pair (float_range 50.0 200.0) (float_bound_inclusive 0.9))
@@ -164,6 +223,9 @@ let suite =
     quick "stage yields" test_stage_yields;
     slow "MC vs exact" test_mc_agrees_with_exact_independent;
     slow "MC distribution shape" test_mc_distribution_shape;
+    quick "loss matches complement in bulk" test_loss_matches_complement_in_bulk;
+    quick "loss nonzero to 8 sigma" test_loss_nonzero_to_8_sigma;
+    quick "loss with deterministic stage" test_loss_deterministic_stage;
     quick "wilson interval" test_wilson_interval;
     slow "wilson coverage" test_wilson_covers_truth;
     prop_yield_bounded;
