@@ -447,6 +447,44 @@ let run_sweep_study () =
   write_sweep_json "BENCH_sweep.json" grid !n_contexts rows;
   Printf.printf "  wrote BENCH_sweep.json\n"
 
+(* --- fuzz campaign throughput ---------------------------------------- *)
+
+module Fuzz_run = Spv_robust.Fuzz_run
+
+let write_fuzz_json path ~trials ~seconds (s : Fuzz_run.summary) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"trials\": %d,\n" trials;
+  Printf.bprintf b "  \"checks_run\": %d,\n" s.Fuzz_run.checks_run;
+  Printf.bprintf b "  \"violations\": %d,\n" s.Fuzz_run.violations;
+  Printf.bprintf b "  \"seconds\": %.6f,\n" seconds;
+  Printf.bprintf b "  \"trials_per_sec\": %.3f,\n"
+    (float_of_int trials /. seconds);
+  Printf.bprintf b "  \"checks_per_sec\": %.1f\n"
+    (float_of_int s.Fuzz_run.checks_run /. seconds);
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let run_fuzz_study () =
+  E.Common.section "Fuzz campaign: oracle throughput (trials/sec)";
+  let trials = 100 in
+  let cfg = { Fuzz_run.default_config with Fuzz_run.trials } in
+  (* warm-up so allocator/code paths are hot before timing *)
+  ignore (Fuzz_run.run { cfg with Fuzz_run.trials = 8 });
+  let summary = ref None in
+  let seconds = wall (fun () -> summary := Some (Fuzz_run.run cfg)) in
+  let s = Option.get !summary in
+  Printf.printf
+    "  %d trials, %d oracle checks, %d violation(s) in %.3f s (%.1f \
+     trials/s, %.0f checks/s)\n"
+    trials s.Fuzz_run.checks_run s.Fuzz_run.violations seconds
+    (float_of_int trials /. seconds)
+    (float_of_int s.Fuzz_run.checks_run /. seconds);
+  write_fuzz_json "BENCH_fuzz.json" ~trials ~seconds s;
+  Printf.printf "  wrote BENCH_fuzz.json\n"
+
 (* --- experiment registry --------------------------------------------- *)
 
 let experiments =
@@ -486,6 +524,10 @@ let experiments =
       "Scenario sweep: shared-context caching vs cold per-scenario runs \
        (writes BENCH_sweep.json)",
       run_sweep_study );
+    ( "fuzz",
+      "Fuzz campaign: differential-oracle throughput (writes \
+       BENCH_fuzz.json)",
+      run_fuzz_study );
   ]
 
 (* --- Bechamel micro-benchmarks of the analysis kernels -------------- *)

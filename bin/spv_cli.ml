@@ -1009,6 +1009,267 @@ let sweep_cmd =
           fixed seed.")
     Term.(const run $ grid_file $ format_arg $ smoke $ jobs_arg $ seed_arg)
 
+(* ---- fuzz command --------------------------------------------------- *)
+
+let fuzz_cmd =
+  let module Oracle = Spv_robust.Oracle in
+  let module Fuzz_run = Spv_robust.Fuzz_run in
+  let trials_arg =
+    let doc = "Number of fuzz trials (seed-derived cases)." in
+    Arg.(value & opt int 50 & info [ "trials" ] ~doc)
+  in
+  let max_gates_arg =
+    let doc = "Per-stage gate cap of the generator." in
+    Arg.(value & opt int 80 & info [ "max-gates" ] ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Comma-separated invariant subset to check (agreement, envelope, \
+       containment, nesting, certificate, replay, escape).  Default: all."
+    in
+    Arg.(value & opt (some string) None & info [ "oracle" ] ~docv:"LIST" ~doc)
+  in
+  let shrink_arg =
+    let doc = "Delta-debug shrink every violation before filing/reporting." in
+    Arg.(value & opt bool true & info [ "shrink" ] ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Directory to file shrunk violations into as self-contained .repro \
+       cases (created if missing)."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus-dir" ] ~docv:"DIR" ~doc)
+  in
+  let format_arg =
+    let doc =
+      "Output format: $(b,jsonl) (one schema_version-stamped object per \
+       trial plus a summary object) or $(b,text)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("text", `Text) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let smoke_arg =
+    let doc =
+      "Budgeted self-check: runs a fixed small trial count twice, verifies \
+       the JSONL streams are bit-identical and schema-valid and that no \
+       invariant is violated, and prints a one-line summary."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Re-run exactly one case from its printed trial seed (the complete \
+       repro: circuits, mutations and process scenario are all re-derived \
+       from it)."
+    in
+    Arg.(value & opt (some int) None & info [ "replay" ] ~docv:"SEED" ~doc)
+  in
+  let clark_tol_arg =
+    let doc =
+      "Override the absolute Clark-vs-MC agreement allowance (default 0.02; \
+       0 demands exact agreement and is the CI's deliberately-weakened \
+       failure-path probe)."
+    in
+    Arg.(value & opt (some float) None & info [ "clark-tol" ] ~doc)
+  in
+  let agree_z_arg =
+    let doc =
+      "Override the z multiplier on combined standard errors in the \
+       agreement/certificate allowances (default 5)."
+    in
+    Arg.(value & opt (some float) None & info [ "agree-z" ] ~doc)
+  in
+  let timings_arg =
+    let doc =
+      "Print wall-clock and trials/sec on stderr (kept out of stdout so \
+       default output stays byte-identical across runs)."
+    in
+    Arg.(value & flag & info [ "timings" ] ~doc)
+  in
+  let parse_invariants s =
+    let parts =
+      List.filter
+        (fun p -> p <> "")
+        (List.map String.trim (String.split_on_char ',' s))
+    in
+    if parts = [] then
+      Error (Errors.domain ~param:"--oracle" "empty invariant list")
+    else
+      List.fold_left
+        (fun acc name ->
+          let* acc = acc in
+          match Oracle.invariant_of_string name with
+          | Some i -> Ok (acc @ [ i ])
+          | None ->
+              Error
+                (Errors.domain ~param:"--oracle"
+                   (Printf.sprintf "unknown invariant %S (known: %s)" name
+                      (String.concat ", "
+                         (List.map Oracle.invariant_name Oracle.all_invariants)))))
+        (Ok []) parts
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let required_trial_keys =
+    [
+      "\"schema_version\":"; "\"kind\":\"trial\""; "\"trial\":"; "\"seed\":";
+      "\"stages\":"; "\"gates\":"; "\"mutations\":"; "\"process\":";
+      "\"checks_run\":"; "\"violations\":"; "\"shrink_steps\":";
+    ]
+  in
+  let smoke_trials = 6 in
+  let run_smoke (cfg : Fuzz_run.config) =
+    let cfg = { cfg with Fuzz_run.trials = smoke_trials } in
+    let capture () =
+      let buf = Buffer.create 1024 in
+      let* summary =
+        Checked.protect ~where:"fuzz --smoke" (fun () ->
+            Fuzz_run.run
+              ~on_trial:(fun t ->
+                Buffer.add_string buf (Fuzz_run.trial_to_json t);
+                Buffer.add_char buf '\n')
+              cfg)
+      in
+      Buffer.add_string buf (Fuzz_run.summary_to_json summary);
+      Buffer.add_char buf '\n';
+      Ok (Buffer.contents buf, summary)
+    in
+    let* j1, s1 = capture () in
+    let* j2, _ = capture () in
+    if j1 <> j2 then
+      Error
+        (Errors.numeric ~where:"fuzz --smoke"
+           "JSONL output differs between two runs at a fixed seed")
+    else
+      let rows =
+        List.filter
+          (fun l -> contains l "\"kind\":\"trial\"")
+          (String.split_on_char '\n' j1)
+      in
+      let bad =
+        List.find_opt
+          (fun l ->
+            List.exists (fun k -> not (contains l k)) required_trial_keys)
+          rows
+      in
+      match bad with
+      | Some l ->
+          Error
+            (Errors.numeric ~where:"fuzz --smoke"
+               (Printf.sprintf "trial row missing a required key: %s" l))
+      | None when List.length rows <> smoke_trials ->
+          Error
+            (Errors.numeric ~where:"fuzz --smoke"
+               (Printf.sprintf "expected %d trial rows, got %d" smoke_trials
+                  (List.length rows)))
+      | None -> (
+          match Fuzz_run.first_error s1 with
+          | Some e -> Error e
+          | None when s1.Fuzz_run.violations > 0 ->
+              Error
+                (Errors.violation ~invariant:"escape"
+                   "smoke campaign recorded violations without filed findings")
+          | None ->
+              Printf.printf
+                "fuzz smoke OK: %d trials, %d checks, bit-identical across \
+                 two runs (seed %d)\n"
+                s1.Fuzz_run.trials s1.Fuzz_run.checks_run s1.Fuzz_run.seed;
+              Ok ())
+  in
+  let summary_error (s : Fuzz_run.summary) =
+    match Fuzz_run.first_error s with
+    | Some e -> Error e
+    | None when s.Fuzz_run.violations > 0 ->
+        (* violations whose case could not even be materialised carry
+           no finding; still a counterexample *)
+        Error
+          (Errors.violation ~invariant:"escape"
+             (Printf.sprintf "%d violation(s) without materialisable case"
+                s.Fuzz_run.violations))
+    | None -> Ok ()
+  in
+  let run trials seed max_gates oracle shrink corpus_dir format smoke replay
+      clark_tol agree_z timings =
+    handle
+      (let* invariants =
+         match oracle with
+         | None -> Ok Oracle.all_invariants
+         | Some s -> parse_invariants s
+       in
+       let tolerances =
+         {
+           Oracle.default_tolerances with
+           Oracle.clark_abs =
+             Option.value clark_tol
+               ~default:Oracle.default_tolerances.Oracle.clark_abs;
+           Oracle.agree_z =
+             Option.value agree_z
+               ~default:Oracle.default_tolerances.Oracle.agree_z;
+         }
+       in
+       let cfg =
+         {
+           Fuzz_run.default_config with
+           Fuzz_run.trials;
+           seed;
+           max_gates;
+           tolerances;
+           invariants;
+           shrink;
+           corpus_dir;
+         }
+       in
+       if smoke then run_smoke cfg
+       else
+         let emit =
+           match format with
+           | `Jsonl -> fun t -> print_endline (Fuzz_run.trial_to_json t)
+           | `Text -> fun t -> print_endline (Fuzz_run.trial_to_text t)
+         in
+         match replay with
+         | Some gen_seed ->
+             let* trial, _ =
+               Checked.protect ~where:"fuzz --replay" (fun () ->
+                   Fuzz_run.run_one cfg ~index:0 ~gen_seed)
+             in
+             emit trial;
+             (match trial.Fuzz_run.violations with
+             | [] -> Ok ()
+             | v :: _ -> Error (Oracle.violation_to_error v))
+         | None ->
+             let* summary =
+               Checked.protect ~where:"fuzz" (fun () ->
+                   Fuzz_run.run ~now:Unix.gettimeofday ~on_trial:emit cfg)
+             in
+             (match format with
+             | `Jsonl -> print_endline (Fuzz_run.summary_to_json summary)
+             | `Text -> print_endline (Fuzz_run.summary_to_text summary));
+             if timings then
+               Printf.eprintf "fuzz: %.2fs wall (%.1f trials/s)\n%!"
+                 summary.Fuzz_run.wall_seconds
+                 (float_of_int summary.Fuzz_run.trials
+                 /. Float.max 1e-9 summary.Fuzz_run.wall_seconds);
+             summary_error summary)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random netlist pipelines \
+          (attenuated depth/fanout/reconvergence), mutate them, draw random \
+          process scenarios, and check every estimator and static pass \
+          against the oracle invariants.  Violations are shrunk, filed into \
+          the fault corpus, and reported with exit code 9; every finding is \
+          reproducible from its printed seed alone via --replay.")
+    Term.(
+      const run $ trials_arg $ seed_arg $ max_gates_arg $ oracle_arg
+      $ shrink_arg $ corpus_arg $ format_arg $ smoke_arg $ replay_arg
+      $ clark_tol_arg $ agree_z_arg $ timings_arg)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -1028,5 +1289,5 @@ let () =
             experiment_cmd; lint_cmd; analyze_cmd; certify_cmd; yield_cmd;
             mc_cmd; sta_cmd; size_cmd; power_cmd; export_cmd; criticality_cmd;
             curve_cmd; report_cmd; hold_cmd; fmax_cmd; abb_cmd; vth_cmd;
-            sweep_cmd;
+            sweep_cmd; fuzz_cmd;
           ]))

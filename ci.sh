@@ -36,4 +36,18 @@ fi
 # both and exits nonzero on any mismatch).
 run "$CLI" sweep --smoke
 
+# Fuzz gates: the budgeted smoke campaign must find nothing (exit 0,
+# bit-identical across two runs — the binary checks that itself), and
+# a deliberately zeroed tolerance must surface as a counterexample
+# with exactly the oracle-violation exit code 9.
+run dune build @fuzz     # fuzzer test suite
+run "$CLI" fuzz --smoke
+echo "==> $CLI fuzz --trials 2 --seed 42 --clark-tol 0 --agree-z 0 (expect exit 9)"
+rc=0
+"$CLI" fuzz --trials 2 --seed 42 --clark-tol 0 --agree-z 0 >/dev/null || rc=$?
+if [ "$rc" -ne 9 ]; then
+  echo "ci.sh: zeroed-tolerance fuzz run did not report a counterexample (exit $rc, want 9)" >&2
+  exit 1
+fi
+
 echo "ci.sh: all gates passed"

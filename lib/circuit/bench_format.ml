@@ -226,8 +226,16 @@ let of_statements ~name statements =
             id)
   in
   (* Resolve every definition (not only output cones) so dangling
-     definitions are caught by validation rather than dropped. *)
-  Hashtbl.iter (fun signal _ -> ignore (resolve signal)) defs;
+     definitions are caught by validation rather than dropped.
+     Definition order (not hash order) drives id assignment, so a
+     printed netlist parses back to bit-identical node numbering —
+     what makes filed fuzz repros byte-stable. *)
+  let in_def_order =
+    List.sort
+      (fun (_, (la, _, _, _)) (_, (lb, _, _, _)) -> compare la lb)
+      (Hashtbl.fold (fun s d acc -> (s, d) :: acc) defs [])
+  in
+  List.iter (fun (signal, _) -> ignore (resolve signal)) in_def_order;
   if outputs = [] then fail_global "no OUTPUT statements";
   List.iter
     (fun signal ->

@@ -39,7 +39,10 @@ val statements_of_string :
 val of_string_result : ?name:string -> string -> (Netlist.t, parse_error) result
 (** Parse; all syntax errors, unknown cells, undefined signals, arity
     mismatches, duplicate definitions and combinational cycles are
-    reported as [Error] with a line number where one is known. *)
+    reported as [Error] with a line number where one is known.  Gate
+    ids follow definition order (fanins first), so text printed by
+    {!to_string} parses back to bit-identical node numbering — the
+    byte-stability filed fuzz repro cases rely on. *)
 
 val of_string : ?name:string -> string -> Netlist.t
 (** Parse. Raises [Failure] with a line-numbered message on syntax

@@ -229,11 +229,10 @@ let pick_kind rng =
   in
   go 0 0.0
 
-let random_logic ~name ~inputs ~gates ~depth ~seed =
+let random_logic_with ~rng ~name ~inputs ~gates ~depth =
   if inputs < 2 then invalid_arg "Generators.random_logic: inputs < 2";
   if depth < 1 then invalid_arg "Generators.random_logic: depth < 1";
   if gates < depth then invalid_arg "Generators.random_logic: gates < depth";
-  let rng = Rng.create ~seed in
   let b = Builder.create ~name in
   let pis =
     Array.init inputs (fun i -> Builder.input b (Printf.sprintf "i%d" i))
@@ -316,6 +315,9 @@ let random_logic ~name ~inputs ~gates ~depth ~seed =
            (Array.of_list !extra_outputs))
       ~sizes:(Netlist.sizes_snapshot provisional)
 
+let random_logic ~name ~inputs ~gates ~depth ~seed =
+  random_logic_with ~rng:(Rng.create ~seed) ~name ~inputs ~gates ~depth
+
 type iscas_profile = {
   bench_name : string;
   n_inputs : int;
@@ -349,11 +351,19 @@ let c3540 () = of_profile 3540 (find_profile "c3540")
 let pipeline_depths =
   [ ("c3540", 38); ("c2670", 32); ("c1908", 33); ("c432", 30) ]
 
+let iscas_pipeline_seed = 85
+
 let iscas_pipeline () =
+  (* One splitmix64-derived stream per stage (not ad-hoc seed hashing),
+     so fuzz mutations of these clones replay bit-identically. *)
+  let streams =
+    Rng.split (Rng.create ~seed:iscas_pipeline_seed)
+      (List.length pipeline_depths)
+  in
   Array.of_list
-    (List.map
-       (fun (name, depth) ->
+    (List.mapi
+       (fun i (name, depth) ->
          let p = find_profile name in
-         random_logic ~name:p.bench_name ~inputs:p.n_inputs ~gates:p.n_gates
-           ~depth ~seed:(depth * 7919))
+         random_logic_with ~rng:streams.(i) ~name:p.bench_name
+           ~inputs:p.n_inputs ~gates:p.n_gates ~depth)
        pipeline_depths)

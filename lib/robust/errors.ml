@@ -33,6 +33,7 @@ type t =
   | Domain_error of { param : string; message : string }
   | Internal_error of { where : string; message : string }
   | Certificate_refuted of { what : string; detail : string }
+  | Oracle_violation of { invariant : string; detail : string }
 
 let to_string = function
   | Io_error { path; message } -> Printf.sprintf "I/O error: %s: %s" path message
@@ -58,6 +59,8 @@ let to_string = function
       Printf.sprintf "internal error in %s: %s" where message
   | Certificate_refuted { what; detail } ->
       Printf.sprintf "certificate refuted: %s: %s" what detail
+  | Oracle_violation { invariant; detail } ->
+      Printf.sprintf "oracle violation [%s]: %s" invariant detail
 
 (* Stable CLI contract — documented in README "Error handling & exit
    codes"; the fault-injection suite pins these values. *)
@@ -69,6 +72,7 @@ let exit_code = function
   | Domain_error _ -> 6
   | Internal_error _ -> 7
   | Certificate_refuted _ -> 8
+  | Oracle_violation _ -> 9
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 let pp_diagnostic fmt d = Format.pp_print_string fmt (diagnostic_to_string d)
@@ -80,6 +84,7 @@ let numeric ~where message = Numeric_error { where; message }
 let domain ~param message = Domain_error { param; message }
 let internal ~where message = Internal_error { where; message }
 let refuted ~what detail = Certificate_refuted { what; detail }
+let violation ~invariant detail = Oracle_violation { invariant; detail }
 
 let of_parse_error ?path (e : Spv_circuit.Bench_format.parse_error) =
   Parse_error { path; line = e.line; message = e.message }

@@ -43,6 +43,11 @@ type t =
       (** A static certificate check ({!Spv_analysis.Certify})
           disproved the claim it was asked to verify — well-formed
           input whose answer is "no". *)
+  | Oracle_violation of { invariant : string; detail : string }
+      (** The differential fuzzing oracle ({!Oracle}) found a
+          counterexample: a fuzzed (circuit, process, seed) triple on
+          which an estimator invariant fails.  Like a refuted
+          certificate, this is a definite answer, not a crash. *)
 
 val to_string : t -> string
 (** One line, no trailing newline — what the CLI prints on stderr. *)
@@ -50,7 +55,7 @@ val to_string : t -> string
 val exit_code : t -> int
 (** Distinct documented process exit code per constructor:
     Io 2, Parse 3, Lint 4, Numeric 5, Domain 6, Internal 7,
-    Certificate_refuted 8. *)
+    Certificate_refuted 8, Oracle_violation 9. *)
 
 val pp : Format.formatter -> t -> unit
 
@@ -63,6 +68,7 @@ val numeric : where:string -> string -> t
 val domain : param:string -> string -> t
 val internal : where:string -> string -> t
 val refuted : what:string -> string -> t
+val violation : invariant:string -> string -> t
 
 val of_parse_error : ?path:string -> Spv_circuit.Bench_format.parse_error -> t
 val of_sample_error : where:string -> Spv_stats.Descriptive.sample_error -> t

@@ -103,6 +103,32 @@ let engine_ctx () =
   in
   Checked.engine_ctx_of_pipeline p
 
+(* Adversarial near-violation inputs for the differential oracle: each
+   one is a deterministic, seed-only repro sitting right at the edge of
+   an estimator contract, and the oracle must still pass every
+   invariant on it — a violation here is exactly the exit-9
+   counterexample the fuzzer hunts. *)
+let oracle_case name build_ctx =
+  {
+    name;
+    expect = Expect_ok;
+    run =
+      (fun () ->
+        let ctx = build_ctx () in
+        let checks, violations = Oracle.check_ctx ctx ~seed:42 in
+        match violations with
+        | [] -> Ok (Printf.sprintf "%d oracle check(s)" checks)
+        | v :: _ -> Error (Oracle.violation_to_error v));
+  }
+
+let fuzz_process ?inter ?random ?sys ?leff () =
+  {
+    Spv_circuit.Fuzz.inter_vth_mv = inter;
+    random_vth_mv = random;
+    sys_vth_mv = sys;
+    leff_rel_inter = leff;
+  }
+
 (* ---- the corpus ----------------------------------------------------- *)
 
 let corpus () =
@@ -573,6 +599,55 @@ let corpus () =
     moments ~expect:Expect_ok "control/healthy-pipeline"
       ~mus:[| 100.0; 95.0; 90.0 |] ~sigmas:[| 5.0; 4.0; 3.0 |] ~rho:0.3
       ~t_target:110.0;
+    (* -- adversarial differential-oracle cases (hand-minimized) -- *)
+    oracle_case "oracle/near-degenerate-correlation" (fun () ->
+        (* Inter-die sigma at the lint ceiling, random sigma one
+           quantum above zero: stage correlations land at 1 - epsilon,
+           the hardest spot for Clark's moment matching. *)
+        Oracle.ctx_of
+          (Spv_circuit.Generators.inverter_chain_pipeline ~stages:2 ~depth:4
+             ())
+          (fuzz_process ~inter:80.0 ~random:0.1 ~sys:0.0 ~leff:0.0 ()));
+    oracle_case "oracle/zero-sigma-gates" (fun () ->
+        (* No variation at all: sigma_T = 0 forces the oracle's
+           degenerate path (single target, point envelopes, step-function
+           yields). *)
+        Spv_engine.Engine.Ctx.of_circuits
+          (Spv_process.Tech.no_variation tech)
+          [| small_net () |]);
+    oracle_case "oracle/single-gate-stages" (fun () ->
+        (* Three stages of one inverter each: minimal per-stage moments,
+           maximal relative weight of any one stage in the max. *)
+        Oracle.ctx_of
+          (Array.init 3 (fun i ->
+               Spv_circuit.Generators.inverter_chain
+                 ~name:(Printf.sprintf "one%d" i) ~depth:1 ()))
+          Spv_circuit.Fuzz.nominal_process);
+    oracle_case "oracle/max-depth-reconvergence" (fun () ->
+        (* Every non-pinned fanin reconverges and nothing attenuates:
+           the generator rides the max_depth/max_gates caps, producing
+           the most reconvergent topology the lint rules allow. *)
+        let config =
+          {
+            Spv_circuit.Fuzz.default_config with
+            max_stages = 1;
+            reconv_p = 1.0;
+            grow_p = 1.0;
+            attenuation = 1.0;
+          }
+        in
+        let rng = Spv_stats.Rng.create ~seed:1999 in
+        Oracle.ctx_of
+          [| Spv_circuit.Fuzz.generate_stage ~config rng |]
+          Spv_circuit.Fuzz.nominal_process);
+    oracle_case "oracle/extreme-vth-override" (fun () ->
+        (* Every process knob pinned to its lint-legal extreme
+           (80 mV Vth sigmas, 15% Leff): the widest spread the fuzzer
+           may legally draw. *)
+        Oracle.ctx_of
+          (Spv_circuit.Generators.inverter_chain_pipeline ~stages:2 ~depth:4
+             ())
+          (fuzz_process ~inter:80.0 ~random:80.0 ~sys:80.0 ~leff:0.15 ()));
   ]
 
 let run_all () =

@@ -28,8 +28,12 @@ type verdict = Pass | Fail of string
 val corpus : unit -> case list
 (** The full corpus ([> 25] cases): malformed .bench text, I/O faults,
     degenerate stage moments, broken correlation matrices, bad
-    Monte-Carlo budgets, degenerate samples, sizing faults, plus
-    healthy controls. *)
+    Monte-Carlo budgets, degenerate samples, sizing faults, healthy
+    controls, plus hand-minimized adversarial inputs for the
+    differential {!Oracle} (near-degenerate correlation, zero-sigma
+    gates, single-gate stages, cap-riding reconvergence, lint-extreme
+    process overrides) — each a deterministic seed-only repro that
+    must pass every oracle invariant. *)
 
 val run_case : case -> outcome
 

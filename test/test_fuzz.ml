@@ -1,0 +1,328 @@
+open Helpers
+module Fuzz = Spv_circuit.Fuzz
+module Netlist = Spv_circuit.Netlist
+module Topo = Spv_circuit.Topo
+module Bf = Spv_circuit.Bench_format
+module Rng = Spv_stats.Rng
+module Oracle = Spv_robust.Oracle
+module Fuzz_run = Spv_robust.Fuzz_run
+
+let bench_of_pipeline nets =
+  String.concat "\n====\n" (Array.to_list (Array.map Bf.to_string nets))
+
+(* ---- attenuation schedule ------------------------------------------- *)
+
+let test_caps_respected () =
+  let config = { Fuzz.default_config with max_gates = 40; max_depth = 8 } in
+  for seed = 0 to 199 do
+    let nets = Fuzz.generate ~config (Rng.create ~seed) in
+    let n_stages = Array.length nets in
+    check_in_range "stage count" ~lo:1.0
+      ~hi:(float_of_int config.Fuzz.max_stages)
+      (float_of_int n_stages);
+    Array.iter
+      (fun net ->
+        let gates = Netlist.n_gates net in
+        if gates > config.Fuzz.max_gates then
+          Alcotest.failf "seed %d: %d gates above cap" seed gates;
+        let depth = Topo.depth net in
+        if depth > config.Fuzz.max_depth then
+          Alcotest.failf "seed %d: depth %d above cap" seed depth;
+        if gates < 1 then Alcotest.failf "seed %d: empty stage" seed;
+        if Array.length (Netlist.outputs net) < 1 then
+          Alcotest.failf "seed %d: no outputs" seed)
+      nets
+  done
+
+(* The attenuated coins keep expected size well under the hard caps —
+   if the caps were doing all the bounding, the mean would pile up at
+   the cap and the whole corpus would look alike. *)
+let test_attenuation_keeps_mean_finite () =
+  let config = { Fuzz.default_config with max_gates = 120; max_depth = 20 } in
+  let n = 200 in
+  let total_gates = ref 0 and total_depth = ref 0 and stages = ref 0 in
+  for seed = 0 to n - 1 do
+    let nets = Fuzz.generate ~config (Rng.create ~seed) in
+    Array.iter
+      (fun net ->
+        total_gates := !total_gates + Netlist.n_gates net;
+        total_depth := !total_depth + Topo.depth net;
+        incr stages)
+      nets
+  done;
+  let mean_gates = float_of_int !total_gates /. float_of_int !stages in
+  let mean_depth = float_of_int !total_depth /. float_of_int !stages in
+  check_in_range "mean gates under cap" ~lo:2.0
+    ~hi:(0.75 *. float_of_int config.Fuzz.max_gates)
+    mean_gates;
+  check_in_range "mean depth under cap" ~lo:1.0
+    ~hi:(0.75 *. float_of_int config.Fuzz.max_depth)
+    mean_depth
+
+let mean_gates ~attenuation ~seeds =
+  let config =
+    { Fuzz.default_config with max_gates = 200; max_depth = 16; attenuation }
+  in
+  let total = ref 0 and stages = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let nets = Fuzz.generate ~config (Rng.create ~seed) in
+    Array.iter
+      (fun net ->
+        total := !total + Netlist.n_gates net;
+        incr stages)
+      nets
+  done;
+  float_of_int !total /. float_of_int !stages
+
+let test_attenuation_monotone () =
+  let fast = mean_gates ~attenuation:0.5 ~seeds:80 in
+  let slow = mean_gates ~attenuation:0.95 ~seeds:80 in
+  if not (fast < slow) then
+    Alcotest.failf "attenuation 0.5 mean %.1f not below 0.95 mean %.1f" fast
+      slow
+
+let test_config_validation () =
+  check_raises_invalid "bad attenuation" (fun () ->
+      Fuzz.generate
+        ~config:{ Fuzz.default_config with attenuation = 0.0 }
+        (Rng.create ~seed:1));
+  check_raises_invalid "bad grow_p" (fun () ->
+      Fuzz.generate
+        ~config:{ Fuzz.default_config with grow_p = 1.5 }
+        (Rng.create ~seed:1));
+  check_raises_invalid "bad caps" (fun () ->
+      Fuzz.generate
+        ~config:{ Fuzz.default_config with max_gates = 0 }
+        (Rng.create ~seed:1))
+
+let test_quantize_size_grid () =
+  let c = Fuzz.default_config in
+  List.iter
+    (fun v ->
+      let q = Fuzz.quantize_size c v in
+      check_in_range "quantized range" ~lo:0.25 ~hi:c.Fuzz.max_size q;
+      let grid = q *. 4.0 in
+      check_float ~eps:1e-12 "on 1/4 grid" (Float.round grid) grid)
+    [ 0.0; 0.1; 0.26; 1.0; 1.37; 3.99; 100.0; -5.0 ]
+
+(* ---- determinism ---------------------------------------------------- *)
+
+let test_generate_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Fuzz.generate (Rng.create ~seed) in
+      let b = Fuzz.generate (Rng.create ~seed) in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d bench text" seed)
+        (bench_of_pipeline a) (bench_of_pipeline b))
+    [ 0; 1; 42; 1999 ]
+
+let test_mutate_deterministic_and_valid () =
+  for seed = 0 to 49 do
+    let run () =
+      let rng = Rng.create ~seed in
+      let nets = Fuzz.generate rng in
+      Fuzz.mutate rng nets
+    in
+    let a = run () in
+    let b = run () in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d mutated text" seed)
+      (bench_of_pipeline a) (bench_of_pipeline b);
+    Array.iter
+      (fun net ->
+        if Netlist.n_gates net < 1 then
+          Alcotest.failf "seed %d: mutation emptied a stage" seed;
+        if Array.length (Netlist.outputs net) < 1 then
+          Alcotest.failf "seed %d: mutation dropped all outputs" seed;
+        (* every mutated stage must still round-trip through .bench *)
+        match Bf.of_string_result (Bf.to_string net) with
+        | Ok back ->
+            if not (Bf.roundtrip_equal net back) then
+              Alcotest.failf "seed %d: mutated stage does not round-trip"
+                seed
+        | Error e ->
+            Alcotest.failf "seed %d: mutated stage unparsable: %s" seed
+              (Bf.parse_error_to_string e))
+      a
+  done
+
+let test_mutate_leaves_input_untouched () =
+  let rng = Rng.create ~seed:7 in
+  let nets = Fuzz.generate rng in
+  let before = bench_of_pipeline nets in
+  let _mutated = Fuzz.mutate rng nets in
+  Alcotest.(check string) "input pipeline unchanged" before
+    (bench_of_pipeline nets)
+
+let test_process_roundtrip () =
+  for seed = 0 to 199 do
+    let p = Fuzz.random_process (Rng.create ~seed) in
+    (match p.Fuzz.inter_vth_mv with
+    | Some v -> check_in_range "inter range" ~lo:0.0 ~hi:80.0 v
+    | None -> ());
+    (match p.Fuzz.leff_rel_inter with
+    | Some v -> check_in_range "leff range" ~lo:0.0 ~hi:0.15 v
+    | None -> ());
+    let s = Fuzz.process_to_string p in
+    match Fuzz.process_of_string s with
+    | Ok q ->
+        if q <> p then
+          Alcotest.failf "seed %d: %s did not round-trip" seed s
+    | Error e -> Alcotest.failf "seed %d: %s unparsable: %s" seed s e
+  done
+
+(* ---- oracle / shrinker ---------------------------------------------- *)
+
+(* Zeroed tolerances turn ordinary sampling noise into guaranteed
+   Agreement violations — a deterministic counterexample supply for
+   the shrinker without planting a real estimator bug. *)
+let weak_tolerances =
+  { Oracle.default_tolerances with clark_abs = 0.0; agree_z = 0.0 }
+
+let violating_case = { Oracle.gen_seed = 42; max_gates = 40 }
+
+let test_weak_tolerances_violate () =
+  let outcome =
+    Oracle.run_case ~tolerances:weak_tolerances
+      ~invariants:[ Oracle.Agreement ] ~check_seed:42 violating_case
+  in
+  Alcotest.(check bool) "violations found" true
+    (outcome.Oracle.violations <> [])
+
+let shrink_once () =
+  let m = Oracle.materialise violating_case in
+  Oracle.shrink ~tolerances:weak_tolerances ~invariant:Oracle.Agreement
+    ~check_seed:42 m.Oracle.circuits m.Oracle.process
+
+let test_shrunk_still_violates () =
+  let circuits, process, steps = shrink_once () in
+  if steps < 1 then Alcotest.fail "shrinker accepted no step";
+  let ctx = Oracle.ctx_of circuits process in
+  let _, violations =
+    Oracle.check_ctx ~tolerances:weak_tolerances
+      ~invariants:[ Oracle.Agreement ] ctx ~seed:42
+  in
+  Alcotest.(check bool) "shrunk case still violates" true (violations <> [])
+
+let test_shrink_deterministic () =
+  let circuits_a, process_a, steps_a = shrink_once () in
+  let circuits_b, process_b, steps_b = shrink_once () in
+  Alcotest.(check int) "same steps" steps_a steps_b;
+  Alcotest.(check string) "same circuits" (bench_of_pipeline circuits_a)
+    (bench_of_pipeline circuits_b);
+  Alcotest.(check string) "same process"
+    (Fuzz.process_to_string process_a)
+    (Fuzz.process_to_string process_b)
+
+let test_shrink_terminates_and_shrinks () =
+  let m = Oracle.materialise violating_case in
+  let before =
+    Array.fold_left (fun acc n -> acc + Netlist.n_gates n) 0 m.Oracle.circuits
+  in
+  let circuits, _, _ = shrink_once () in
+  let after =
+    Array.fold_left (fun acc n -> acc + Netlist.n_gates n) 0 circuits
+  in
+  if after > before then
+    Alcotest.failf "shrinker grew the case: %d -> %d gates" before after;
+  if Array.length circuits < 1 then Alcotest.fail "shrinker dropped all stages"
+
+let test_finding_roundtrip () =
+  let circuits, process, steps = shrink_once () in
+  let outcome =
+    Oracle.run_case ~tolerances:weak_tolerances
+      ~invariants:[ Oracle.Agreement ] ~check_seed:42 violating_case
+  in
+  let violation = List.hd outcome.Oracle.violations in
+  let finding =
+    {
+      Oracle.found = violating_case;
+      check_seed = 42;
+      violation;
+      circuits;
+      process;
+      shrink_steps = steps;
+    }
+  in
+  match Oracle.finding_of_string (Oracle.finding_to_string finding) with
+  | Error e -> Alcotest.failf "finding did not parse back: %s" e
+  | Ok back ->
+      Alcotest.(check int) "gen_seed" finding.Oracle.found.Oracle.gen_seed
+        back.Oracle.found.Oracle.gen_seed;
+      Alcotest.(check int) "shrink steps" finding.Oracle.shrink_steps
+        back.Oracle.shrink_steps;
+      Alcotest.(check string) "process"
+        (Fuzz.process_to_string finding.Oracle.process)
+        (Fuzz.process_to_string back.Oracle.process);
+      Alcotest.(check string) "circuits"
+        (bench_of_pipeline finding.Oracle.circuits)
+        (bench_of_pipeline back.Oracle.circuits)
+
+(* ---- campaign ------------------------------------------------------- *)
+
+let small_campaign =
+  { Fuzz_run.default_config with trials = 4; max_gates = 30 }
+
+let test_healthy_campaign_clean () =
+  let summary = Fuzz_run.run ~now:(fun () -> 0.0) small_campaign in
+  Alcotest.(check int) "no violations" 0 summary.Fuzz_run.violations;
+  Alcotest.(check int) "all passed" summary.Fuzz_run.checks_run
+    summary.Fuzz_run.checks_passed;
+  if summary.Fuzz_run.checks_run < 100 then
+    Alcotest.failf "suspiciously few checks: %d" summary.Fuzz_run.checks_run
+
+let test_campaign_output_deterministic () =
+  let render cfg =
+    let buf = Buffer.create 1024 in
+    let summary =
+      Fuzz_run.run
+        ~now:(fun () -> 0.0)
+        ~on_trial:(fun t ->
+          Buffer.add_string buf (Fuzz_run.trial_to_json t);
+          Buffer.add_char buf '\n')
+        cfg
+    in
+    Buffer.add_string buf (Fuzz_run.summary_to_json summary);
+    Buffer.contents buf
+  in
+  Alcotest.(check string) "byte-identical JSONL" (render small_campaign)
+    (render small_campaign)
+
+let test_campaign_flags_violations () =
+  let cfg =
+    {
+      small_campaign with
+      Fuzz_run.tolerances = weak_tolerances;
+      invariants = [ Oracle.Agreement ];
+      trials = 1;
+    }
+  in
+  let summary = Fuzz_run.run ~now:(fun () -> 0.0) cfg in
+  Alcotest.(check bool) "violations reported" true
+    (summary.Fuzz_run.violations > 0);
+  match Fuzz_run.first_error summary with
+  | Some e ->
+      Alcotest.(check int) "oracle exit code" 9 (Spv_robust.Errors.exit_code e)
+  | None -> Alcotest.fail "no first_error despite violations"
+
+let suite =
+  [
+    quick "caps respected over 200 seeds" test_caps_respected;
+    quick "attenuation keeps means finite" test_attenuation_keeps_mean_finite;
+    quick "attenuation monotone in mean size" test_attenuation_monotone;
+    quick "config validation" test_config_validation;
+    quick "size quantization grid" test_quantize_size_grid;
+    quick "generate deterministic" test_generate_deterministic;
+    quick "mutate deterministic + valid" test_mutate_deterministic_and_valid;
+    quick "mutate copies input" test_mutate_leaves_input_untouched;
+    quick "process round-trip" test_process_roundtrip;
+    slow "weak tolerances violate" test_weak_tolerances_violate;
+    slow "shrunk still violates" test_shrunk_still_violates;
+    slow "shrink deterministic" test_shrink_deterministic;
+    slow "shrink terminates and shrinks" test_shrink_terminates_and_shrinks;
+    slow "finding round-trip" test_finding_roundtrip;
+    slow "healthy campaign clean" test_healthy_campaign_clean;
+    slow "campaign output deterministic" test_campaign_output_deterministic;
+    slow "campaign flags violations" test_campaign_flags_violations;
+  ]

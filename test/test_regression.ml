@@ -71,8 +71,9 @@ let test_iscas_pipeline_area_pin () =
   let area =
     Array.fold_left (fun acc n -> acc +. Spv_circuit.Netlist.area n) 0.0 nets
   in
-  (* Min-size total area of the four generated stages. *)
-  check_close ~rel:1e-9 "pipeline area" 8869.0 area
+  (* Min-size total area of the four generated stages (splitmix64
+     per-stage streams, master seed 85). *)
+  check_close ~rel:1e-9 "pipeline area" 8805.0 area
 
 let test_rng_stream_pin () =
   let rng = Spv_stats.Rng.create ~seed:20050307 in
