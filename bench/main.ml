@@ -153,7 +153,7 @@ let run_pruning_study () =
     "Static criticality pruning: pruned vs unpruned gate-level MC";
   let tech = E.Common.base_tech in
   let ff = Spv_process.Flipflop.default tech in
-  let module Cr = Spv_analysis.Criticality in
+  let module Cr = Spv_analysis.Static_criticality in
   let nets = Array.init 4 (fun _ -> imbalanced_stage ~depth:40 ~side:40) in
   let ctx = Engine.Ctx.of_circuits ~ff tech nets in
   let k = 3.0 in
@@ -447,6 +447,182 @@ let run_sweep_study () =
   write_sweep_json "BENCH_sweep.json" grid !n_contexts rows;
   Printf.printf "  wrote BENCH_sweep.json\n"
 
+(* --- hierarchical SSTA study ----------------------------------------- *)
+
+module Macro = Spv_circuit.Macro
+module Netlist = Spv_circuit.Netlist
+
+(* A 64-stage pipeline instantiating one ~15.6k-gate block 64 times —
+   1M gates total, the ROADMAP's north-star shape.  The scenario grid
+   walks a sizing trajectory under process corners (the paper's design
+   loop): every probe resizes one gate of the shared block, which
+   invalidates all 64 flat stage analyses but exactly one band of the
+   macro table.  Flat and hierarchical evaluation see the identical
+   trajectory; each scenario's |flat - hier| gap is checked against
+   the hierarchical estimate's own reported error bound. *)
+
+let hier_stages = 64
+let hier_gates_per_stage = 15_625
+let hier_block_gates = 512
+let hier_processes = 2
+let hier_sizing_states = 50
+let hier_targets_per_state = 10
+
+type hier_result = {
+  hb_flat_seconds : float;
+  hb_hier_seconds : float;
+  hb_scenarios : int;
+  hb_n_blocks : int;
+  hb_max_bound : float;
+  hb_max_gap : float;
+  hb_violations : int;
+  hb_macro_hits : int;
+  hb_macro_misses : int;
+}
+
+let run_hier_grid () =
+  let net =
+    Spv_circuit.Generators.random_logic ~name:"macroblock" ~inputs:32
+      ~gates:hier_gates_per_stage ~depth:64 ~seed:1
+  in
+  let nets = Array.make hier_stages net in
+  let gate_ids = Netlist.gate_ids net in
+  let n_gates = Array.length gate_ids in
+  let processes =
+    [|
+      sweep_tech;
+      Spv_process.Tech.with_inter_vth sweep_tech ~sigma_mv:55.0;
+    |]
+  in
+  let table = Macro.Table.create () in
+  let flat_s = ref 0.0 and hier_s = ref 0.0 in
+  let max_bound = ref 0.0 and max_gap = ref 0.0 in
+  let violations = ref 0 and scenarios = ref 0 and n_blocks = ref 0 in
+  let targets = ref [||] in
+  Array.iter
+    (fun tech ->
+      for state = 0 to hier_sizing_states - 1 do
+        (* state 0 keeps the current sizes; each later state resizes
+           one deterministic gate of the shared block *)
+        if state > 0 then begin
+          let g = gate_ids.(state * 7919 mod n_gates) in
+          let f = if state mod 2 = 0 then 1.25 else 0.8 in
+          Netlist.set_size net g (Netlist.size net g *. f)
+        end;
+        let flat_ctx = ref None and hier_ctx = ref None in
+        flat_s :=
+          !flat_s +. wall (fun () -> flat_ctx := Some (Engine.Ctx.of_circuits tech nets));
+        hier_s :=
+          !hier_s
+          +. wall (fun () ->
+                 hier_ctx :=
+                   Some
+                     (Engine.Ctx.of_circuits ~mode:Engine.Hierarchical
+                        ~macro_table:table ~block_gates:hier_block_gates tech
+                        nets));
+        let fc = Option.get !flat_ctx and hc = Option.get !hier_ctx in
+        n_blocks := Engine.Ctx.n_blocks hc 0;
+        if Array.length !targets = 0 then begin
+          let d = Engine.Ctx.delay_distribution fc in
+          let mu = d.Spv_stats.Gaussian.mu
+          and sg = d.Spv_stats.Gaussian.sigma in
+          targets :=
+            Array.init hier_targets_per_state (fun i ->
+                mu
+                +. 3.0 *. sg
+                   *. ((float_of_int i /. float_of_int (hier_targets_per_state - 1) *. 2.0)
+                      -. 1.0))
+        end;
+        Array.iter
+          (fun t_target ->
+            incr scenarios;
+            let fe = ref None and he = ref None in
+            flat_s :=
+              !flat_s
+              +. wall (fun () ->
+                     fe :=
+                       Some
+                         (Engine.yield ~method_:Engine.Analytic_clark fc
+                            ~t_target));
+            hier_s :=
+              !hier_s
+              +. wall (fun () ->
+                     he :=
+                       Some
+                         (Engine.yield ~method_:Engine.Analytic_clark hc
+                            ~t_target));
+            let fe = Option.get !fe and he = Option.get !he in
+            let bound =
+              match he.Engine.hier_bound with
+              | Some b -> b
+              | None -> failwith "hier estimate lost its bound"
+            in
+            let gap = Float.abs (fe.Engine.value -. he.Engine.value) in
+            if gap > bound +. 1e-9 then incr violations;
+            if bound > !max_bound then max_bound := bound;
+            if gap > !max_gap then max_gap := gap)
+          !targets
+      done)
+    processes;
+  {
+    hb_flat_seconds = !flat_s;
+    hb_hier_seconds = !hier_s;
+    hb_scenarios = !scenarios;
+    hb_n_blocks = !n_blocks;
+    hb_max_bound = !max_bound;
+    hb_max_gap = !max_gap;
+    hb_violations = !violations;
+    hb_macro_hits = Macro.Table.hits table;
+    hb_macro_misses = Macro.Table.misses table;
+  }
+
+let write_hier_json path r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"stages\": %d,\n" hier_stages;
+  Printf.bprintf b "  \"gates_per_stage\": %d,\n" hier_gates_per_stage;
+  Printf.bprintf b "  \"total_gates\": %d,\n"
+    (hier_stages * hier_gates_per_stage);
+  Printf.bprintf b "  \"blocks_per_stage\": %d,\n" r.hb_n_blocks;
+  Printf.bprintf b "  \"scenarios\": %d,\n" r.hb_scenarios;
+  Printf.bprintf b
+    "  \"grid\": {\"processes\": %d, \"sizing_states\": %d, \"targets\": %d},\n"
+    hier_processes hier_sizing_states hier_targets_per_state;
+  Printf.bprintf b "  \"flat_seconds\": %.6f,\n" r.hb_flat_seconds;
+  Printf.bprintf b "  \"hier_seconds\": %.6f,\n" r.hb_hier_seconds;
+  Printf.bprintf b "  \"speedup\": %.3f,\n"
+    (r.hb_flat_seconds /. r.hb_hier_seconds);
+  Printf.bprintf b "  \"max_hier_bound\": %.17g,\n" r.hb_max_bound;
+  Printf.bprintf b "  \"max_flat_hier_gap\": %.17g,\n" r.hb_max_gap;
+  Printf.bprintf b "  \"bound_violations\": %d,\n" r.hb_violations;
+  Printf.bprintf b "  \"macro_hits\": %d,\n" r.hb_macro_hits;
+  Printf.bprintf b "  \"macro_misses\": %d\n" r.hb_macro_misses;
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let run_hier_study () =
+  E.Common.section
+    "Hierarchical SSTA: macro-memoised vs flat on a 1M-gate pipeline";
+  Printf.printf "  %d stages x %d gates = %d gates, %d scenarios\n"
+    hier_stages hier_gates_per_stage
+    (hier_stages * hier_gates_per_stage)
+    (hier_processes * hier_sizing_states * hier_targets_per_state);
+  let r = run_hier_grid () in
+  Printf.printf
+    "  flat %.2f s, hierarchical %.2f s  -> speedup x%.1f (%d blocks/stage)\n"
+    r.hb_flat_seconds r.hb_hier_seconds
+    (r.hb_flat_seconds /. r.hb_hier_seconds)
+    r.hb_n_blocks;
+  Printf.printf
+    "  max |flat-hier| gap %.3g within max bound %.3g; %d violation(s)\n"
+    r.hb_max_gap r.hb_max_bound r.hb_violations;
+  Printf.printf "  macro cache: %d hit(s), %d miss(es)\n" r.hb_macro_hits
+    r.hb_macro_misses;
+  write_hier_json "BENCH_hier.json" r;
+  Printf.printf "  wrote BENCH_hier.json\n"
+
 (* --- fuzz campaign throughput ---------------------------------------- *)
 
 module Fuzz_run = Spv_robust.Fuzz_run
@@ -524,6 +700,10 @@ let experiments =
       "Scenario sweep: shared-context caching vs cold per-scenario runs \
        (writes BENCH_sweep.json)",
       run_sweep_study );
+    ( "hier",
+      "Hierarchical SSTA: macro-memoised vs flat evaluation of a 1M-gate \
+       pipeline (writes BENCH_hier.json)",
+      run_hier_study );
     ( "fuzz",
       "Fuzz campaign: differential-oracle throughput (writes \
        BENCH_fuzz.json)",

@@ -146,7 +146,7 @@ let yield_cmd =
   in
   let sigmas =
     let doc = "Stage delay sigmas in ps (repeatable, same count as --mu)." in
-    Arg.(non_empty & opt_all float [] & info [ "sigma" ] ~doc)
+    Arg.(value & opt_all float [] & info [ "sigma" ] ~doc)
   in
   let rho =
     let doc = "Uniform stage-delay correlation coefficient." in
@@ -199,12 +199,30 @@ let yield_cmd =
 
 let mc_cmd =
   let mus =
-    let doc = "Stage mean delays in ps (repeatable)." in
-    Arg.(non_empty & opt_all float [] & info [ "mu" ] ~doc)
+    let doc =
+      "Stage mean delays in ps (repeatable).  Mutually exclusive with \
+       --circuit."
+    in
+    Arg.(value & opt_all float [] & info [ "mu" ] ~doc)
+  in
+  let circuits_arg =
+    let doc =
+      "Pipeline stage circuit (repeatable; builtin name or .bench path).  \
+       Mutually exclusive with --mu/--sigma."
+    in
+    Arg.(value & opt_all string [] & info [ "c"; "circuit" ] ~doc)
+  in
+  let hier =
+    let doc =
+      "Evaluate the circuit pipeline through the hierarchical (block-macro) \
+       model; the estimate then reports its flat-vs-hierarchical error \
+       bound.  Requires --circuit."
+    in
+    Arg.(value & flag & info [ "hier" ] ~doc)
   in
   let sigmas =
     let doc = "Stage delay sigmas in ps (repeatable, same count as --mu)." in
-    Arg.(non_empty & opt_all float [] & info [ "sigma" ] ~doc)
+    Arg.(value & opt_all float [] & info [ "sigma" ] ~doc)
   in
   let rho =
     let doc = "Uniform stage-delay correlation coefficient." in
@@ -231,7 +249,8 @@ let mc_cmd =
     in
     Arg.(value & opt int 8 & info [ "shards" ] ~doc)
   in
-  let run mus sigmas rho target method_name n shards jobs seed =
+  let run circuits hier mus sigmas rho target method_name n shards jobs seed
+      =
     handle
       (let* method_ =
          match Engine.method_of_string method_name with
@@ -243,11 +262,44 @@ let mc_cmd =
                      (String.concat ", "
                         (List.map Engine.method_name Engine.all_methods))))
        in
-       let mus = Array.of_list mus and sigmas = Array.of_list sigmas in
-       let* p =
-         Checked.pipeline_of_moments ~on_warning:warn ~mus ~sigmas ~rho ()
+       let* ctx =
+         match (circuits, mus) with
+         | [], [] ->
+             Error
+               (Errors.domain ~param:"--mu"
+                  "give --mu/--sigma moments, or at least one --circuit")
+         | _ :: _, _ :: _ ->
+             Error
+               (Errors.domain ~param:"--circuit"
+                  "give either --circuit or --mu/--sigma, not both")
+         | [], _ ->
+             if hier then
+               Error
+                 (Errors.domain ~param:"--hier"
+                    "requires --circuit (moment pipelines have no netlists \
+                     to decompose)")
+             else
+               let mus = Array.of_list mus and sigmas = Array.of_list sigmas in
+               let* p =
+                 Checked.pipeline_of_moments ~on_warning:warn ~mus ~sigmas
+                   ~rho ()
+               in
+               Checked.engine_ctx_of_pipeline p
+         | names, [] ->
+             let* nets =
+               List.fold_left
+                 (fun acc name ->
+                   let* acc = acc in
+                   let* net = lookup_circuit name in
+                   Ok (net :: acc))
+                 (Ok []) names
+             in
+             let mode = if hier then Engine.Hierarchical else Engine.Flat in
+             let tech = Spv_process.Tech.bptm70 in
+             let ff = Spv_process.Flipflop.default tech in
+             Checked.engine_ctx_of_circuits ~mode ~ff tech
+               (Array.of_list (List.rev nets))
        in
-       let* ctx = Checked.engine_ctx_of_pipeline p in
        let* e =
          Checked.engine_yield ~method_ ?jobs ~shards ~seed ~n ctx
            ~t_target:target
@@ -261,8 +313,8 @@ let mc_cmd =
          "Yield estimate through the unified engine: any estimator from the \
           taxonomy, with deterministic domain-parallel sampling.")
     Term.(
-      const run $ mus $ sigmas $ rho $ target $ method_arg $ n $ shards
-      $ jobs_arg $ seed_arg)
+      const run $ circuits_arg $ hier $ mus $ sigmas $ rho $ target
+      $ method_arg $ n $ shards $ jobs_arg $ seed_arg)
 
 (* ---- sta command --------------------------------------------------- *)
 
@@ -393,14 +445,14 @@ let criticality_cmd =
        let* p = Checked.pipeline_of_moments ~mus ~sigmas ~rho:0.0 () in
        let* probs =
          Checked.protect ~where:"criticality" (fun () ->
-             Spv_core.Criticality.probabilities_analytic_independent p)
+             Spv_core.Stage_criticality.probabilities_analytic_independent p)
        in
        let n = Array.length mus in
        Array.iteri
          (fun i pr -> Printf.printf "stage %d: P(critical) = %.4f\n" i pr)
          probs;
        Printf.printf "entropy: %.3f nats (max for %d stages: %.3f)\n"
-         (Spv_core.Criticality.entropy probs)
+         (Spv_core.Stage_criticality.entropy probs)
          n
          (log (float_of_int n));
        Ok ())
@@ -671,6 +723,14 @@ let analyze_cmd =
     in
     Arg.(value & opt (some float) None & info [ "t"; "target" ] ~doc)
   in
+  let hier =
+    let doc =
+      "Add the hierarchical pass: decompose each stage into block macros \
+       and report the macro model's gap to the flat reference (per-stage \
+       block counts and moment gaps, pipeline-level bound)."
+    in
+    Arg.(value & flag & info [ "hier" ] ~doc)
+  in
   let json =
     let doc = "Emit the report as JSON instead of text (same as --format json)." in
     Arg.(value & flag & info [ "json" ] ~doc)
@@ -685,7 +745,7 @@ let analyze_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
       & info [ "format" ] ~docv:"FORMAT" ~doc)
   in
-  let run circuits mus sigmas rho kappa target json format =
+  let run circuits mus sigmas rho kappa target hier json format =
     handle
       (let* ctx =
          match (circuits, mus) with
@@ -718,7 +778,7 @@ let analyze_cmd =
              Checked.engine_ctx_of_circuits ~ff tech
                (Array.of_list (List.rev nets))
        in
-       let* r = Checked.analyze ~k:kappa ?t_target:target ctx in
+       let* r = Checked.analyze ~k:kappa ?t_target:target ~hier ctx in
        let report = r.Spv_analysis.Analyze.report in
        if json || format = `Json then
          print_string (Spv_analysis.Report.to_json report)
@@ -742,9 +802,9 @@ let analyze_cmd =
                (fun i c ->
                  Printf.printf
                    "stage %d: %d/%d gates possibly critical (%.0f%% prunable)\n"
-                   i c.Spv_analysis.Criticality.n_active_gates
-                   c.Spv_analysis.Criticality.n_gates
-                   (100.0 *. Spv_analysis.Criticality.prunable_fraction c))
+                   i c.Spv_analysis.Static_criticality.n_active_gates
+                   c.Spv_analysis.Static_criticality.n_gates
+                   (100.0 *. Spv_analysis.Static_criticality.prunable_fraction c))
                cs);
          Printf.printf "%d finding(s): %d error(s), %d warning(s)\n"
            (List.length report.Spv_analysis.Report.findings)
@@ -766,8 +826,8 @@ let analyze_cmd =
           Fréchet/affine-envelope checks of the engine's closed-form yield \
           estimators.")
     Term.(
-      const run $ circuits_arg $ mus $ sigmas $ rho $ kappa $ target $ json
-      $ format_arg)
+      const run $ circuits_arg $ mus $ sigmas $ rho $ kappa $ target $ hier
+      $ json $ format_arg)
 
 (* ---- certify command ------------------------------------------------- *)
 
@@ -904,9 +964,20 @@ let sweep_cmd =
     let doc =
       "Self-check on the built-in smoke grid: runs it at --jobs 1, 2 and 4, \
        verifies the JSONL outputs are bit-identical and schema-valid, and \
-       prints a one-line summary instead of the rows."
+       prints a one-line summary instead of the rows.  With --hier the \
+       sweep additionally runs flat, and every hierarchical row is \
+       asserted to agree with its flat counterpart within the row's \
+       reported hier_bound (plus sampling noise for Monte-Carlo rows)."
     in
     Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let hier =
+    let doc =
+      "Evaluate circuit scenarios through the hierarchical (block-macro) \
+       model with one macro table shared across the whole sweep; rows then \
+       carry hier_bound and non-zero macro cache counters."
+    in
+    Arg.(value & flag & info [ "hier" ] ~doc)
   in
   (* The --smoke gate: determinism really is "same bytes for any
      --jobs", so compare the serialised JSONL verbatim. *)
@@ -914,7 +985,8 @@ let sweep_cmd =
     [
       "\"schema_version\":"; "\"scenario\":"; "\"source\":"; "\"process\":";
       "\"method\":"; "\"t_target\":"; "\"yield\":"; "\"std_error\":";
-      "\"n_samples\":"; "\"stop\":"; "\"loss\":";
+      "\"n_samples\":"; "\"stop\":"; "\"loss\":"; "\"hier_bound\":";
+      "\"macro_hits\":"; "\"macro_misses\":";
     ]
   in
   let contains hay needle =
@@ -944,12 +1016,46 @@ let sweep_cmd =
             (Errors.numeric ~where:"sweep --smoke"
                (Printf.sprintf "row missing a required key: %s" l))
   in
-  let run_smoke seed =
+  (* With --hier every row must agree with its flat counterpart within
+     the row's own reported bound: exactly for closed forms (the bound
+     IS the gap), plus the usual z * se allowance when the row sampled
+     the macro model's MVN. *)
+  let check_hier_agreement (flat : Sweep.result) (hier : Sweep.result) =
+    let z = 5.0 in
+    Array.iteri
+      (fun i (h : Sweep.row) ->
+        let f = flat.Sweep.rows.(i) in
+        let fe = f.Sweep.estimate and he = h.Sweep.estimate in
+        let bound =
+          match he.Engine.hier_bound with Some b -> b | None -> 0.0
+        in
+        let allowance =
+          match he.Engine.stop with
+          | Engine.Closed_form -> 1e-12
+          | _ ->
+              (z *. (fe.Engine.std_error +. he.Engine.std_error)) +. 0.01
+        in
+        let gap = Float.abs (fe.Engine.value -. he.Engine.value) in
+        if gap > bound +. allowance then
+          raise
+            (Failure
+               (Printf.sprintf
+                  "scenario %d (%s/%s %s T=%g): hier yield %.9g vs flat \
+                   %.9g gap %.3g exceeds bound %.3g + allowance %.3g"
+                  h.Sweep.scenario.Sweep.index h.Sweep.scenario.Sweep.source
+                  h.Sweep.scenario.Sweep.process
+                  (Engine.method_name h.Sweep.scenario.Sweep.method_)
+                  h.Sweep.scenario.Sweep.t_target he.Engine.value
+                  fe.Engine.value gap bound allowance)))
+      hier.Sweep.rows
+  in
+  let run_smoke ~hier seed =
     let grid = Grid.smoke () in
     let n = Grid.n_scenarios grid in
-    let* r1 = Checked.sweep_run ~jobs:1 ~seed grid in
-    let* r2 = Checked.sweep_run ~jobs:2 ~seed grid in
-    let* r4 = Checked.sweep_run ~jobs:4 ~seed grid in
+    let mode = if hier then Engine.Hierarchical else Engine.Flat in
+    let* r1 = Checked.sweep_run ~mode ~jobs:1 ~seed grid in
+    let* r2 = Checked.sweep_run ~mode ~jobs:2 ~seed grid in
+    let* r4 = Checked.sweep_run ~mode ~jobs:4 ~seed grid in
     let j1 = Sweep.to_jsonl r1
     and j2 = Sweep.to_jsonl r2
     and j4 = Sweep.to_jsonl r4 in
@@ -958,13 +1064,21 @@ let sweep_cmd =
       Error
         (Errors.numeric ~where:"sweep --smoke"
            "JSONL output differs across --jobs 1/2/4 at a fixed seed")
-    else begin
+    else
+      let* () =
+        if not hier then Ok ()
+        else
+          let* flat = Checked.sweep_run ~jobs:1 ~seed grid in
+          Checked.protect ~where:"sweep --smoke --hier" (fun () ->
+              check_hier_agreement flat r1)
+      in
       Printf.printf
-        "sweep smoke OK: %d scenarios, %d contexts, bit-identical across \
+        "sweep smoke OK: %d scenarios, %d contexts%s, bit-identical across \
          --jobs 1/2/4 (seed %d)\n"
-        n r1.Sweep.n_contexts seed;
+        n r1.Sweep.n_contexts
+        (if hier then " (hierarchical, flat agreement within bounds)" else "")
+        seed;
       Ok ()
-    end
   in
   let print_text (r : Sweep.result) =
     Array.iter
@@ -983,9 +1097,9 @@ let sweep_cmd =
     Printf.printf "%d scenario(s), %d context(s) built\n"
       (Array.length r.Sweep.rows) r.Sweep.n_contexts
   in
-  let run grid_file format smoke jobs seed =
+  let run grid_file format smoke hier jobs seed =
     handle
-      (if smoke then run_smoke seed
+      (if smoke then run_smoke ~hier seed
        else
          match grid_file with
          | None ->
@@ -993,7 +1107,8 @@ let sweep_cmd =
                (Errors.domain ~param:"--grid" "required unless --smoke is set")
          | Some path ->
              let* grid = Checked.sweep_grid_of_file ~on_warning:warn path in
-             let* r = Checked.sweep_run ?jobs ~seed grid in
+             let mode = if hier then Engine.Hierarchical else Engine.Flat in
+             let* r = Checked.sweep_run ~mode ?jobs ~seed grid in
              (match format with
              | `Jsonl -> print_string (Sweep.to_jsonl r)
              | `Text -> print_text r);
@@ -1007,7 +1122,9 @@ let sweep_cmd =
           engine context per (source, process) pair, streaming one JSONL \
           row per scenario.  Results are bit-identical for any --jobs at a \
           fixed seed.")
-    Term.(const run $ grid_file $ format_arg $ smoke $ jobs_arg $ seed_arg)
+    Term.(
+      const run $ grid_file $ format_arg $ smoke $ hier $ jobs_arg
+      $ seed_arg)
 
 (* ---- fuzz command --------------------------------------------------- *)
 
@@ -1025,7 +1142,8 @@ let fuzz_cmd =
   let oracle_arg =
     let doc =
       "Comma-separated invariant subset to check (agreement, envelope, \
-       containment, nesting, certificate, replay, escape).  Default: all."
+       containment, nesting, certificate, replay, hier, escape).  \
+       Default: all."
     in
     Arg.(value & opt (some string) None & info [ "oracle" ] ~docv:"LIST" ~doc)
   in
@@ -1235,7 +1353,9 @@ let fuzz_cmd =
          | Some gen_seed ->
              let* trial, _ =
                Checked.protect ~where:"fuzz --replay" (fun () ->
-                   Fuzz_run.run_one cfg ~index:0 ~gen_seed)
+                   Fuzz_run.run_one cfg
+                     ~macro_table:(Spv_circuit.Macro.Table.create ())
+                     ~index:0 ~gen_seed)
              in
              emit trial;
              (match trial.Fuzz_run.violations with
@@ -1250,10 +1370,13 @@ let fuzz_cmd =
              | `Jsonl -> print_endline (Fuzz_run.summary_to_json summary)
              | `Text -> print_endline (Fuzz_run.summary_to_text summary));
              if timings then
-               Printf.eprintf "fuzz: %.2fs wall (%.1f trials/s)\n%!"
+               Printf.eprintf
+                 "fuzz: %.2fs wall (%.1f trials/s), macro cache %d hit(s) / \
+                  %d miss(es)\n%!"
                  summary.Fuzz_run.wall_seconds
                  (float_of_int summary.Fuzz_run.trials
-                 /. Float.max 1e-9 summary.Fuzz_run.wall_seconds);
+                 /. Float.max 1e-9 summary.Fuzz_run.wall_seconds)
+                 summary.Fuzz_run.macro_hits summary.Fuzz_run.macro_misses;
              summary_error summary)
   in
   Cmd.v

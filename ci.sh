@@ -36,6 +36,13 @@ fi
 # both and exits nonzero on any mismatch).
 run "$CLI" sweep --smoke
 
+# Hierarchical gates: the macro-layer test suite, then the smoke grid
+# re-run in hierarchical mode — the binary additionally runs the flat
+# smoke sweep and asserts every hierarchical row agrees with its flat
+# counterpart within the row's reported error bound.
+run dune build @hier     # hierarchical-SSTA suite
+run "$CLI" sweep --smoke --hier
+
 # Fuzz gates: the budgeted smoke campaign must find nothing (exit 0,
 # bit-identical across two runs — the binary checks that itself), and
 # a deliberately zeroed tolerance must surface as a counterexample

@@ -4,7 +4,7 @@ type result = {
   report : Report.t;
   bounds : Bounds.t;
   affine : Affine_sta.t;
-  criticality : Criticality.t array option;
+  criticality : Static_criticality.t array option;
 }
 
 let verdict_findings ~pass ~what ~t_target checks =
@@ -57,7 +57,81 @@ let estimate_findings ~ctx bounds affine ~t_target =
   @ against ~pass:"affine-check" ~what:"affine yield envelope"
       (Affine_sta.check ~t_target affine)
 
-let run ?k ?t_target ctx =
+(* The hierarchical pass deliberately runs on its own context and
+   reports gaps as data instead of re-running the bounds/affine checks
+   against the macro model: those checks certify the flat analyses,
+   and a macro-model value sitting outside a flat certificate is the
+   expected model gap, not an analysis error. *)
+let hier_findings ?t_target ctx =
+  let pass = "hier" in
+  if not (Engine.Ctx.gate_level ctx) then
+    [
+      Report.finding ~severity:Report.Warn ~pass
+        "hierarchical pass skipped: moments-only context has no netlists";
+    ]
+  else
+    let hctx =
+      match Engine.Ctx.mode ctx with
+      | Engine.Hierarchical -> ctx
+      | Engine.Flat ->
+          let n = Engine.Ctx.n_stages ctx in
+          let nets = Array.init n (Engine.Ctx.netlist ctx) in
+          Engine.Ctx.of_circuits ~mode:Engine.Hierarchical
+            ~output_load:(Engine.Ctx.output_load ctx)
+            ~pitch:(Engine.Ctx.pitch ctx)
+            ?ff:(Engine.Ctx.flipflop ctx)
+            (Engine.Ctx.tech ctx) nets
+    in
+    let flat =
+      match Engine.Ctx.flat_reference hctx with
+      | Some p -> p
+      | None -> assert false (* hctx is hierarchical by construction *)
+    in
+    let module P = Spv_core.Pipeline in
+    let module St = Spv_core.Stage in
+    let module G = Spv_stats.Gaussian in
+    let stage_findings =
+      List.init (Engine.Ctx.n_stages hctx) (fun i ->
+          let h = St.gaussian (P.stage (Engine.Ctx.pipeline hctx) i) in
+          let f = St.gaussian (P.stage flat i) in
+          Report.finding ~pass
+            ~data:
+              [
+                ("stage", Report.Num (float_of_int i));
+                ("blocks", Report.Num (float_of_int (Engine.Ctx.n_blocks hctx i)));
+                ("mu_gap", Report.Num (Float.abs (G.mu h -. G.mu f)));
+                ("sigma_gap", Report.Num (Float.abs (G.sigma h -. G.sigma f)));
+              ]
+            (Printf.sprintf "stage %d composed from %d block macro(s)" i
+               (Engine.Ctx.n_blocks hctx i)))
+    in
+    let pipeline_finding =
+      match t_target with
+      | None ->
+          let e = Engine.delay_mean ~method_:Engine.Analytic_clark hctx in
+          Report.finding ~pass
+            ~data:
+              [
+                ("mean", Report.Num e.Engine.value);
+                ( "hier_bound",
+                  Report.Num (Option.value ~default:0.0 e.Engine.hier_bound) );
+              ]
+            "hierarchical mean delay vs flat reference"
+      | Some t_target ->
+          let e = Engine.yield ~method_:Engine.Analytic_clark hctx ~t_target in
+          Report.finding ~pass
+            ~data:
+              [
+                ("yield", Report.Num e.Engine.value);
+                ("t_target", Report.Num t_target);
+                ( "hier_bound",
+                  Report.Num (Option.value ~default:0.0 e.Engine.hier_bound) );
+              ]
+            "hierarchical clark yield vs flat reference"
+    in
+    stage_findings @ [ pipeline_finding ]
+
+let run ?k ?t_target ?(hier = false) ctx =
   let bounds = Bounds.of_ctx ?k ctx in
   let affine = Affine_sta.of_ctx ?k ctx in
   let gate = Engine.Ctx.gate_level ctx in
@@ -79,7 +153,7 @@ let run ?k ?t_target ctx =
     else
       Some
         (Array.init n (fun i ->
-             Criticality.analyse ?k
+             Static_criticality.analyse ?k
                ~output_load:(Engine.Ctx.output_load ctx)
                (Engine.Ctx.tech ctx) (Engine.Ctx.netlist ctx i)))
   in
@@ -89,7 +163,7 @@ let run ?k ?t_target ctx =
     | Some cs ->
         List.concat
           (List.mapi
-             (fun i c -> Criticality.findings ~stage:i c)
+             (fun i c -> Static_criticality.findings ~stage:i c)
              (Array.to_list cs))
   in
   let check_findings =
@@ -97,10 +171,13 @@ let run ?k ?t_target ctx =
     | None -> []
     | Some t_target -> estimate_findings ~ctx bounds affine ~t_target
   in
+  let hier_findings =
+    if not hier then [] else hier_findings ?t_target ctx
+  in
   let report =
     Report.sorted
       (Report.of_findings
          (bounds_findings @ affine_findings @ pipeline_findings
-        @ reconv_findings @ crit_findings @ check_findings))
+        @ reconv_findings @ crit_findings @ check_findings @ hier_findings))
   in
   { report; bounds; affine; criticality }

@@ -1,63 +1,11 @@
-(** Static criticality: which gates can {e ever} set a stage's delay
-    under the interval bounds — and the prune masks that let the
-    engine's gate-level Monte-Carlo skip the rest.
+(** Deprecated alias of {!Static_criticality}.
 
-    Soundness argument (per stage, all worlds restricted to the
-    [±k sigma] box):
+    The name [Criticality] used to be carried by two unrelated modules:
+    this gate-level prune-mask prover and the stage-criticality
+    heuristic now called [Spv_core.Stage_criticality].  Use
+    {!Static_criticality} directly; this alias only keeps the old path
+    compiling and will be removed. *)
 
-    - [through_hi g] = hi-corner arrival at [g] plus the hi-corner
-      longest gate-path from [g] to any primary output.  Both terms are
-      monotone in the per-gate factors, so [through_hi g] dominates the
-      length of the longest output-bound path through [g] in every
-      in-box world;
-    - [lo_delay] = the all-lo-corner STA delay, a lower bound on the
-      stage delay in every in-box world;
-    - a gate with [through_hi g < lo_delay] therefore never lies on a
-      critical path: masking it cannot change the stage delay, and
-      because the sampler consumes the identical RNG stream either way,
-      pruned Monte-Carlo results are bit-for-bit identical whenever no
-      draw escapes the box (probability [<= 2 Phi(-k)] per component
-      draw — ~2e-9 at the default k = 6). *)
-
-type t = {
-  levels : int array;  (** logic level per node *)
-  lo_sta : Spv_circuit.Sta.result;  (** all-lo-corner STA *)
-  hi_sta : Spv_circuit.Sta.result;  (** all-hi-corner STA *)
-  through_hi : float array;
-      (** per node: upper bound on the longest output-bound path through
-          it; [neg_infinity] for nodes that reach no output *)
-  lo_delay : float;
-  active : bool array;  (** per node; inputs always active *)
-  n_gates : int;
-  n_active_gates : int;
-}
-
-val analyse :
-  ?k:float -> ?output_load:float -> Spv_process.Tech.t ->
-  Spv_circuit.Netlist.t -> t
-(** Levelise, run the two corner STAs, extract the possibly-critical
-    cone.  [k] defaults to 6.0, [output_load] to 4.0 (the engine's
-    default).  Raises [Invalid_argument] on invalid [k]. *)
-
-val active_mask : t -> bool array
-(** Fresh copy of the per-node activity mask. *)
-
-val cone : t -> int list
-(** Ids of the possibly-critical gates, ascending. *)
-
-val prunable_fraction : t -> float
-(** Fraction of gates proven never-critical (0 when the netlist has no
-    gates). *)
-
-val masks_for_ctx :
-  ?k:float -> Spv_engine.Engine.Ctx.t -> bool array array
-(** One activity mask per stage, using the context's own technology,
-    netlists and output load.  Gate-level contexts only. *)
-
-val prune_ctx : ?k:float -> Spv_engine.Engine.Ctx.t -> Spv_engine.Engine.Ctx.t
-(** [Engine.Ctx.with_prune ctx (masks_for_ctx ctx)]: the context with
-    statically non-critical gates masked out of gate-level sampling. *)
-
-val findings : ?stage:int -> t -> Report.finding list
-(** Criticality findings ([pass = "criticality"]): cone size, prunable
-    fraction, depth, corner delays. *)
+include module type of struct
+  include Static_criticality
+end

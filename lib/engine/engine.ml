@@ -5,10 +5,31 @@ module Pipeline = Spv_core.Pipeline
 module Stage = Spv_core.Stage
 module Ssta = Spv_circuit.Ssta
 module Netlist = Spv_circuit.Netlist
+module Macro = Spv_circuit.Macro
+
+(* ---- evaluation modes ------------------------------------------------ *)
+
+type mode = Flat | Hierarchical
+
+let mode_name = function Flat -> "flat" | Hierarchical -> "hierarchical"
 
 (* ---- evaluation contexts -------------------------------------------- *)
 
 module Ctx = struct
+  (* Block-granular state of a hierarchical context.  [h_flat] is the
+     flat reference model (memoised per-stage critical-path analyses),
+     kept so every estimate can report the model gap between the two
+     evaluations as its error bound. *)
+  type hier = {
+    h_table : Macro.Table.t;
+    h_fp : string;
+    h_block_gates : int option;
+    h_blocks : Macro.block array array;
+    h_macros : Macro.t array array;
+    h_flat : Pipeline.t;
+    h_flat_dist : G.t;
+  }
+
   type gate = {
     tech : Spv_process.Tech.t;
     nets : Netlist.t array;
@@ -20,6 +41,7 @@ module Ctx = struct
     s_vth : float;
     s_leff : float;
     prune : bool array array option;
+    hier : hier option;
   }
 
   type t = {
@@ -41,24 +63,107 @@ module Ctx = struct
 
   let of_pipeline pipeline = finish pipeline
 
-  let of_circuits ?(output_load = 4.0) ?(pitch = 1.0) ?ff tech nets =
+  (* Apply [f] once per distinct physical array element; repeated
+     stages (identical netlist instantiated many times) share the
+     result.  Quadratic in distinct elements, which stays tiny. *)
+  let memo_by_identity f xs =
+    let seen = ref [] in
+    Array.map
+      (fun x ->
+        match List.find_opt (fun (x', _) -> x' == x) !seen with
+        | Some (_, y) -> y
+        | None ->
+            let y = f x in
+            seen := (x, y) :: !seen;
+            y)
+      xs
+
+  let flat_stages ~positions analyses nets =
+    Array.mapi
+      (fun i net ->
+        Stage.make ~name:(Netlist.name net) ~position:positions.(i)
+          analyses.(i).Ssta.total)
+      nets
+
+  let of_circuits ?(mode = Flat) ?macro_table ?block_gates
+      ?(output_load = 4.0) ?(pitch = 1.0) ?ff tech nets =
     if Array.length nets = 0 then
       invalid_arg "Engine.Ctx.of_circuits: no stages";
     let positions =
       Spv_process.Spatial.row_positions ~n:(Array.length nets) ~pitch
     in
-    let analyses =
-      Array.map (fun net -> Ssta.analyse_stage ~output_load ?ff tech net) nets
-    in
-    let stages =
-      Array.mapi
-        (fun i net ->
-          Stage.make ~name:(Netlist.name net) ~position:positions.(i)
-            analyses.(i).Ssta.total)
-        nets
-    in
-    let pipeline =
-      Pipeline.of_stages ~corr_length:tech.Spv_process.Tech.corr_length stages
+    let corr_length = tech.Spv_process.Tech.corr_length in
+    let analyses, pipeline, hier =
+      match mode with
+      | Flat ->
+          let analyses =
+            Array.map
+              (fun net -> Ssta.analyse_stage ~output_load ?ff tech net)
+              nets
+          in
+          let pipeline =
+            Pipeline.of_stages ~corr_length
+              (flat_stages ~positions analyses nets)
+          in
+          (analyses, pipeline, None)
+      | Hierarchical ->
+          let table =
+            match macro_table with
+            | Some t -> t
+            | None -> Macro.Table.create ()
+          in
+          let fp = Macro.Table.fingerprint ~output_load ?ff tech in
+          (* Hash each distinct physical netlist once per build: a
+             pipeline instantiating one block RTL many times (the
+             hierarchical sweet spot) would otherwise re-hash the same
+             size array per stage. *)
+          let stage_keys = memo_by_identity (Macro.Table.stage_hash table) nets in
+          let entries =
+            Array.mapi
+              (fun i net ->
+                Macro.Table.stage table ~fp ~stage_key:stage_keys.(i)
+                  ?target_gates:block_gates ~output_load tech net)
+              nets
+          in
+          let analyses =
+            Array.mapi
+              (fun i net ->
+                Macro.Table.flat_analysis table ~fp ~stage_key:stage_keys.(i)
+                  ~output_load ?ff tech net)
+              nets
+          in
+          let hier_stages =
+            Array.mapi
+              (fun i net ->
+                let comb = entries.(i).Macro.Table.se_delay in
+                let total =
+                  match ff with
+                  | None -> comb
+                  | Some ff ->
+                      Spv_process.Gate_delay.add comb
+                        (Spv_process.Flipflop.overhead ff)
+                in
+                Stage.make ~name:(Netlist.name net) ~position:positions.(i)
+                  total)
+              nets
+          in
+          let pipeline = Pipeline.of_stages ~corr_length hier_stages in
+          let h_flat =
+            Pipeline.of_stages ~corr_length
+              (flat_stages ~positions analyses nets)
+          in
+          let hier =
+            {
+              h_table = table;
+              h_fp = fp;
+              h_block_gates = block_gates;
+              h_blocks = Array.map (fun e -> e.Macro.Table.se_blocks) entries;
+              h_macros = Array.map (fun e -> e.Macro.Table.se_macros) entries;
+              h_flat;
+              h_flat_dist = Pipeline.delay_distribution h_flat;
+            }
+          in
+          (analyses, pipeline, Some hier)
     in
     finish
       ~gate:
@@ -69,10 +174,11 @@ module Ctx = struct
           pitch;
           ff;
           analyses;
-          sizes = Array.map Netlist.sizes_snapshot nets;
+          sizes = memo_by_identity Netlist.sizes_snapshot nets;
           s_vth = Spv_process.Tech.delay_sensitivity_vth tech;
           s_leff = Spv_process.Tech.delay_sensitivity_leff tech;
           prune = None;
+          hier;
         }
       pipeline
 
@@ -82,6 +188,13 @@ module Ctx = struct
   let mvn t = t.mvn
   let nearly_independent t = t.independent
   let gate_level t = t.gate <> None
+
+  let hier_of t =
+    match t.gate with Some { hier = Some h; _ } -> Some h | _ -> None
+
+  let mode t = match hier_of t with Some _ -> Hierarchical | None -> Flat
+  let macro_table t = Option.map (fun h -> h.h_table) (hier_of t)
+  let flat_reference t = Option.map (fun h -> h.h_flat) (hier_of t)
 
   let require_gate ~where t =
     match t.gate with
@@ -153,25 +266,133 @@ module Ctx = struct
     let g = Stage.gaussian (Pipeline.stage t.pipeline stage) in
     G.mu g +. (z *. G.sigma g)
 
+  let n_blocks t i =
+    check_stage ~where:"Engine.Ctx.n_blocks" t i;
+    ignore (require_gate ~where:"Engine.Ctx.n_blocks" t);
+    match hier_of t with
+    | None -> 1 (* a flat stage is one block *)
+    | Some h -> Array.length h.h_blocks.(i)
+
+  let stage_macros t i =
+    check_stage ~where:"Engine.Ctx.stage_macros" t i;
+    ignore (require_gate ~where:"Engine.Ctx.stage_macros" t);
+    match hier_of t with
+    | None -> invalid_arg "Engine.Ctx.stage_macros: flat context"
+    | Some h -> Array.copy h.h_macros.(i)
+
+  (* Gate sizes of stage [i] changed: exactly that stage's criticality
+     mask is stale.  Replace it with an all-true (prune-nothing) mask
+     and keep the still-sound masks of the other stages. *)
+  let drop_stage_mask g i =
+    match g.prune with
+    | None -> None
+    | Some masks ->
+        let masks = Array.map Array.copy masks in
+        masks.(i) <- Array.make (Array.length masks.(i)) true;
+        Some masks
+
+  let refreshed_flat_analysis g i =
+    match g.hier with
+    | None ->
+        Ssta.analyse_stage ~output_load:g.output_load ?ff:g.ff g.tech
+          g.nets.(i)
+    | Some h ->
+        Macro.Table.flat_analysis h.h_table ~fp:h.h_fp
+          ~output_load:g.output_load ?ff:g.ff g.tech g.nets.(i)
+
   let refresh_stage t i =
     let g = require_gate ~where:"Engine.Ctx.refresh_stage" t in
     check_stage ~where:"Engine.Ctx.refresh_stage" t i;
-    let a =
-      Ssta.analyse_stage ~output_load:g.output_load ?ff:g.ff g.tech g.nets.(i)
-    in
+    let a = refreshed_flat_analysis g i in
     let analyses = Array.copy g.analyses in
     analyses.(i) <- a;
     let sizes = Array.copy g.sizes in
     sizes.(i) <- Netlist.sizes_snapshot g.nets.(i);
     let old_stage = Pipeline.stage t.pipeline i in
-    let stage =
+    let remake total =
       Stage.make ~name:old_stage.Stage.name ~position:old_stage.Stage.position
-        a.Ssta.total
+        total
     in
-    let pipeline = Pipeline.with_stage t.pipeline i stage in
-    (* Gate sizes changed, so any criticality mask computed for the old
-       sizes is stale; drop it rather than risk unsound pruning. *)
-    finish ~gate:{ g with analyses; sizes; prune = None } pipeline
+    let prune = drop_stage_mask g i in
+    match g.hier with
+    | None ->
+        let pipeline = Pipeline.with_stage t.pipeline i (remake a.Ssta.total) in
+        finish ~gate:{ g with analyses; sizes; prune } pipeline
+    | Some h ->
+        (* Re-probe the macro table under the stage's new sizes: bands
+           whose gates are untouched hit the cache, so only the blocks
+           a resize actually reached are re-characterised. *)
+        let entry =
+          Macro.Table.stage h.h_table ~fp:h.h_fp
+            ?target_gates:h.h_block_gates ~output_load:g.output_load g.tech
+            g.nets.(i)
+        in
+        let comb = entry.Macro.Table.se_delay in
+        let total =
+          match g.ff with
+          | None -> comb
+          | Some ff ->
+              Spv_process.Gate_delay.add comb
+                (Spv_process.Flipflop.overhead ff)
+        in
+        let pipeline = Pipeline.with_stage t.pipeline i (remake total) in
+        let h_blocks = Array.copy h.h_blocks in
+        h_blocks.(i) <- entry.Macro.Table.se_blocks;
+        let h_macros = Array.copy h.h_macros in
+        h_macros.(i) <- entry.Macro.Table.se_macros;
+        let flat_stage = Pipeline.stage h.h_flat i in
+        let h_flat =
+          Pipeline.with_stage h.h_flat i
+            (Stage.make ~name:flat_stage.Stage.name
+               ~position:flat_stage.Stage.position a.Ssta.total)
+        in
+        let hier =
+          {
+            h with
+            h_blocks;
+            h_macros;
+            h_flat;
+            h_flat_dist = Pipeline.delay_distribution h_flat;
+          }
+        in
+        finish
+          ~gate:{ g with analyses; sizes; prune; hier = Some hier }
+          pipeline
+
+  let refresh_block t ~stage ~block =
+    let where = "Engine.Ctx.refresh_block" in
+    let g = require_gate ~where t in
+    check_stage ~where t stage;
+    (match hier_of t with
+    | None ->
+        if block <> 0 then
+          invalid_arg (where ^ ": flat stages have exactly one block (0)")
+    | Some h ->
+        let blocks = h.h_blocks.(stage) in
+        if block < 0 || block >= Array.length blocks then
+          invalid_arg (where ^ ": block out of range");
+        (* Contract: the resize is confined to [block].  Verify by
+           re-hashing the other bands against their characterised
+           sub-netlists — cheap integer work, no re-analysis. *)
+        let fresh = Macro.partition ?target_gates:h.h_block_gates g.nets.(stage) in
+        if Array.length fresh <> Array.length blocks then
+          invalid_arg (where ^ ": band structure changed");
+        Array.iteri
+          (fun j fb ->
+            if
+              j <> block
+              && not
+                   (Int64.equal
+                      (Macro.hash fb.Macro.b_net)
+                      (Macro.hash blocks.(j).Macro.b_net))
+            then
+              invalid_arg
+                (Printf.sprintf
+                   "%s: block %d also changed; refresh it too (or use \
+                    refresh_stage)"
+                   where j))
+          fresh);
+    refresh_stage t stage
 end
 
 (* ---- estimator taxonomy --------------------------------------------- *)
@@ -192,6 +413,7 @@ type estimate = {
   n_samples : int;
   method_ : method_;
   stop : stop_reason;
+  hier_bound : float option;
 }
 
 let method_name = function
@@ -215,12 +437,15 @@ let stop_reason_name = function
   | Fixed_n -> "fixed-n"
 
 let pp_estimate ppf e =
-  if e.stop = Closed_form then
-    Format.fprintf ppf "%.6f (%s, %s)" e.value (method_name e.method_)
-      (stop_reason_name e.stop)
-  else
-    Format.fprintf ppf "%.6f +- %.2g (%s, n=%d, %s)" e.value e.std_error
-      (method_name e.method_) e.n_samples (stop_reason_name e.stop)
+  (if e.stop = Closed_form then
+     Format.fprintf ppf "%.6f (%s, %s)" e.value (method_name e.method_)
+       (stop_reason_name e.stop)
+   else
+     Format.fprintf ppf "%.6f +- %.2g (%s, n=%d, %s)" e.value e.std_error
+       (method_name e.method_) e.n_samples (stop_reason_name e.stop));
+  match e.hier_bound with
+  | None -> ()
+  | Some b -> Format.fprintf ppf " [|flat-hier| <= %.3g]" b
 
 let recommended ctx =
   if Ctx.nearly_independent ctx then Exact_independent else Analytic_clark
@@ -446,12 +671,101 @@ let fill_fixed ~jobs ~shards ~seed ~n ~make_trial =
 (* ---- estimators ------------------------------------------------------ *)
 
 let closed ~method_ value =
-  { value; std_error = 0.0; n_samples = 0; method_; stop = Closed_form }
+  {
+    value;
+    std_error = 0.0;
+    n_samples = 0;
+    method_;
+    stop = Closed_form;
+    hier_bound = None;
+  }
 
-let clark_yield ctx ~t_target =
-  let g = Ctx.delay_distribution ctx in
-  if G.sigma g = 0.0 then if G.mu g <= t_target then 1.0 else 0.0
-  else G.cdf g t_target
+let cdf0 g t = if G.sigma g = 0.0 then (if G.mu g <= t then 1.0 else 0.0) else G.cdf g t
+let sf0 g t = if G.sigma g = 0.0 then (if G.mu g <= t then 0.0 else 1.0) else G.sf g t
+let clark_yield ctx ~t_target = cdf0 (Ctx.delay_distribution ctx) t_target
+
+(* ---- flat-vs-hierarchical error bounds ------------------------------- *)
+
+(* In hierarchical mode the estimate carries the model gap between the
+   context's flat reference (memoised critical-path analyses) and the
+   macro-composed model it actually evaluated, measured in the same
+   closed-form family as the estimator: the Clark Gaussian for clark
+   and the sampling methods (which draw from that model's MVN), the
+   independent product for the exact-independent method, quadrature for
+   quadrature.  For closed forms the reported flat and hierarchical
+   values differ by exactly this gap, so the bound is tight by
+   construction; sampling estimators add their own noise on top, which
+   callers account for with a z * std_error allowance. *)
+
+let abb_closed_policy = { Spv_core.Adaptive.range = 0.0 }
+
+let hier_gap ~flat_value ~hier_value =
+  Some (Float.abs (flat_value -. hier_value))
+
+let hier_bound_yield ctx ~method_ ~t_target =
+  match Ctx.hier_of ctx with
+  | None -> None
+  | Some h -> (
+      match method_ with
+      | Exact_independent ->
+          hier_gap
+            ~flat_value:
+              (Spv_core.Yield.independent_exact h.Ctx.h_flat ~t_target)
+            ~hier_value:
+              (Spv_core.Yield.independent_exact (Ctx.pipeline ctx) ~t_target)
+      | Quadrature ->
+          hier_gap
+            ~flat_value:
+              (Spv_core.Adaptive.yield_with_abb ~policy:abb_closed_policy
+                 h.Ctx.h_flat ~t_target)
+            ~hier_value:
+              (Spv_core.Adaptive.yield_with_abb ~policy:abb_closed_policy
+                 (Ctx.pipeline ctx) ~t_target)
+      | Analytic_clark | Mc | Adaptive_mc | Importance ->
+          hier_gap
+            ~flat_value:(cdf0 h.Ctx.h_flat_dist t_target)
+            ~hier_value:(cdf0 (Ctx.delay_distribution ctx) t_target))
+
+let hier_bound_loss ctx ~method_ ~t_target =
+  match Ctx.hier_of ctx with
+  | None -> None
+  | Some h -> (
+      match method_ with
+      | Exact_independent ->
+          hier_gap
+            ~flat_value:
+              (Spv_core.Yield.independent_exact_loss h.Ctx.h_flat ~t_target)
+            ~hier_value:
+              (Spv_core.Yield.independent_exact_loss (Ctx.pipeline ctx)
+                 ~t_target)
+      | Quadrature ->
+          hier_gap
+            ~flat_value:
+              (Spv_core.Adaptive.loss_with_abb ~policy:abb_closed_policy
+                 h.Ctx.h_flat ~t_target)
+            ~hier_value:
+              (Spv_core.Adaptive.loss_with_abb ~policy:abb_closed_policy
+                 (Ctx.pipeline ctx) ~t_target)
+      | Analytic_clark | Mc | Adaptive_mc | Importance ->
+          hier_gap
+            ~flat_value:(sf0 h.Ctx.h_flat_dist t_target)
+            ~hier_value:(sf0 (Ctx.delay_distribution ctx) t_target))
+
+let hier_bound_mean ctx =
+  match Ctx.hier_of ctx with
+  | None -> None
+  | Some h ->
+      hier_gap
+        ~flat_value:(G.mu h.Ctx.h_flat_dist)
+        ~hier_value:(G.mu (Ctx.delay_distribution ctx))
+
+let attach_yield_bound ctx ~method_ ~t_target e =
+  { e with hier_bound = hier_bound_yield ctx ~method_ ~t_target }
+
+let attach_loss_bound ctx ~method_ ~t_target e =
+  { e with hier_bound = hier_bound_loss ctx ~method_ ~t_target }
+
+let attach_mean_bound ctx e = { e with hier_bound = hier_bound_mean ctx }
 
 let check_target ~where t_target =
   if not (Float.is_finite t_target) then
@@ -464,6 +778,7 @@ let yield ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
   check_target ~where t_target;
   check_positive ~where "shards" shards;
   postcondition ~where ctx ~t_target:(Some t_target)
+  @@ attach_yield_bound ctx ~method_ ~t_target
   @@
   match method_ with
   | Analytic_clark -> closed ~method_ (clark_yield ctx ~t_target)
@@ -483,7 +798,8 @@ let yield ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       let successes = bernoulli_fixed ~jobs ~shards ~seed ~n ~make_trial in
       let p = float_of_int successes /. float_of_int n in
       let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int n) in
-      { value = p; std_error = se; n_samples = n; method_; stop = Fixed_n }
+      { value = p; std_error = se; n_samples = n; method_; stop = Fixed_n;
+        hier_bound = None }
   | Adaptive_mc ->
       let jobs = resolve_jobs ~where jobs in
       check_positive ~where "batch" batch;
@@ -499,7 +815,8 @@ let yield ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       in
       let p = float_of_int successes /. float_of_int drawn in
       let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int drawn) in
-      { value = p; std_error = se; n_samples = drawn; method_; stop }
+      { value = p; std_error = se; n_samples = drawn; method_; stop;
+        hier_bound = None }
   | Importance ->
       let jobs = resolve_jobs ~where jobs in
       check_positive ~where "n" n;
@@ -516,6 +833,7 @@ let yield ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
         n_samples = n;
         method_;
         stop = Fixed_n;
+        hier_bound = None;
       }
 
 let yield_targets ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
@@ -540,7 +858,15 @@ let yield_targets ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
           let p = float_of_int s /. float_of_int n in
           let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int n) in
           postcondition ~where ctx ~t_target:(Some t_targets.(k))
-            { value = p; std_error = se; n_samples = n; method_; stop = Fixed_n })
+            {
+              value = p;
+              std_error = se;
+              n_samples = n;
+              method_;
+              stop = Fixed_n;
+              hier_bound =
+                hier_bound_yield ctx ~method_ ~t_target:t_targets.(k);
+            })
         successes
   | _ ->
       Array.map
@@ -563,6 +889,8 @@ let yield_loss ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
   (* No [postcondition] here: registered oracles check *yield*
      semantics (interval bounds on P_D) and would falsely fire on a
      loss value. *)
+  attach_loss_bound ctx ~method_ ~t_target
+  @@
   match method_ with
   | Analytic_clark -> closed ~method_ (clark_loss ctx ~t_target)
   | Exact_independent ->
@@ -581,7 +909,8 @@ let yield_loss ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       let fails = bernoulli_fixed ~jobs ~shards ~seed ~n ~make_trial in
       let p = float_of_int fails /. float_of_int n in
       let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int n) in
-      { value = p; std_error = se; n_samples = n; method_; stop = Fixed_n }
+      { value = p; std_error = se; n_samples = n; method_; stop = Fixed_n;
+        hier_bound = None }
   | Adaptive_mc ->
       let jobs = resolve_jobs ~where jobs in
       check_positive ~where "batch" batch;
@@ -597,7 +926,8 @@ let yield_loss ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       in
       let p = float_of_int fails /. float_of_int drawn in
       let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int drawn) in
-      { value = p; std_error = se; n_samples = drawn; method_; stop }
+      { value = p; std_error = se; n_samples = drawn; method_; stop;
+        hier_bound = None }
   | Importance ->
       let jobs = resolve_jobs ~where jobs in
       check_positive ~where "n" n;
@@ -612,6 +942,7 @@ let yield_loss ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
         n_samples = n;
         method_;
         stop = Fixed_n;
+        hier_bound = None;
       }
 
 let delay_mean ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
@@ -620,6 +951,7 @@ let delay_mean ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
   let where = "Engine.delay_mean" in
   check_positive ~where "shards" shards;
   postcondition ~where ctx ~t_target:None
+  @@ attach_mean_bound ctx
   @@
   match method_ with
   | Analytic_clark -> closed ~method_ (G.mu (Ctx.delay_distribution ctx))
@@ -631,7 +963,8 @@ let delay_mean ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       let merged = moments_fixed ~jobs ~shards ~seed ~n ~make_trial in
       let mean, se = mean_se merged in
       let se = if Float.is_finite se then se else 0.0 in
-      { value = mean; std_error = se; n_samples = n; method_; stop = Fixed_n }
+      { value = mean; std_error = se; n_samples = n; method_; stop = Fixed_n;
+        hier_bound = None }
   | Adaptive_mc ->
       let jobs = resolve_jobs ~where jobs in
       check_positive ~where "batch" batch;
@@ -648,7 +981,8 @@ let delay_mean ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       let (drawn, _, _) = merged in
       let mean, se = mean_se merged in
       let se = if Float.is_finite se then se else 0.0 in
-      { value = mean; std_error = se; n_samples = drawn; method_; stop }
+      { value = mean; std_error = se; n_samples = drawn; method_; stop;
+        hier_bound = None }
   | (Exact_independent | Importance | Quadrature) as m ->
       invalid_arg
         (Printf.sprintf "%s: method %s unsupported (use clark, mc or adaptive)"
@@ -723,4 +1057,11 @@ let abb_mc_yield ?policy ?jobs ?(shards = default_shards)
   let successes = bernoulli_fixed ~jobs ~shards ~seed ~n ~make_trial in
   let p = float_of_int successes /. float_of_int n in
   let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int n) in
-  { value = p; std_error = se; n_samples = n; method_ = Mc; stop = Fixed_n }
+  {
+    value = p;
+    std_error = se;
+    n_samples = n;
+    method_ = Mc;
+    stop = Fixed_n;
+    hier_bound = None;
+  }

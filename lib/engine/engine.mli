@@ -27,6 +27,25 @@
     [Mc] and [Importance.failure_above] paths are thin sequential
     shims over the same single-trial kernels. *)
 
+(** {1 Evaluation modes} *)
+
+type mode =
+  | Flat  (** per-stage critical-path SSTA over the whole netlist *)
+  | Hierarchical
+      (** per-stage composition of pre-characterised block macros
+          ({!Spv_circuit.Macro}): each stage is partitioned into level
+          bands, each band reduced once to a canonical first-order
+          macro, and the stage delay is the series composition of the
+          band macros.  Macros are memoised in a {!Spv_circuit.Macro.Table}
+          keyed on (block structure+sizes hash, process fingerprint), so
+          repeated analyses — process sweeps, sizing probes — only pay
+          for blocks that actually changed.  Every estimate on a
+          hierarchical context carries the closed-form gap to the flat
+          reference model as {!estimate.hier_bound}. *)
+
+val mode_name : mode -> string
+(** ["flat"] / ["hierarchical"]. *)
+
 (** {1 Evaluation contexts} *)
 
 module Ctx : sig
@@ -39,13 +58,28 @@ module Ctx : sig
       context and raise [Invalid_argument]. *)
 
   val of_circuits :
-    ?output_load:float -> ?pitch:float -> ?ff:Spv_process.Flipflop.t ->
-    Spv_process.Tech.t -> Spv_circuit.Netlist.t array -> t
+    ?mode:mode -> ?macro_table:Spv_circuit.Macro.Table.t ->
+    ?block_gates:int -> ?output_load:float -> ?pitch:float ->
+    ?ff:Spv_process.Flipflop.t -> Spv_process.Tech.t ->
+    Spv_circuit.Netlist.t array -> t
   (** Gate-level context: runs analytic SSTA once per netlist (stages
       laid out in a row at [pitch], default 1.0, die units) and caches
       the nominal STA results alongside the derived pipeline.
       Equivalent pipeline to {!Spv_core.Pipeline.of_circuits}.  Raises
-      [Invalid_argument] on an empty netlist array. *)
+      [Invalid_argument] on an empty netlist array.
+
+      [mode] (default {!Flat}) selects the stage-delay model.  Under
+      {!Hierarchical} each stage is decomposed into blocks of roughly
+      [block_gates] gates (default
+      {!Spv_circuit.Macro.default_block_gates}) whose macros are
+      characterised through [macro_table] (a fresh table when absent —
+      pass a shared one to reuse characterisations across contexts,
+      e.g. over a sweep).  The flat per-stage analyses are still
+      computed (memoised in the same table) as the reference model that
+      prices {!estimate.hier_bound}; nominal-STA accessors and
+      gate-level Monte-Carlo always use the flat netlists, so only the
+      moment-level model (pipeline, Clark distribution, MVN) differs
+      between modes. *)
 
   val pipeline : t -> Spv_core.Pipeline.t
   val n_stages : t -> int
@@ -64,6 +98,30 @@ module Ctx : sig
 
   val gate_level : t -> bool
   (** True when the context was built by {!of_circuits}. *)
+
+  val mode : t -> mode
+  (** The evaluation mode the context was built under.  Moments-only
+      contexts report {!Flat}. *)
+
+  val macro_table : t -> Spv_circuit.Macro.Table.t option
+  (** The macro table a hierarchical context characterises through
+      (shared, live — its hit/miss counters keep advancing as the
+      context is refreshed).  [None] for flat contexts. *)
+
+  val flat_reference : t -> Spv_core.Pipeline.t option
+  (** The flat reference pipeline a hierarchical context prices its
+      error bound against — built from exactly the per-stage analyses a
+      {!Flat} context of the same inputs would hold.  [None] for flat
+      contexts. *)
+
+  val n_blocks : t -> int -> int
+  (** Number of macro blocks stage [i] decomposes into (1 for a flat
+      context: the whole stage).  Gate-level contexts only. *)
+
+  val stage_macros : t -> int -> Spv_circuit.Macro.t array
+  (** The characterised block macros of one stage, in composition
+      (level-band) order.  Hierarchical gate-level contexts only;
+      raises [Invalid_argument] on a flat context. *)
 
   val nominal_sta : t -> int -> Spv_circuit.Sta.result
   (** Cached nominal STA of one stage.  Gate-level contexts only. *)
@@ -131,8 +189,24 @@ module Ctx : sig
       (picking up mutated gate sizes) and rebuilds the derived caches;
       the other stages' analyses are reused.  This is what makes the
       sizer's inner loop cheap: one stage re-analysed per probe
-      instead of the whole pipeline.  Gate-level contexts only; raises
-      [Invalid_argument] out of range. *)
+      instead of the whole pipeline.  On a hierarchical context the
+      stage is re-probed through the macro table, so blocks the resize
+      did not touch are cache hits and only changed blocks are
+      re-characterised.  Exactly stage [i]'s prune mask is dropped
+      (replaced by an all-true mask); the other stages' masks — still
+      sound, their netlists unchanged — are kept.  Gate-level contexts
+      only; raises [Invalid_argument] out of range. *)
+
+  val refresh_block : t -> stage:int -> block:int -> t
+  (** [refresh_block ctx ~stage ~block] is {!refresh_stage} with the
+      caller's assertion that the resize was confined to one macro
+      block; the other blocks of the stage are verified unchanged by
+      re-hashing (cheap integer work) and [Invalid_argument] is raised
+      if any of them — or the band structure itself — changed.  On the
+      macro-table side the unchanged blocks then hit the cache, so the
+      refresh re-characterises exactly one block.  On a flat context
+      the whole stage is one block: [block] must be [0] and the call
+      degenerates to [refresh_stage ctx stage]. *)
 end
 
 (** {1 Estimator taxonomy} *)
@@ -160,6 +234,17 @@ type estimate = {
   n_samples : int;  (** 0 for closed forms *)
   method_ : method_;
   stop : stop_reason;
+  hier_bound : float option;
+      (** Hierarchical contexts only ([None] on flat): the absolute gap
+          between the flat reference model and the macro-composed model
+          the estimator evaluated, measured in the estimator's own
+          closed-form family (Clark CDF/SF for [Analytic_clark] and the
+          sampling methods, the independent product for
+          [Exact_independent], quadrature for [Quadrature], Clark mu
+          for {!delay_mean}).  For closed forms the reported value
+          differs from its flat counterpart by exactly this gap;
+          sampling estimators add their own noise, which callers cover
+          with the usual [z *. std_error] allowance. *)
 }
 
 val method_name : method_ -> string

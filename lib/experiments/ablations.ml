@@ -1,5 +1,5 @@
 module Balance = Spv_core.Balance
-module Criticality = Spv_core.Criticality
+module Criticality = Spv_core.Stage_criticality
 
 let criticality_study () =
   let s = Fig7_8.setup () in

@@ -201,9 +201,11 @@ module Engine = Spv_engine.Engine
 let engine_ctx_of_pipeline pipeline =
   protect ~where:"engine context" (fun () -> Engine.Ctx.of_pipeline pipeline)
 
-let engine_ctx_of_circuits ?output_load ?pitch ?ff tech nets =
+let engine_ctx_of_circuits ?mode ?macro_table ?block_gates ?output_load
+    ?pitch ?ff tech nets =
   protect ~where:"engine context" (fun () ->
-      Engine.Ctx.of_circuits ?output_load ?pitch ?ff tech nets)
+      Engine.Ctx.of_circuits ?mode ?macro_table ?block_gates ?output_load
+        ?pitch ?ff tech nets)
 
 let checked_probability ~where (e : Engine.estimate) =
   let* _ = Guard.finite ~where e.Engine.value in
@@ -285,9 +287,9 @@ let sweep_grid_of_file ?on_warning path =
   let* text = slurp path in
   sweep_grid_of_string ?on_warning ~path text
 
-let sweep_run ?jobs ?seed ?tech grid =
+let sweep_run ?mode ?jobs ?seed ?tech grid =
   let where = "sweep" in
-  let* r = protect ~where (fun () -> Sweep.run ?jobs ?seed ?tech grid) in
+  let* r = protect ~where (fun () -> Sweep.run ?mode ?jobs ?seed ?tech grid) in
   let* () =
     Array.fold_left
       (fun acc (row : Sweep.row) ->
@@ -313,9 +315,9 @@ let sweep_run ?jobs ?seed ?tech grid =
 
 module Analyze = Spv_analysis.Analyze
 
-let analyze ?k ?t_target ctx =
+let analyze ?k ?t_target ?hier ctx =
   let* r =
-    protect ~where:"analyze" (fun () -> Analyze.run ?k ?t_target ctx)
+    protect ~where:"analyze" (fun () -> Analyze.run ?k ?t_target ?hier ctx)
   in
   if
     not

@@ -91,6 +91,8 @@ val engine_ctx_of_pipeline :
   Spv_core.Pipeline.t -> (Spv_engine.Engine.Ctx.t, Errors.t) result
 
 val engine_ctx_of_circuits :
+  ?mode:Spv_engine.Engine.mode ->
+  ?macro_table:Spv_circuit.Macro.Table.t -> ?block_gates:int ->
   ?output_load:float -> ?pitch:float -> ?ff:Spv_process.Flipflop.t ->
   Spv_process.Tech.t -> Spv_circuit.Netlist.t array ->
   (Spv_engine.Engine.Ctx.t, Errors.t) result
@@ -136,7 +138,8 @@ val sweep_grid_of_file :
   (Spv_workload.Grid.t, Errors.t) result
 
 val sweep_run :
-  ?jobs:int -> ?seed:int -> ?tech:Spv_process.Tech.t ->
+  ?mode:Spv_engine.Engine.mode -> ?jobs:int -> ?seed:int ->
+  ?tech:Spv_process.Tech.t ->
   Spv_workload.Grid.t -> (Spv_workload.Sweep.result, Errors.t) result
 (** {!Spv_workload.Sweep.run} behind the typed-error boundary, with
     every row's yield and loss verified finite and inside [0, 1]. *)
@@ -144,7 +147,7 @@ val sweep_run :
 (** {1 Static analysis} *)
 
 val analyze :
-  ?k:float -> ?t_target:float -> Spv_engine.Engine.Ctx.t ->
+  ?k:float -> ?t_target:float -> ?hier:bool -> Spv_engine.Engine.Ctx.t ->
   (Spv_analysis.Analyze.result, Errors.t) result
 (** {!Spv_analysis.Analyze.run} behind the typed-error boundary: an
     invalid [k] maps to [Domain_error]; degenerate (non-finite)

@@ -52,11 +52,17 @@ type summary = {
   filed : int;
   findings : Oracle.finding list;
   wall_seconds : float;
+  macro_hits : int;
+      (** Hier-invariant macro-table hits over the whole campaign (the
+          table is shared across trials) *)
+  macro_misses : int;  (** blocks actually characterised *)
 }
 
 val schema_version : int
 
-val run_one : config -> index:int -> gen_seed:int -> trial * Oracle.finding list
+val run_one :
+  config -> macro_table:Spv_circuit.Macro.Table.t -> index:int ->
+  gen_seed:int -> trial * Oracle.finding list
 (** One fully-determined trial: materialise, check, shrink each
     distinct violated invariant, file into the corpus when configured.
     Never raises on a checkable case (escapes become [Escape]
@@ -75,9 +81,10 @@ val trial_to_json : trial -> string
     {!Spv_workload.Sweep}. *)
 
 val summary_to_json : ?timings:bool -> summary -> string
-(** The summary object.  [wall_seconds] is only included with
-    [~timings:true] so default output stays byte-identical across
-    runs. *)
+(** The summary object.  [wall_seconds], [macro_hits] and
+    [macro_misses] are only included with [~timings:true] so default
+    output stays byte-identical across runs (and keeps the v1
+    schema). *)
 
 val trial_to_text : trial -> string
 val summary_to_text : summary -> string

@@ -21,6 +21,7 @@ type invariant =
   | Nesting
   | Certificate
   | Replay
+  | Hier
   | Escape
 
 let invariant_name = function
@@ -30,10 +31,20 @@ let invariant_name = function
   | Nesting -> "nesting"
   | Certificate -> "certificate"
   | Replay -> "replay"
+  | Hier -> "hier"
   | Escape -> "escape"
 
 let all_invariants =
-  [ Agreement; Envelope; Containment; Nesting; Certificate; Replay; Escape ]
+  [
+    Agreement;
+    Envelope;
+    Containment;
+    Nesting;
+    Certificate;
+    Replay;
+    Hier;
+    Escape;
+  ]
 
 let invariant_of_string s =
   List.find_opt (fun i -> invariant_name i = s) all_invariants
@@ -54,7 +65,7 @@ let gate_sample_n = 96
 let gate_sample_exact_n = 64
 
 let check_ctx ?(tolerances = default_tolerances) ?(invariants = all_invariants)
-    ctx ~seed =
+    ?macro_table ctx ~seed =
   let tol = tolerances in
   let run = ref 0 in
   let violations = ref [] in
@@ -442,6 +453,67 @@ let check_ctx ?(tolerances = default_tolerances) ?(invariants = all_invariants)
            check Replay (same_samples g1 g2) (fun () ->
                "gate-level delay samples differ across jobs")
          end));
+  (* Hier: the macro-composed model agrees with the flat model within
+     the estimate's reported [hier_bound] on every fuzzed netlist.
+     Closed forms must match exactly at the bound (it IS the gap, and
+     the flat reference inside the hierarchical context is built from
+     the same memoised per-stage analyses as the flat context);
+     Monte-Carlo on the macro model's MVN additionally pays its own
+     and the flat run's sampling noise. *)
+  (if want Hier && gate_level then
+     guarded "hier" (fun () ->
+         let n = E.Ctx.n_stages ctx in
+         let nets = Array.init n (E.Ctx.netlist ctx) in
+         let hctx =
+           E.Ctx.of_circuits ~mode:E.Hierarchical ?macro_table
+             ~output_load:(E.Ctx.output_load ctx) ~pitch:(E.Ctx.pitch ctx)
+             ?ff:(E.Ctx.flipflop ctx) (E.Ctx.tech ctx) nets
+         in
+         let bound e =
+           match e.E.hier_bound with
+           | Some b -> b
+           | None -> Float.neg_infinity (* hier estimate must carry one *)
+         in
+         Array.iter
+           (fun t ->
+             List.iter
+               (fun (name, method_) ->
+                 let f = E.yield ~method_ ctx ~t_target:t in
+                 let h = E.yield ~method_ hctx ~t_target:t in
+                 check Hier
+                   (Float.abs (f.E.value -. h.E.value) <= bound h +. 1e-12)
+                   (fun () ->
+                     Printf.sprintf
+                       "%s hier yield %.9g vs flat %.9g exceeds bound %.3g \
+                        at t=%.6g"
+                       name h.E.value f.E.value (bound h) t))
+               [
+                 ("clark", E.Analytic_clark);
+                 ("independent", E.Exact_independent);
+               ])
+           targets;
+         let t = targets.(Array.length targets - 1) in
+         let fm = E.yield ~method_:E.Mc ~seed ~n:mc_n ctx ~t_target:t in
+         let hm = E.yield ~method_:E.Mc ~seed ~n:mc_n hctx ~t_target:t in
+         check Hier
+           (Float.abs (fm.E.value -. hm.E.value)
+           <= bound hm
+              +. (tol.agree_z *. (fm.E.std_error +. hm.E.std_error))
+              +. (0.5 *. tol.clark_abs))
+           (fun () ->
+             Printf.sprintf
+               "mc hier yield %.6f vs flat %.6f exceeds bound %.3g + noise \
+                at t=%.6g"
+               hm.E.value fm.E.value (bound hm) t);
+         let fmean = E.delay_mean ~method_:E.Analytic_clark ctx in
+         let hmean = E.delay_mean ~method_:E.Analytic_clark hctx in
+         check Hier
+           (Float.abs (fmean.E.value -. hmean.E.value)
+           <= bound hmean +. 1e-12)
+           (fun () ->
+             Printf.sprintf
+               "clark hier mean %.9g vs flat %.9g exceeds bound %.3g"
+               hmean.E.value fmean.E.value (bound hmean))));
   (!run, List.rev !violations)
 
 (* ---- fuzz cases ----------------------------------------------------- *)
@@ -470,12 +542,12 @@ let ctx_of circuits process =
 
 type outcome = { case : case; checks_run : int; violations : violation list }
 
-let run_case ?tolerances ?invariants ~check_seed case =
+let run_case ?tolerances ?invariants ?macro_table ~check_seed case =
   match
     Checked.protect ~where:"fuzz case" (fun () ->
         let m = materialise case in
         let ctx = ctx_of m.circuits m.process in
-        check_ctx ?tolerances ?invariants ctx ~seed:check_seed)
+        check_ctx ?tolerances ?invariants ?macro_table ctx ~seed:check_seed)
   with
   | Ok (checks_run, violations) -> { case; checks_run; violations }
   | Error err ->

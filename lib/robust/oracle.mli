@@ -34,6 +34,12 @@
       refutation and MC respects the Fréchet upper bound.
     - {b Replay} — bit-identical results across [jobs] and across
       repeated runs at the same [(seed, shards)].
+    - {b Hier} — the hierarchical (block-macro) model agrees with the
+      flat model within the estimate's reported
+      {!Spv_engine.Engine.estimate.hier_bound} on every fuzzed
+      netlist: exactly at the bound for the closed forms (the bound
+      {e is} the model gap), plus combined sampling noise for
+      Monte-Carlo on the macro model's MVN.
     - {b Escape} — any exception escaping one of the checks on
       lint-legal input is itself a violation (the typed error boundary
       must hold).
@@ -71,6 +77,7 @@ type invariant =
   | Nesting
   | Certificate
   | Replay
+  | Hier
   | Escape
 
 val invariant_name : invariant -> string
@@ -85,10 +92,14 @@ val violation_to_error : violation -> Errors.t
 
 val check_ctx :
   ?tolerances:tolerances -> ?invariants:invariant list ->
+  ?macro_table:Spv_circuit.Macro.Table.t ->
   Spv_engine.Engine.Ctx.t -> seed:int -> int * violation list
 (** Run the selected invariants (default: all) against one context.
     Returns [(checks_run, violations)].  [seed] drives every sampling
-    estimator; equal [(ctx, seed)] give bit-identical outcomes.
+    estimator; equal [(ctx, seed)] give bit-identical outcomes
+    ([macro_table], when given, shares Hier's macro characterisations
+    across calls — a pure cache, so outcomes are unchanged; its
+    hit/miss counters feed the fuzz campaign's [--timings] report).
     Exceptions escaping any individual check are caught and recorded
     as [Escape] violations — [check_ctx] itself only raises on
     unusable arguments (e.g. a moments-only context). *)
@@ -124,7 +135,8 @@ type outcome = {
 }
 
 val run_case :
-  ?tolerances:tolerances -> ?invariants:invariant list -> check_seed:int ->
+  ?tolerances:tolerances -> ?invariants:invariant list ->
+  ?macro_table:Spv_circuit.Macro.Table.t -> check_seed:int ->
   case -> outcome
 (** {!materialise} + {!ctx_of} + {!check_ctx}.  Exceptions during
     materialisation/context build are recorded as [Escape]

@@ -2,8 +2,9 @@ module Engine = Spv_engine.Engine
 module G = Spv_stats.Gaussian
 module Stage = Spv_core.Stage
 module Pipeline = Spv_core.Pipeline
+module Macro = Spv_circuit.Macro
 
-let schema_version = 1
+let schema_version = 2
 
 type scenario = {
   index : int;
@@ -13,12 +14,19 @@ type scenario = {
   t_target : float;
 }
 
-type row = { scenario : scenario; estimate : Engine.estimate; loss : float }
+type row = {
+  scenario : scenario;
+  estimate : Engine.estimate;
+  loss : float;
+  macro_hits : int;
+  macro_misses : int;
+}
 type result = { rows : row array; n_contexts : int }
 
 let clamp01 v = Float.max 0.0 (Float.min 1.0 v)
 
-let ctx_for ~tech source (process : Grid.process) =
+let ctx_for ?(mode = Engine.Flat) ?macro_table ~tech source
+    (process : Grid.process) =
   match source with
   | Grid.Moments { stages; rho; _ } ->
       let n = Array.length stages in
@@ -36,7 +44,7 @@ let ctx_for ~tech source (process : Grid.process) =
         | None -> tech
         | Some mv -> Spv_process.Tech.with_inter_vth tech ~sigma_mv:mv
       in
-      Engine.Ctx.of_circuits tech [| net |]
+      Engine.Ctx.of_circuits ~mode ?macro_table tech [| net |]
 
 (* Yield estimates plus stable losses for one (ctx, method) over the
    whole target sweep.  The loss source depends on the estimator
@@ -80,11 +88,29 @@ let eval_method ~jobs ~seed ~n ~shards ctx method_ targets =
           (e, l.Engine.value))
         targets
 
-let run ?jobs ?(seed = Engine.default_seed) ?(tech = Spv_process.Tech.bptm70)
-    (grid : Grid.t) =
+let run ?(mode = Engine.Flat) ?jobs ?(seed = Engine.default_seed)
+    ?(tech = Spv_process.Tech.bptm70) (grid : Grid.t) =
   (match Grid.validate grid with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Sweep.run: " ^ msg));
+  (* One macro table for the whole sweep: a process override only
+     changes the characterisation fingerprint, so across the process
+     axis each block is characterised once per distinct
+     (block, process) pair and every further context probe is a hit.
+     Contexts are built serially (jobs parallelises trials inside the
+     engine, never context builds), so the per-context counter deltas
+     below are schedule-independent and the JSONL stays byte-identical
+     across [jobs]. *)
+  let table =
+    match mode with
+    | Engine.Flat -> None
+    | Engine.Hierarchical -> Some (Macro.Table.create ())
+  in
+  let counters () =
+    match table with
+    | None -> (0, 0)
+    | Some t -> (Macro.Table.hits t, Macro.Table.misses t)
+  in
   let rows = ref [] in
   let index = ref 0 in
   let n_contexts = ref 0 in
@@ -97,7 +123,11 @@ let run ?jobs ?(seed = Engine.default_seed) ?(tech = Spv_process.Tech.bptm70)
       in
       List.iter
         (fun process ->
-          let ctx = ctx_for ~tech source process in
+          let hits0, misses0 = counters () in
+          let ctx = ctx_for ~mode ?macro_table:table ~tech source process in
+          let hits1, misses1 = counters () in
+          let macro_hits = hits1 - hits0
+          and macro_misses = misses1 - misses0 in
           incr n_contexts;
           List.iter
             (fun method_ ->
@@ -119,6 +149,8 @@ let run ?jobs ?(seed = Engine.default_seed) ?(tech = Spv_process.Tech.bptm70)
                         };
                       estimate;
                       loss;
+                      macro_hits;
+                      macro_misses;
                     }
                     :: !rows;
                   incr index)
@@ -148,15 +180,20 @@ let json_escape s =
 
 let row_to_json r =
   let e = r.estimate in
+  let hier_bound =
+    match e.Engine.hier_bound with
+    | None -> "null"
+    | Some b -> Printf.sprintf "%.17g" b
+  in
   Printf.sprintf
-    "{\"schema_version\":%d,\"scenario\":%d,\"source\":\"%s\",\"process\":\"%s\",\"method\":\"%s\",\"t_target\":%.17g,\"yield\":%.17g,\"std_error\":%.17g,\"n_samples\":%d,\"stop\":\"%s\",\"loss\":%.17g}"
+    "{\"schema_version\":%d,\"scenario\":%d,\"source\":\"%s\",\"process\":\"%s\",\"method\":\"%s\",\"t_target\":%.17g,\"yield\":%.17g,\"std_error\":%.17g,\"n_samples\":%d,\"stop\":\"%s\",\"loss\":%.17g,\"hier_bound\":%s,\"macro_hits\":%d,\"macro_misses\":%d}"
     schema_version r.scenario.index
     (json_escape r.scenario.source)
     (json_escape r.scenario.process)
     (Engine.method_name r.scenario.method_)
     r.scenario.t_target e.Engine.value e.Engine.std_error e.Engine.n_samples
     (Engine.stop_reason_name e.Engine.stop)
-    r.loss
+    r.loss hier_bound r.macro_hits r.macro_misses
 
 let to_jsonl result =
   let buf = Buffer.create (Array.length result.rows * 160) in

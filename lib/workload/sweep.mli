@@ -17,7 +17,8 @@
     to per-target runs. *)
 
 val schema_version : int
-(** Version stamped into every JSONL row (currently 1). *)
+(** Version stamped into every JSONL row (currently 2; version 2 added
+    [hier_bound], [macro_hits] and [macro_misses]). *)
 
 type scenario = {
   index : int;  (** position in expansion order, 0-based *)
@@ -35,6 +36,14 @@ type row = {
           through [Engine.yield_loss]; [Mc]/[Adaptive_mc] use the
           integer-exact complement of their counts; [Importance]
           reports its failure probability directly *)
+  macro_hits : int;
+      (** macro-table block hits incurred building this row's context
+          (0 in flat mode).  All rows sharing a (source, process)
+          context report the same counters. *)
+  macro_misses : int;
+      (** blocks actually (re-)characterised for this row's context —
+          over a process-override sweep this equals the number of
+          blocks the override touched, everything else being hits *)
 }
 
 type result = {
@@ -43,22 +52,35 @@ type result = {
 }
 
 val ctx_for :
+  ?mode:Spv_engine.Engine.mode ->
+  ?macro_table:Spv_circuit.Macro.Table.t ->
   tech:Spv_process.Tech.t -> Grid.source -> Grid.process ->
   Spv_engine.Engine.Ctx.t
 (** The engine context a (source, process) pair resolves to — what
     {!run} builds once per pair.  Exposed so benchmarks and tests can
-    reproduce the uncached per-scenario baseline. *)
+    reproduce the uncached per-scenario baseline.  [mode] (default
+    [Flat]) and [macro_table] are forwarded to
+    {!Spv_engine.Engine.Ctx.of_circuits}; moment sources ignore both. *)
 
 val run :
-  ?jobs:int -> ?seed:int -> ?tech:Spv_process.Tech.t -> Grid.t -> result
+  ?mode:Spv_engine.Engine.mode -> ?jobs:int -> ?seed:int ->
+  ?tech:Spv_process.Tech.t -> Grid.t -> result
 (** Evaluate the grid (defaults: engine seed 42, {!Spv_process.Tech.bptm70}).
-    Raises [Invalid_argument] when {!Grid.validate} rejects the grid. *)
+    Under [~mode:Hierarchical] all circuit contexts share one macro
+    table, so across the process axis each block is characterised once
+    per distinct (block, process) pair — a process override
+    re-characterises only the blocks it affects (asserted by the
+    per-row counters).  Contexts are built serially regardless of
+    [jobs], keeping the rows (counters included) byte-identical across
+    [jobs].  Raises [Invalid_argument] when {!Grid.validate} rejects
+    the grid. *)
 
 val row_to_json : row -> string
 (** One JSON object (single line, no trailing newline): keys
     [schema_version, scenario, source, process, method, t_target,
-    yield, std_error, n_samples, stop, loss].  Floats printed with
-    [%.17g] so values round-trip bit-exactly. *)
+    yield, std_error, n_samples, stop, loss, hier_bound, macro_hits,
+    macro_misses].  Floats printed with [%.17g] so values round-trip
+    bit-exactly; [hier_bound] is [null] for flat-mode rows. *)
 
 val to_jsonl : result -> string
 (** All rows, newline-terminated — the [spv sweep] output format. *)

@@ -8,7 +8,7 @@ module I = Spv_analysis.Interval
 module Rp = Spv_analysis.Report
 module B = Spv_analysis.Bounds
 module S = Spv_analysis.Structure
-module Cr = Spv_analysis.Criticality
+module Cr = Spv_analysis.Static_criticality
 module Gen = Spv_circuit.Generators
 
 let tech = Spv_process.Tech.bptm70
@@ -203,6 +203,7 @@ let test_verdicts () =
       n_samples = 0;
       method_ = Engine.Exact_independent;
       stop = Engine.Closed_form;
+      hier_bound = None;
     }
   in
   (match B.check ~t_target:1e9 b (est 2.0) with
@@ -312,8 +313,15 @@ let test_refresh_stage_drops_masks () =
       Alcotest.fail "prune_ctx must store masks"
   | Some _ ->
       let refreshed = Engine.Ctx.refresh_stage ctx 0 in
-      Alcotest.(check bool) "refresh invalidates stale masks" true
-        (Engine.Ctx.prune_masks refreshed = None)
+      (* Refresh drops exactly the refreshed stage's mask: it is
+         replaced by an all-true (prune-nothing) mask, never [None] —
+         other stages' still-sound masks must survive. *)
+      (match Engine.Ctx.prune_masks refreshed with
+      | None -> Alcotest.fail "refresh must keep per-stage masks"
+      | Some masks ->
+          Alcotest.(check int) "one mask per stage" 1 (Array.length masks);
+          Alcotest.(check bool) "refreshed stage's mask is all-true" true
+            (Array.for_all Fun.id masks.(0)))
 
 (* ---- structure pass -------------------------------------------------- *)
 

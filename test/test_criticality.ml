@@ -1,5 +1,5 @@
 open Helpers
-module Cr = Spv_core.Criticality
+module Cr = Spv_core.Stage_criticality
 module Stage = Spv_core.Stage
 module P = Spv_core.Pipeline
 module C = Spv_stats.Correlation
