@@ -229,8 +229,8 @@ let mc_cmd =
     Arg.(value & opt float 0.0 & info [ "rho" ] ~doc)
   in
   let target =
-    let doc = "Clock-period target in ps." in
-    Arg.(required & opt (some float) None & info [ "t"; "target" ] ~doc)
+    let doc = "Clock-period target in ps.  Required unless --smoke." in
+    Arg.(value & opt (some float) None & info [ "t"; "target" ] ~doc)
   in
   let method_arg =
     let doc =
@@ -249,10 +249,85 @@ let mc_cmd =
     in
     Arg.(value & opt int 8 & info [ "shards" ] ~doc)
   in
-  let run circuits hier mus sigmas rho target method_name n shards jobs seed
-      =
+  let proposal_arg =
+    let doc =
+      "Importance-sampling proposal family: $(b,legacy) (capped mean shift \
+       toward the target) or $(b,cone) (failure-cone-guided mixture from \
+       the static analyzer; falls back to legacy when no cone dominates \
+       and to plain MC for body targets)."
+    in
+    Arg.(value & opt string "legacy" & info [ "proposal" ] ~doc)
+  in
+  let smoke =
+    let doc =
+      "Self-check on a built-in fixture: estimate the same tail loss with \
+       adaptive MC and cone-guided importance sampling, assert agreement \
+       within the reported confidence intervals and that the cone proposal \
+       was actually selected, and print a one-line summary.  Ignores the \
+       model arguments."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  (* The --smoke gate: a moments pipeline whose spread stage means give
+     the cone analyzer a dominant stage, with the target close enough
+     in that adaptive MC still resolves the loss.  The two estimators
+     must agree within z * (se_mc + se_imp). *)
+  let run_smoke seed =
+    let mus = [| 100.0; 96.0; 92.0; 88.0 |]
+    and sigmas = [| 5.0; 5.0; 5.0; 5.0 |] in
+    let t_target = 115.0 in
+    let* p =
+      Checked.pipeline_of_moments ~on_warning:warn ~mus ~sigmas ~rho:0.2 ()
+    in
+    let* ctx = Checked.engine_ctx_of_pipeline p in
+    let* mc =
+      Checked.engine_yield ~method_:Engine.Adaptive_mc ~seed
+        ~max_samples:400_000 ctx ~t_target
+    in
+    let* imp =
+      Checked.engine_yield ~method_:Engine.Importance
+        ~proposal:Engine.Cone_guided ~seed ~n:20_000 ctx ~t_target
+    in
+    let* () =
+      match imp.Engine.proposal with
+      | Some (Engine.Prop_cone _) -> Ok ()
+      | used ->
+          Error
+            (Errors.numeric ~where:"mc --smoke"
+               (Printf.sprintf
+                  "cone-guided run used proposal %S (no dominant cone on \
+                   the fixture?)"
+                  (match used with
+                  | Some u -> Engine.proposal_used_name u
+                  | None -> "none")))
+    in
+    let gap = Float.abs (mc.Engine.value -. imp.Engine.value) in
+    let z = 5.0 in
+    let allowance =
+      (z *. (mc.Engine.std_error +. imp.Engine.std_error)) +. 1e-9
+    in
+    if gap > allowance then
+      Error
+        (Errors.numeric ~where:"mc --smoke"
+           (Printf.sprintf
+              "cone-guided importance yield %.9g vs adaptive MC %.9g: gap \
+               %.3g exceeds %g sigma allowance %.3g"
+              imp.Engine.value mc.Engine.value gap z allowance))
+    else begin
+      let ess = match imp.Engine.ess with Some e -> e | None -> 0.0 in
+      Printf.printf
+        "mc smoke OK: cone-guided importance agrees with adaptive MC \
+         (yield %.6f vs %.6f, gap %.3g <= %.3g, ess %.0f, seed %d)\n"
+        imp.Engine.value mc.Engine.value gap allowance ess seed;
+      Ok ()
+    end
+  in
+  let run circuits hier mus sigmas rho target method_name n shards
+      proposal_name smoke jobs seed =
     handle
-      (let* method_ =
+      (if smoke then run_smoke seed
+       else
+       let* method_ =
          match Engine.method_of_string method_name with
          | Some m -> Ok m
          | None ->
@@ -261,6 +336,22 @@ let mc_cmd =
                   (Printf.sprintf "unknown method %S (known: %s)" method_name
                      (String.concat ", "
                         (List.map Engine.method_name Engine.all_methods))))
+       in
+       let* proposal =
+         match Engine.proposal_of_string proposal_name with
+         | Some p -> Ok p
+         | None ->
+             Error
+               (Errors.domain ~param:"--proposal"
+                  (Printf.sprintf "unknown proposal %S (known: legacy, cone)"
+                     proposal_name))
+       in
+       let* target =
+         match target with
+         | Some t -> Ok t
+         | None ->
+             Error
+               (Errors.domain ~param:"--target" "required unless --smoke")
        in
        let* ctx =
          match (circuits, mus) with
@@ -301,7 +392,7 @@ let mc_cmd =
                (Array.of_list (List.rev nets))
        in
        let* e =
-         Checked.engine_yield ~method_ ?jobs ~shards ~seed ~n ctx
+         Checked.engine_yield ~method_ ~proposal ?jobs ~shards ~seed ~n ctx
            ~t_target:target
        in
        Format.printf "%a@." Engine.pp_estimate e;
@@ -314,7 +405,8 @@ let mc_cmd =
           taxonomy, with deterministic domain-parallel sampling.")
     Term.(
       const run $ circuits_arg $ hier $ mus $ sigmas $ rho $ target
-      $ method_arg $ n $ shards $ jobs_arg $ seed_arg)
+      $ method_arg $ n $ shards $ proposal_arg $ smoke $ jobs_arg
+      $ seed_arg)
 
 (* ---- sta command --------------------------------------------------- *)
 
@@ -806,6 +898,21 @@ let analyze_cmd =
                    c.Spv_analysis.Static_criticality.n_gates
                    (100.0 *. Spv_analysis.Static_criticality.prunable_fraction c))
                cs);
+         (let co = r.Spv_analysis.Analyze.cones in
+          let module Cones = Spv_analysis.Cones in
+          Printf.printf
+            "failure cones: %d stage(s) analysed, %d cone(s), %d dominant \
+             (crit lower >= %g)\n"
+            (Array.length co.Cones.co_stages)
+            (List.length co.Cones.co_cones)
+            (List.length (Cones.dominant_cones co))
+            co.Cones.co_threshold;
+          match co.Cones.co_slack with
+          | None -> ()
+          | Some s ->
+              Printf.printf
+                "statistical slack:           %.2f ps nominal (sigma %.2f)\n"
+                (Spv_analysis.Affine.center s) (Spv_analysis.Affine.sigma s));
          Printf.printf "%d finding(s): %d error(s), %d warning(s)\n"
            (List.length report.Spv_analysis.Report.findings)
            (Spv_analysis.Report.count report Spv_analysis.Report.Error)
@@ -822,9 +929,11 @@ let analyze_cmd =
        ~doc:
          "Static analysis of a pipeline: guaranteed interval delay bounds, \
           correlation-aware affine enclosures, reconvergent-fanout and \
-          correlation-risk diagnostics, static criticality/prunability, and \
-          Fréchet/affine-envelope checks of the engine's closed-form yield \
-          estimators.")
+          correlation-risk diagnostics, static criticality/prunability, \
+          failure-cone criticality probabilities with statistical slack, \
+          and Fréchet/affine-envelope checks of the engine's closed-form \
+          yield estimators.  Error findings exit with the lint code after \
+          the report is printed.")
     Term.(
       const run $ circuits_arg $ mus $ sigmas $ rho $ kappa $ target $ hier
       $ json $ format_arg)
@@ -979,6 +1088,13 @@ let sweep_cmd =
     in
     Arg.(value & flag & info [ "hier" ] ~doc)
   in
+  let proposal_arg =
+    let doc =
+      "Importance-sampling proposal family for $(b,importance) scenarios: \
+       $(b,legacy) or $(b,cone) (failure-cone-guided; see $(b,spv mc))."
+    in
+    Arg.(value & opt string "legacy" & info [ "proposal" ] ~doc)
+  in
   (* The --smoke gate: determinism really is "same bytes for any
      --jobs", so compare the serialised JSONL verbatim. *)
   let required_keys =
@@ -986,7 +1102,7 @@ let sweep_cmd =
       "\"schema_version\":"; "\"scenario\":"; "\"source\":"; "\"process\":";
       "\"method\":"; "\"t_target\":"; "\"yield\":"; "\"std_error\":";
       "\"n_samples\":"; "\"stop\":"; "\"loss\":"; "\"hier_bound\":";
-      "\"macro_hits\":"; "\"macro_misses\":";
+      "\"macro_hits\":"; "\"macro_misses\":"; "\"ess\":"; "\"proposal\":";
     ]
   in
   let contains hay needle =
@@ -1097,9 +1213,18 @@ let sweep_cmd =
     Printf.printf "%d scenario(s), %d context(s) built\n"
       (Array.length r.Sweep.rows) r.Sweep.n_contexts
   in
-  let run grid_file format smoke hier jobs seed =
+  let run grid_file format smoke hier proposal_name jobs seed =
     handle
-      (if smoke then run_smoke ~hier seed
+      (let* proposal =
+         match Engine.proposal_of_string proposal_name with
+         | Some p -> Ok p
+         | None ->
+             Error
+               (Errors.domain ~param:"--proposal"
+                  (Printf.sprintf "unknown proposal %S (known: legacy, cone)"
+                     proposal_name))
+       in
+       if smoke then run_smoke ~hier seed
        else
          match grid_file with
          | None ->
@@ -1108,7 +1233,7 @@ let sweep_cmd =
          | Some path ->
              let* grid = Checked.sweep_grid_of_file ~on_warning:warn path in
              let mode = if hier then Engine.Hierarchical else Engine.Flat in
-             let* r = Checked.sweep_run ~mode ?jobs ~seed grid in
+             let* r = Checked.sweep_run ~mode ~proposal ?jobs ~seed grid in
              (match format with
              | `Jsonl -> print_string (Sweep.to_jsonl r)
              | `Text -> print_text r);
@@ -1123,8 +1248,8 @@ let sweep_cmd =
           row per scenario.  Results are bit-identical for any --jobs at a \
           fixed seed.")
     Term.(
-      const run $ grid_file $ format_arg $ smoke $ hier $ jobs_arg
-      $ seed_arg)
+      const run $ grid_file $ format_arg $ smoke $ hier $ proposal_arg
+      $ jobs_arg $ seed_arg)
 
 (* ---- fuzz command --------------------------------------------------- *)
 
@@ -1403,6 +1528,9 @@ let () =
   Spv_analysis.Bounds.install_engine_check ();
   Spv_analysis.Affine_sta.install_engine_check ();
   Spv_analysis.Certify.install_sizing_check ();
+  (* The cone-guided importance proposal: the engine only consults the
+     provider when --proposal cone is selected. *)
+  Spv_analysis.Cones.install_engine_proposal ();
   let doc = "statistical pipeline delay / yield toolkit (DATE'05 reproduction)" in
   let info = Cmd.info "spv_cli" ~version:"1.0.0" ~doc in
   exit

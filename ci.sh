@@ -43,6 +43,28 @@ run "$CLI" sweep --smoke
 run dune build @hier     # hierarchical-SSTA suite
 run "$CLI" sweep --smoke --hier
 
+# Analyzer gate: the JSON report must carry the current schema version
+# and the failure-cone pass on both a gate-level and a moments-only
+# context.
+echo "==> $CLI analyze --format json: schema_version 3 + cones pass"
+for args in "-c c432 -t 900" "--mu 100 --mu 95 --sigma 5 --sigma 4 -t 130"; do
+  # shellcheck disable=SC2086
+  out=$("$CLI" analyze $args --format json)
+  echo "$out" | grep -q '"schema_version": 3' || {
+    echo "ci.sh: analyze $args JSON missing schema_version 3" >&2
+    exit 1
+  }
+  echo "$out" | grep -q '"pass": "cones"' || {
+    echo "ci.sh: analyze $args JSON missing the cones pass" >&2
+    exit 1
+  }
+done
+
+# Proposal gate: cone-guided importance sampling must select the cone
+# proposal on the smoke fixture and agree with adaptive MC (the binary
+# exits 5 on disagreement or an unselected proposal).
+run "$CLI" mc --smoke
+
 # Fuzz gates: the budgeted smoke campaign must find nothing (exit 0,
 # bit-identical across two runs — the binary checks that itself), and
 # a deliberately zeroed tolerance must surface as a counterexample

@@ -152,6 +152,27 @@ let escape_probability ~k t =
   *. 2.0
   *. Spv_stats.Special.big_phi (-.k)
 
+let absorb_dust ~k ~eps t =
+  check_k ~where:"Affine.absorb_dust" k;
+  if not (Float.is_finite eps && eps >= 0.0) then
+    invalid_arg "Affine.absorb_dust: eps must be finite and non-negative";
+  let keep, dust =
+    List.partition (fun (_, c) -> Float.abs c > eps) (Array.to_list t.terms)
+  in
+  if dust = [] then t
+  else
+    let span =
+      List.fold_left (fun acc (_, c) -> acc +. (k *. Float.abs c)) 0.0 dust
+    in
+    {
+      t with
+      terms = Array.of_list keep;
+      rem = Interval.add t.rem (Interval.sym span);
+      (* Each absorbed symbol's box can still fail; keep its escape
+         budget by charging one concentration event per absorbed term. *)
+      events = t.events + List.length dust;
+    }
+
 (* Phi((x - m) / s), degenerating to the step function at s = 0. *)
 let phi_at ~mu ~sigma x =
   if sigma > 0.0 then Spv_stats.Special.big_phi ((x -. mu) /. sigma)

@@ -106,6 +106,22 @@ val escape_probability : k:float -> t -> float
     box, each chord event may fail, and the Gaussian linear part may
     leave its [+-k sigma] band. *)
 
+val absorb_dust : k:float -> eps:float -> t -> t
+(** Move every linear term with [|coefficient| <= eps] into the
+    interval remainder, widened by [+- k |coefficient|] — an exact
+    transfer under the box hypothesis — and charge one concentration
+    event per absorbed term so {!escape_probability} still budgets its
+    box.  This rescues probability statements about near-cancelled
+    differences of structurally equal forms: two sums of the same
+    terms composed in different association order cancel to
+    floating-point dust rather than to the empty term list, and a dust
+    coefficient would otherwise send {!cdf_bounds} down the Gaussian
+    branch — turning an exact tie's step function into a spurious
+    [Phi(0) = 1/2].  Callers pick [eps] relative to the {e operand}
+    scale of the subtraction (the form itself cannot distinguish dust
+    from a genuinely tiny quantity).  Raises [Invalid_argument] on
+    invalid [k] or a negative/non-finite [eps]. *)
+
 val cdf_bounds : k:float -> t -> float -> Interval.t
 (** [cdf_bounds ~k t x] encloses [P{value <= x}]: the linear part is
     exactly Gaussian, the remainder shifts the threshold both ways,

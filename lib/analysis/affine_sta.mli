@@ -71,6 +71,18 @@ val stage_factor_form :
     sampler.  [sys_row] is the stage's row of the spatial-correlation
     Cholesky factor.  Exposed for tests. *)
 
+val model_form : Spv_stats.Mvn.t -> int -> Affine.t
+(** Exact affine form of one stage's delay in the MVN's Cholesky
+    ([Factor]) basis: center = marginal mean, coefficients = the
+    stage's Cholesky row, remainder 0.  This is {e the} model the
+    engine's samplers draw from, so probabilities computed from these
+    forms are exact Gaussian statements about the sampled worlds. *)
+
+val spatial_rows : Spv_engine.Engine.Ctx.t -> float array array
+(** Rows of the Cholesky factor of the stage-position spatial
+    correlation — the [Sys] basis of the gate-level forms, matching
+    the sampler's field bit-for-bit.  Gate-level contexts only. *)
+
 val yield_bounds : t -> t_target:float -> Interval.t
 (** Yield envelope from the pipeline forms' {!Affine.cdf_bounds},
     hulled over the model/gate-level variants and intersected with the

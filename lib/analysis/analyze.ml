@@ -5,6 +5,7 @@ type result = {
   bounds : Bounds.t;
   affine : Affine_sta.t;
   criticality : Static_criticality.t array option;
+  cones : Cones.t;
 }
 
 let verdict_findings ~pass ~what ~t_target checks =
@@ -166,6 +167,8 @@ let run ?k ?t_target ?(hier = false) ctx =
              (fun i c -> Static_criticality.findings ~stage:i c)
              (Array.to_list cs))
   in
+  let cones = Cones.analyse ?k ?t_target ctx in
+  let cone_findings = Cones.findings cones in
   let check_findings =
     match t_target with
     | None -> []
@@ -178,6 +181,7 @@ let run ?k ?t_target ?(hier = false) ctx =
     Report.sorted
       (Report.of_findings
          (bounds_findings @ affine_findings @ pipeline_findings
-        @ reconv_findings @ crit_findings @ check_findings @ hier_findings))
+        @ reconv_findings @ crit_findings @ cone_findings @ check_findings
+        @ hier_findings))
   in
-  { report; bounds; affine; criticality }
+  { report; bounds; affine; criticality; cones }

@@ -12,6 +12,11 @@
       ({!Structure.pipeline_findings});
     - ["criticality"] — static criticality and prunability, gate-level
       contexts only ({!Static_criticality});
+    - ["cones"] — failure-cone criticality: per-stage (and, gate-level
+      only, per-gate) criticality probability bounds, the statistical
+      slack form with sensitivity attribution (with a [t_target]), and
+      the ranked dominant failure cones whose shift directions drive
+      the engine's [Cone_guided] importance proposal ({!Cones});
     - ["bounds-check"] — with a [t_target], the closed-form engine
       estimators (clark / independent / quadrature) are evaluated and
       asserted against the Fréchet yield bounds; a violation is an
@@ -32,6 +37,7 @@ type result = {
   bounds : Bounds.t;
   affine : Affine_sta.t;
   criticality : Static_criticality.t array option;  (** per stage; gate-level only *)
+  cones : Cones.t;  (** failure-cone criticality pass *)
 }
 
 val run :

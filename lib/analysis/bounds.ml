@@ -149,7 +149,12 @@ let yield_bounds t ~t_target =
       miss_sum := !miss_sum +. (1.0 -. phi);
       min_phi := Float.min !min_phi phi)
     t.marginals;
-  Interval.make ~lo:(Float.max 0.0 (1.0 -. !miss_sum)) ~hi:!min_phi
+  (* lo <= hi holds mathematically (1 - sum_j (1 - phi_j) <= phi_g for
+     every g), but on a single-stage pipeline the union lower is
+     1 - (1 - phi) and the round trip can land one ulp above min_phi. *)
+  Interval.make
+    ~lo:(Float.min (Float.max 0.0 (1.0 -. !miss_sum)) !min_phi)
+    ~hi:!min_phi
 
 (* ---- estimate checking ---------------------------------------------- *)
 

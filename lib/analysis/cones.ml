@@ -1,0 +1,615 @@
+module Engine = Spv_engine.Engine
+module Mvn = Spv_stats.Mvn
+module Special = Spv_stats.Special
+module Netlist = Spv_circuit.Netlist
+module Sta = Spv_circuit.Sta
+
+(* Failure-cone criticality analysis.
+
+   Everything here is derived from the affine forms of {!Affine_sta} —
+   the exact models of what the engine's samplers draw — so every
+   probability below is a guaranteed enclosure, not an estimate:
+
+   - stage criticality: {stage s sets the pipeline delay}
+     = intersection over j <> s of {X_j <= X_s}.  Both bounds are
+     exact Gaussian statements, because every pairwise difference of
+     model forms is purely affine (no chord remainder): the lower
+     bound is the union bound on the complement,
+     1 - sum_j P{X_j > X_s}, the upper bound is P{X_c <= X_s} for the
+     reference (largest-mean other) stage c.  Chord-max forms are
+     deliberately kept out of these events: at k = 6 the relu chord
+     overshoots the true max by O(k sigma), which would make any
+     max-form-based lower bound vacuous;
+
+   - gate criticality (within a stage): the stage delay is exactly
+     the max over input-to-output gate paths of the path's delay sum,
+     and each path sum is an affine form with no chord remainder.  So
+     when the stage has at most [path_cap] paths, the lower bound is
+     again a union bound over near-exact events: P{g critical}
+     >= 1 - sum over paths q avoiding g of P{sum_q > path_g}, with
+     path_g the best nominal path through g.  Stages with more paths
+     fall back to reading the chord-max stage form against path_g —
+     sound, but usually vacuous at k = 6 (see the stage note above).
+     The upper bound is the probability that the chord-max
+     through-form of g reaches the exact form of the nominal critical
+     path, intersected with {!Static_criticality}'s corner proof: a
+     gate proven never critical inside the +-k box can only be
+     critical on the escape mass of the box, so its upper bound is
+     clamped to the stage form's escape budget. *)
+
+let check_k ~where k =
+  if not (Float.is_finite k && k > 0.0) then
+    invalid_arg (where ^ ": k must be finite and positive")
+
+let default_threshold = 0.05
+
+(* ---- stage-level criticality (model forms, Factor basis) ------------- *)
+
+type stage_crit = {
+  sc_stage : int;
+  sc_crit : Interval.t;
+  sc_depth : float option;
+}
+
+let prob_interval iv =
+  Interval.make
+    ~lo:(Float.max 0.0 (Interval.lo iv))
+    ~hi:(Float.min 1.0 (Interval.hi iv))
+
+(* Cancellation floor for a difference of two forms: anything below
+   this in the difference is floating-point dust from the subtraction,
+   not model content (structurally equal sums composed in different
+   association order cancel to ~ulp-sized coefficients, never to
+   exactly zero). *)
+let dust_eps a b =
+  let scale f = Float.abs (Affine.center f) +. Affine.sigma f in
+  1e-9 *. Float.max 1.0 (Float.max (scale a) (scale b))
+
+(* P{a > b} for two purely affine forms: their difference is an exact
+   Gaussian, so this is a plain Phi evaluation (step function when the
+   forms are proportional or tied — including ties up to cancellation
+   dust, where Phi(mu/sigma) of two dust quantities would be
+   garbage). *)
+let prob_exceeds a b =
+  let d = Affine.sub a b in
+  let mu = Affine.center d and sigma = Affine.sigma d in
+  let eps = dust_eps a b in
+  if sigma > eps then Special.big_phi (mu /. sigma)
+  else if mu > eps then 1.0
+  else 0.0
+
+let stage_criticalities mvn ~model_forms ~t_target =
+  let n = Array.length model_forms in
+  (* Reference stage: largest marginal mean; for the reference itself,
+     the runner-up. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b -> compare (Mvn.mean mvn b, a) (Mvn.mean mvn a, b))
+    order;
+  let best = order.(0) in
+  let second = if n > 1 then order.(1) else best in
+  Array.init n (fun s ->
+      let form = model_forms.(s) in
+      let lower =
+        if n = 1 then 1.0
+        else
+          let miss = ref 0.0 in
+          for j = 0 to n - 1 do
+            if j <> s then miss := !miss +. prob_exceeds model_forms.(j) form
+          done;
+          Float.max 0.0 (1.0 -. !miss)
+      in
+      let upper =
+        if n = 1 then 1.0
+        else
+          let c = if s = best then second else best in
+          1.0 -. prob_exceeds model_forms.(c) form
+      in
+      let depth =
+        match t_target with
+        | None -> None
+        | Some t ->
+            let g = Mvn.marginal mvn s in
+            let sigma = Spv_stats.Gaussian.sigma g in
+            if sigma > 0.0 then
+              Some ((t -. Spv_stats.Gaussian.mu g) /. sigma)
+            else None
+      in
+      {
+        sc_stage = s;
+        sc_crit = Interval.make ~lo:(Float.min lower upper) ~hi:upper;
+        sc_depth = depth;
+      })
+
+(* ---- gate-level criticality (one stage) ------------------------------ *)
+
+(* Mirrors Affine_sta.stage_sta_form but keeps the whole DAG of forms:
+   forward arrival forms, backward continuation ("down") forms, and
+   the exact affine sums along the best *nominal* path through each
+   gate.  Nodes are in topological order by construction of
+   [Netlist.make]. *)
+type stage_gates = {
+  sg_bounds : Interval.t array;  (** per node; [0,0] for inputs and
+                                     gates reaching no output *)
+  sg_reaches : bool array;  (** reaches a primary output *)
+  sg_escape : float;  (** escape budget of the stage's chord-max form *)
+}
+
+(* Stages with at most this many input-to-output gate paths get the
+   tight path-union gate criticality lower bound; larger stages fall
+   back to the (usually vacuous) chord-max bound. *)
+let path_cap = 1024
+
+let gate_criticalities ~k ctx ~sys_row ~stage =
+  let tech = Engine.Ctx.tech ctx in
+  let net = Engine.Ctx.netlist ctx stage in
+  let nominal = Engine.Ctx.nominal_sta ctx stage in
+  let n = Netlist.n_nodes net in
+  let zero = Affine.const 0.0 in
+  let gate_form = Array.make n zero in
+  let arrival = Array.make n zero in
+  (* Exact affine sum along the best nominal input-to-node path. *)
+  let up_path = Array.make n zero in
+  for i = 0 to n - 1 do
+    match Netlist.node net i with
+    | Netlist.Primary_input _ -> ()
+    | Netlist.Gate { fanin; _ } ->
+        let factor =
+          Affine_sta.stage_factor_form ~k tech ~sys_row ~stage ~node:i
+            ~size:(Netlist.size net i)
+        in
+        gate_form.(i) <- Affine.scale factor nominal.Sta.gate_delays.(i);
+        let latest =
+          Array.fold_left
+            (fun acc f -> Affine.max2 ~k acc arrival.(f))
+            zero fanin
+        in
+        arrival.(i) <- Affine.add latest gate_form.(i);
+        let best_pred =
+          Array.fold_left
+            (fun acc f ->
+              match acc with
+              | None -> Some f
+              | Some b ->
+                  if nominal.Sta.arrival.(f) > nominal.Sta.arrival.(b) then
+                    Some f
+                  else acc)
+            None fanin
+        in
+        let base =
+          match best_pred with
+          | Some p when nominal.Sta.arrival.(p) > 0.0 -> up_path.(p)
+          | _ -> zero
+        in
+        up_path.(i) <- Affine.add base gate_form.(i)
+  done;
+  let outputs = Netlist.outputs net in
+  let is_output = Array.make n false in
+  Array.iter (fun o -> is_output.(o) <- true) outputs;
+  let d_form = Affine.max_many ~k (Array.map (fun o -> arrival.(o)) outputs) in
+  (* Backward: chord-max continuation forms, nominal best continuation
+     (exact affine sum) and output reachability. *)
+  let reaches = Array.make n false in
+  let down = Array.make n zero in
+  let down_nom = Array.make n neg_infinity in
+  let down_path = Array.make n zero in
+  for i = n - 1 downto 0 do
+    let cands = ref (if is_output.(i) then [ zero ] else []) in
+    if is_output.(i) then begin
+      reaches.(i) <- true;
+      down_nom.(i) <- 0.0;
+      down_path.(i) <- zero
+    end;
+    List.iter
+      (fun g ->
+        if Netlist.is_gate net g && reaches.(g) then begin
+          cands := Affine.add gate_form.(g) down.(g) :: !cands;
+          reaches.(i) <- true;
+          let via = nominal.Sta.gate_delays.(g) +. down_nom.(g) in
+          if via > down_nom.(i) then begin
+            down_nom.(i) <- via;
+            down_path.(i) <- Affine.add gate_form.(g) down_path.(g)
+          end
+        end)
+      (Netlist.fanouts net i);
+    match !cands with
+    | [] -> ()
+    | cs -> down.(i) <- Affine.max_many ~k (Array.of_list cs)
+  done;
+  (* Exact affine form of the nominal critical path — the upper
+     bound's reference: every critical gate's through-value reaches at
+     least this path's length. *)
+  let ref_path =
+    List.fold_left
+      (fun acc g -> Affine.add acc gate_form.(g))
+      zero nominal.Sta.critical_path
+  in
+  let escape = Affine.escape_probability ~k d_form in
+  let static = Static_criticality.analyse ~k ~output_load:(Engine.Ctx.output_load ctx) tech net in
+  (* Path enumeration for the union-bound lower (see the module note):
+     a full path starts at a gate with no gate fanin and ends at an
+     output gate.  Positive gate delays mean the stage max is always
+     attained on a full path, so the enumeration covers the max
+     exactly.  Counts saturate at [path_cap + 1]. *)
+  let paths =
+    let count = Array.make n 0 in
+    let sat a b = if a + b > path_cap + 1 then path_cap + 1 else a + b in
+    for i = 0 to n - 1 do
+      match Netlist.node net i with
+      | Netlist.Primary_input _ -> ()
+      | Netlist.Gate { fanin; _ } ->
+          let c =
+            Array.fold_left
+              (fun acc f ->
+                if Netlist.is_gate net f then sat acc count.(f) else acc)
+              0 fanin
+          in
+          count.(i) <- (if c = 0 then 1 else c)
+    done;
+    let total =
+      Array.fold_left
+        (fun acc o -> if Netlist.is_gate net o then sat acc count.(o) else acc)
+        0 outputs
+    in
+    if total > path_cap then None
+    else begin
+      let acc = ref [] in
+      (* Suffix enumeration from each output backward over gate fanins. *)
+      let rec go suffix i =
+        let suffix = i :: suffix in
+        let gate_fanin =
+          match Netlist.node net i with
+          | Netlist.Gate { fanin; _ } ->
+              Array.to_list
+                (Array.of_seq
+                   (Seq.filter (Netlist.is_gate net) (Array.to_seq fanin)))
+          | Netlist.Primary_input _ -> []
+        in
+        match gate_fanin with
+        | [] ->
+            let form =
+              List.fold_left
+                (fun f g -> Affine.add f gate_form.(g))
+                (Affine.const 0.0) suffix
+            in
+            let members = Array.make n false in
+            List.iter (fun g -> members.(g) <- true) suffix;
+            acc := (form, members) :: !acc
+        | fs -> List.iter (go suffix) fs
+      in
+      Array.iter (fun o -> if Netlist.is_gate net o then go [] o) outputs;
+      Some !acc
+    end
+  in
+  (* Difference of two forms with the subtraction's cancellation dust
+     absorbed into the remainder: keeps an exact tie (same path sum
+     composed in different association order) on the step-function
+     branch of [cdf_bounds] instead of a spurious Phi(0) = 1/2. *)
+  let diff a b = Affine.absorb_dust ~k ~eps:(dust_eps a b) (Affine.sub a b) in
+  (* Upper side of P{a > b} through the sound cdf enclosure (remainder
+     and escape mass included). *)
+  let exceed_hi a b =
+    1.0 -. Float.max 0.0 (Interval.lo (Affine.cdf_bounds ~k (diff a b) 0.0))
+  in
+  let bounds =
+    Array.init n (fun i ->
+        if (not (Netlist.is_gate net i)) || not reaches.(i) then
+          Interval.point 0.0
+        else begin
+          let through = Affine.add arrival.(i) down.(i) in
+          let path = Affine.add up_path.(i) down_path.(i) in
+          let lower =
+            match paths with
+            | Some qs when static.Static_criticality.active.(i) ->
+                let miss = ref 0.0 in
+                List.iter
+                  (fun (form, members) ->
+                    if not members.(i) then
+                      miss := !miss +. exceed_hi form path)
+                  qs;
+                Float.max 0.0 (1.0 -. !miss)
+            | _ ->
+                Float.max 0.0
+                  (Interval.lo (Affine.cdf_bounds ~k (diff d_form path) 0.0))
+          in
+          let upper =
+            Float.min 1.0
+              (Interval.hi (Affine.cdf_bounds ~k (diff ref_path through) 0.0))
+          in
+          (* Corner-proof intersection: a statically pruned gate can
+             only be critical outside the +-k box. *)
+          let upper =
+            if static.Static_criticality.active.(i) then upper
+            else Float.min upper (Float.min 1.0 escape)
+          in
+          Interval.make ~lo:(Float.min lower upper) ~hi:upper
+        end)
+  in
+  { sg_bounds = bounds; sg_reaches = reaches; sg_escape = escape }
+
+(* ---- dominant failure cones ------------------------------------------ *)
+
+type cone = {
+  cn_stage : int;
+  cn_stem : int;
+  cn_gates : int array;
+  cn_gate_crit : Interval.t;
+  cn_crit : Interval.t;
+  cn_shift : float array;
+  cn_depth : float option;
+}
+
+(* Forward reachability from the stem, restricted to gates that still
+   reach an output: the cone's member set. *)
+let cone_gates net ~reaches ~stem =
+  let n = Netlist.n_nodes net in
+  let seen = Array.make n false in
+  let acc = ref [] in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      if Netlist.is_gate net i && reaches.(i) then acc := i :: !acc;
+      List.iter go (Netlist.fanouts net i)
+    end
+  in
+  go stem;
+  Array.of_list (List.sort compare !acc)
+
+let frechet_and a b =
+  prob_interval
+    (Interval.make
+       ~lo:(Float.max 0.0 (Interval.lo a +. Interval.lo b -. 1.0))
+       ~hi:(Float.min (Interval.hi a) (Interval.hi b)))
+
+(* Unit shift direction of one stage in the whitened (Cholesky/Factor)
+   noise basis: row_s / sigma_s has norm 1 and is the direction of the
+   minimal-norm design point for {X_s = t}. *)
+let stage_unit_shift mvn s =
+  let row = Mvn.cholesky_row mvn s in
+  let sigma = Spv_stats.Gaussian.sigma (Mvn.marginal mvn s) in
+  if sigma > 0.0 then Some (Array.map (fun l -> l /. sigma) row) else None
+
+let rank_cones cones =
+  let score c =
+    ( Interval.lo c.cn_crit,
+      Interval.lo c.cn_gate_crit,
+      Interval.hi c.cn_crit )
+  in
+  List.sort
+    (fun a b ->
+      match compare (score b) (score a) with
+      | 0 -> compare (a.cn_stage, a.cn_stem) (b.cn_stage, b.cn_stem)
+      | c -> c)
+    cones
+
+(* ---- the pass -------------------------------------------------------- *)
+
+type t = {
+  co_k : float;
+  co_threshold : float;
+  co_t_target : float option;
+  co_stages : stage_crit array;
+  co_gates : stage_gates array option;
+  co_slack : Affine.t option;
+  co_cones : cone list;
+}
+
+let analyse ?(k = 6.0) ?(threshold = default_threshold) ?t_target ctx =
+  let where = "Cones.analyse" in
+  check_k ~where k;
+  if not (Float.is_finite threshold && threshold >= 0.0 && threshold <= 1.0)
+  then invalid_arg (where ^ ": threshold must be a probability");
+  (match t_target with
+  | Some t when not (Float.is_finite t) ->
+      invalid_arg (where ^ ": non-finite t_target")
+  | _ -> ());
+  let mvn = Engine.Ctx.mvn ctx in
+  let n = Engine.Ctx.n_stages ctx in
+  let model_forms = Array.init n (Affine_sta.model_form mvn) in
+  let pipe_model = Affine.max_many ~k model_forms in
+  let stages = stage_criticalities mvn ~model_forms ~t_target in
+  let slack =
+    Option.map (fun t -> Affine.sub (Affine.const t) pipe_model) t_target
+  in
+  let gates, cones =
+    if not (Engine.Ctx.gate_level ctx) then (None, [])
+    else begin
+      let rows = Affine_sta.spatial_rows ctx in
+      let per_stage =
+        Array.init n (fun s ->
+            gate_criticalities ~k ctx ~sys_row:rows.(s) ~stage:s)
+      in
+      let cones = ref [] in
+      for s = 0 to n - 1 do
+        let net = Engine.Ctx.netlist ctx s in
+        let sg = per_stage.(s) in
+        let shift = stage_unit_shift mvn s in
+        List.iter
+          (fun (stem : Structure.stem) ->
+            let members =
+              cone_gates net ~reaches:sg.sg_reaches ~stem:stem.Structure.stem
+            in
+            if Array.length members > 0 then begin
+              (* P{some member gate is critical for the stage}: at
+                 least the best single member, at most the sum. *)
+              let lo, hi =
+                Array.fold_left
+                  (fun (lo, hi) g ->
+                    let b = sg.sg_bounds.(g) in
+                    (Float.max lo (Interval.lo b), hi +. Interval.hi b))
+                  (0.0, 0.0) members
+              in
+              let gate_crit =
+                Interval.make ~lo:(Float.min lo 1.0) ~hi:(Float.min hi 1.0)
+              in
+              let crit = frechet_and stages.(s).sc_crit gate_crit in
+              match shift with
+              | None -> ()
+              | Some u ->
+                  cones :=
+                    {
+                      cn_stage = s;
+                      cn_stem = stem.Structure.stem;
+                      cn_gates = members;
+                      cn_gate_crit = gate_crit;
+                      cn_crit = crit;
+                      cn_shift = u;
+                      cn_depth = stages.(s).sc_depth;
+                    }
+                    :: !cones
+            end)
+          (Structure.stems net)
+      done;
+      (Some per_stage, rank_cones !cones)
+    end
+  in
+  {
+    co_k = k;
+    co_threshold = threshold;
+    co_t_target = t_target;
+    co_stages = stages;
+    co_gates = gates;
+    co_slack = slack;
+    co_cones = cones;
+  }
+
+let dominant_cones t =
+  List.filter (fun c -> Interval.lo c.cn_crit >= t.co_threshold) t.co_cones
+
+let gate_bounds t ~stage =
+  match t.co_gates with
+  | None -> None
+  | Some per_stage -> Some (Array.copy per_stage.(stage).sg_bounds)
+
+let slack_attribution t =
+  match t.co_slack with None -> [] | Some s -> Affine.attribution s
+
+(* ---- analyzer-derived importance proposal ---------------------------- *)
+
+(* The engine-facing fast path: stage-level criticality only (no
+   netlist traversal), because proposal construction sits on the
+   sampling hot path.  A stage dominates when its criticality lower
+   bound clears the threshold; the mixture then has one mode per stage
+   that can cross the barrier, shifted to its *uncapped* design point
+   (depth (t - mu_s) / sigma_s along row_s / sigma_s — the legacy
+   mixture caps this depth at 6, which strands deep-tail proposals
+   short of the barrier; see DESIGN §10), weighted by criticality x
+   marginal exceedance.  [None] — no dominating stage — tells the
+   engine to keep its legacy mixture. *)
+let proposal ?(k = 6.0) ?(threshold = default_threshold) ctx ~t_target =
+  check_k ~where:"Cones.proposal" k;
+  if not (Float.is_finite t_target) then
+    invalid_arg "Cones.proposal: non-finite t_target";
+  let mvn = Engine.Ctx.mvn ctx in
+  let n = Mvn.dim mvn in
+  let model_forms = Array.init n (Affine_sta.model_form mvn) in
+  let stages =
+    stage_criticalities mvn ~model_forms ~t_target:(Some t_target)
+  in
+  let dominates =
+    Array.exists (fun s -> Interval.lo s.sc_crit >= threshold) stages
+  in
+  if not dominates then None
+  else begin
+    let shifts = ref [] and alphas = ref [] in
+    for s = n - 1 downto 0 do
+      match (stage_unit_shift mvn s, stages.(s).sc_depth) with
+      | Some u, Some depth when depth > 0.0 ->
+          shifts := Array.map (fun c -> c *. depth) u :: !shifts;
+          (* Criticality-weighted marginal exceedance, floored so that
+             no mode and no alpha degenerates to an exact zero. *)
+          let crit = Float.max (Interval.lo stages.(s).sc_crit) 1e-3 in
+          let tail = Float.max (Special.upper_tail depth) 1e-300 in
+          alphas := (crit *. tail) :: !alphas
+      | _ -> ()
+    done;
+    match !shifts with
+    | [] ->
+        (* Barrier at or below every stage mean: a body target.  Hand
+           the engine an explicit zero shift so its body detection
+           reports the plain-MC fallback. *)
+        Some ([| Array.make n 0.0 |], [| 1.0 |])
+    | ss -> Some (Array.of_list ss, Array.of_list !alphas)
+  end
+
+let install_engine_proposal () =
+  Engine.register_proposal_provider (fun ctx ~t_target ->
+      proposal ctx ~t_target)
+
+(* ---- findings -------------------------------------------------------- *)
+
+let findings t =
+  let num v = Report.Num v in
+  let stage_findings =
+    Array.to_list t.co_stages
+    |> List.map (fun s ->
+           let data =
+             [
+               ("crit_lower", num (Interval.lo s.sc_crit));
+               ("crit_upper", num (Interval.hi s.sc_crit));
+             ]
+             @
+             match s.sc_depth with
+             | None -> []
+             | Some d -> [ ("tail_depth", num d) ]
+           in
+           let severity =
+             if Interval.is_finite s.sc_crit then Report.Info else Report.Error
+           in
+           Report.finding ~severity ~location:(Report.Stage s.sc_stage)
+             ~pass:"cones" ~data "stage criticality bounds")
+  in
+  let cone_findings =
+    let dom = dominant_cones t in
+    List.filteri (fun i _ -> i < 5) (rank_cones dom)
+    |> List.map (fun c ->
+           Report.finding ~severity:Report.Warn
+             ~location:(Report.Node { stage = c.cn_stage; node = c.cn_stem })
+             ~pass:"cones"
+             ~data:
+               [
+                 ("gates", Report.Int (Array.length c.cn_gates));
+                 ("crit_lower", num (Interval.lo c.cn_crit));
+                 ("crit_upper", num (Interval.hi c.cn_crit));
+                 ("gate_crit_lower", num (Interval.lo c.cn_gate_crit));
+                 ("gate_crit_upper", num (Interval.hi c.cn_gate_crit));
+               ]
+             "dominant failure cone at reconvergent stem")
+  in
+  let slack_findings =
+    match (t.co_slack, t.co_t_target) with
+    | Some slack, Some target ->
+        let nominal = Affine.center slack in
+        let sigma = Affine.sigma slack in
+        let attrib =
+          List.map
+            (fun (cls, s) -> ("sigma_" ^ cls, num s))
+            (Affine.attribution slack)
+        in
+        let severity = if nominal < 0.0 then Report.Warn else Report.Info in
+        [
+          Report.finding ~severity ~pass:"cones"
+            ~data:
+              ([
+                 ("t_target", num target);
+                 ("nominal_slack", num nominal);
+                 ("slack_sigma", num sigma);
+               ]
+              @ attrib)
+            "statistical slack to T_target";
+        ]
+    | _ -> []
+  in
+  let summary =
+    let dom = dominant_cones t in
+    Report.finding ~pass:"cones"
+      ~data:
+        [
+          ("stages", Report.Int (Array.length t.co_stages));
+          ("cones", Report.Int (List.length t.co_cones));
+          ("dominant_cones", Report.Int (List.length dom));
+          ("threshold", num t.co_threshold);
+        ]
+      "failure-cone criticality summary"
+  in
+  (summary :: slack_findings) @ stage_findings @ cone_findings

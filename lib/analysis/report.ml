@@ -138,8 +138,9 @@ let json_finding f =
 (* Bump on any structural change to the JSON document (new top-level
    fields, renamed keys): consumers pin on this, not on the CLI
    version.  2 = schema_version field added alongside the affine
-   pass. *)
-let schema_version = 2
+   pass.  3 = cones pass (failure-cone criticality, statistical slack,
+   dominant-cone rankings) added to every analyze document. *)
+let schema_version = 3
 
 let to_json t =
   let findings = String.concat ",\n    " (List.map json_finding t.findings) in

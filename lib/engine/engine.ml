@@ -407,6 +407,13 @@ type method_ =
 
 type stop_reason = Closed_form | Converged | Sample_cap | Fixed_n
 
+type proposal = Legacy | Cone_guided
+
+type proposal_used =
+  | Prop_legacy
+  | Prop_cone of int
+  | Prop_plain
+
 type estimate = {
   value : float;
   std_error : float;
@@ -414,6 +421,8 @@ type estimate = {
   method_ : method_;
   stop : stop_reason;
   hier_bound : float option;
+  ess : float option;
+  proposal : proposal_used option;
 }
 
 let method_name = function
@@ -436,6 +445,18 @@ let stop_reason_name = function
   | Sample_cap -> "sample-cap"
   | Fixed_n -> "fixed-n"
 
+let proposal_name = function Legacy -> "legacy" | Cone_guided -> "cone"
+
+let proposal_of_string = function
+  | "legacy" -> Some Legacy
+  | "cone" -> Some Cone_guided
+  | _ -> None
+
+let proposal_used_name = function
+  | Prop_legacy -> "legacy"
+  | Prop_cone _ -> "cone"
+  | Prop_plain -> "plain-fallback"
+
 let pp_estimate ppf e =
   (if e.stop = Closed_form then
      Format.fprintf ppf "%.6f (%s, %s)" e.value (method_name e.method_)
@@ -443,6 +464,14 @@ let pp_estimate ppf e =
    else
      Format.fprintf ppf "%.6f +- %.2g (%s, n=%d, %s)" e.value e.std_error
        (method_name e.method_) e.n_samples (stop_reason_name e.stop));
+  (match e.proposal with
+  | None -> ()
+  | Some (Prop_cone m) -> Format.fprintf ppf " [cone, %d mode%s]" m
+      (if m = 1 then "" else "s")
+  | Some p -> Format.fprintf ppf " [%s]" (proposal_used_name p));
+  (match e.ess with
+  | None -> ()
+  | Some s -> Format.fprintf ppf " [ess=%.1f]" s);
   match e.hier_bound with
   | None -> ()
   | Some b -> Format.fprintf ppf " [|flat-hier| <= %.3g]" b
@@ -473,6 +502,23 @@ let set_debug_checks b = debug_checks := b
 let debug_checks_enabled () = !debug_checks
 let register_estimate_check f = estimate_checks := [ f ]
 let add_estimate_check f = estimate_checks := !estimate_checks @ [ f ]
+
+(* ---- analyzer-derived importance proposals --------------------------- *)
+
+(* [Spv_analysis.Cones] registers its failure-cone proposal builder
+   here — the same function-pointer pattern as the estimate checks, so
+   the engine keeps not depending on the analysis layer.  The provider
+   maps (ctx, t_target) to whitened mixture shifts in the stage-MVN's
+   Cholesky basis plus unnormalised mixture weights; [None] means no
+   cone dominates and the estimator falls back to the legacy
+   per-stage mean-shift mixture. *)
+
+type proposal_provider =
+  Ctx.t -> t_target:float -> (float array array * float array) option
+
+let proposal_provider : proposal_provider option ref = ref None
+let register_proposal_provider f = proposal_provider := Some f
+let proposal_provider_installed () = !proposal_provider <> None
 
 let postcondition ~where ctx ~t_target e =
   (if !debug_checks then
@@ -678,7 +724,67 @@ let closed ~method_ value =
     method_;
     stop = Closed_form;
     hier_bound = None;
+    ess = None;
+    proposal = None;
   }
+
+(* One importance-sampling run shared by yield and loss: resolves the
+   proposal (analyzer cones when requested and available, the legacy
+   per-stage mixture otherwise), detects body targets — max whitened
+   shift below [Importance.body_shift_threshold], where mean-shifting
+   is statistically inert — and falls back to plain Monte-Carlo with
+   the explicit [Prop_plain] marker instead of silently degrading
+   (DESIGN §8).  Returns the failure probability side; ESS is the
+   self-normalised weight diagnostic (sum w)^2 / sum w^2 computed from
+   the merged shard moments. *)
+let importance_loss ~where ~proposal ~jobs ~shards ~seed ~n ctx ~t_target =
+  let jobs = resolve_jobs ~where jobs in
+  check_positive ~where "n" n;
+  let mvn = Ctx.mvn ctx in
+  let cone_shifts =
+    match proposal with
+    | Legacy -> None
+    | Cone_guided -> (
+        match !proposal_provider with
+        | None -> None
+        | Some f -> f ctx ~t_target)
+  in
+  let plan =
+    match cone_shifts with
+    | Some (shifts, alphas) ->
+        Spv_stats.Importance.plan ~z_shifts:shifts ~z_alphas:alphas mvn
+          ~threshold:t_target
+    | None -> Spv_stats.Importance.plan mvn ~threshold:t_target
+  in
+  if
+    Spv_stats.Importance.max_shift_norm plan
+    < Spv_stats.Importance.body_shift_threshold
+  then begin
+    (* Body target: every useful shift is ~0, so reweighted sampling
+       is plain sampling with extra variance in the bookkeeping.  Run
+       the plain Bernoulli estimator and say so. *)
+    let make_trial rng () = Mvn.sample_max mvn rng > t_target in
+    let fails = bernoulli_fixed ~jobs ~shards ~seed ~n ~make_trial in
+    let p = float_of_int fails /. float_of_int n in
+    let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int n) in
+    (p, se, float_of_int fails, Prop_plain)
+  end
+  else begin
+    let make_trial rng () = Spv_stats.Importance.draw_weight plan rng in
+    let n_run, mean, m2 = moments_fixed ~jobs ~shards ~seed ~n ~make_trial in
+    let p_fail, se = mean_se (n_run, mean, m2) in
+    let se = if Float.is_finite se then se else 0.0 in
+    let fn = float_of_int n_run in
+    let sum = fn *. mean in
+    let sum_sq = m2 +. (fn *. mean *. mean) in
+    let ess = if sum_sq > 0.0 then sum *. sum /. sum_sq else 0.0 in
+    let used =
+      match cone_shifts with
+      | Some (shifts, _) -> Prop_cone (Array.length shifts)
+      | None -> Prop_legacy
+    in
+    (p_fail, se, ess, used)
+  end
 
 let cdf0 g t = if G.sigma g = 0.0 then (if G.mu g <= t then 1.0 else 0.0) else G.cdf g t
 let sf0 g t = if G.sigma g = 0.0 then (if G.mu g <= t then 0.0 else 1.0) else G.sf g t
@@ -771,9 +877,10 @@ let check_target ~where t_target =
   if not (Float.is_finite t_target) then
     invalid_arg (where ^ ": non-finite t_target")
 
-let yield ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
-    ?(seed = default_seed) ?(n = 10_000) ?(batch = 1024) ?(min_samples = 1000)
-    ?(rel_se_target = 0.01) ?(max_samples = 1_000_000) ctx ~t_target =
+let yield ?(method_ = Adaptive_mc) ?(proposal = Legacy) ?jobs
+    ?(shards = default_shards) ?(seed = default_seed) ?(n = 10_000)
+    ?(batch = 1024) ?(min_samples = 1000) ?(rel_se_target = 0.01)
+    ?(max_samples = 1_000_000) ctx ~t_target =
   let where = "Engine.yield" in
   check_target ~where t_target;
   check_positive ~where "shards" shards;
@@ -799,7 +906,7 @@ let yield ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       let p = float_of_int successes /. float_of_int n in
       let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int n) in
       { value = p; std_error = se; n_samples = n; method_; stop = Fixed_n;
-        hier_bound = None }
+        hier_bound = None; ess = None; proposal = None }
   | Adaptive_mc ->
       let jobs = resolve_jobs ~where jobs in
       check_positive ~where "batch" batch;
@@ -816,17 +923,11 @@ let yield ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       let p = float_of_int successes /. float_of_int drawn in
       let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int drawn) in
       { value = p; std_error = se; n_samples = drawn; method_; stop;
-        hier_bound = None }
+        hier_bound = None; ess = None; proposal = None }
   | Importance ->
-      let jobs = resolve_jobs ~where jobs in
-      check_positive ~where "n" n;
-      let plan =
-        Spv_stats.Importance.plan (Ctx.mvn ctx) ~threshold:t_target
+      let p_fail, se, ess, used =
+        importance_loss ~where ~proposal ~jobs ~shards ~seed ~n ctx ~t_target
       in
-      let make_trial rng () = Spv_stats.Importance.draw_weight plan rng in
-      let merged = moments_fixed ~jobs ~shards ~seed ~n ~make_trial in
-      let p_fail, se = mean_se merged in
-      let se = if Float.is_finite se then se else 0.0 in
       {
         value = Float.max 0.0 (Float.min 1.0 (1.0 -. p_fail));
         std_error = se;
@@ -834,11 +935,13 @@ let yield ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
         method_;
         stop = Fixed_n;
         hier_bound = None;
+        ess = Some ess;
+        proposal = Some used;
       }
 
-let yield_targets ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
-    ?(seed = default_seed) ?(n = 10_000) ?batch ?min_samples ?rel_se_target
-    ?max_samples ctx ~t_targets =
+let yield_targets ?(method_ = Adaptive_mc) ?proposal ?jobs
+    ?(shards = default_shards) ?(seed = default_seed) ?(n = 10_000) ?batch
+    ?min_samples ?rel_se_target ?max_samples ctx ~t_targets =
   let where = "Engine.yield_targets" in
   if Array.length t_targets = 0 then invalid_arg (where ^ ": no targets");
   Array.iter (check_target ~where) t_targets;
@@ -866,12 +969,14 @@ let yield_targets ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
               stop = Fixed_n;
               hier_bound =
                 hier_bound_yield ctx ~method_ ~t_target:t_targets.(k);
+              ess = None;
+              proposal = None;
             })
         successes
   | _ ->
       Array.map
         (fun t_target ->
-          yield ~method_ ?jobs ~shards ~seed ~n ?batch ?min_samples
+          yield ~method_ ?proposal ?jobs ~shards ~seed ~n ?batch ?min_samples
             ?rel_se_target ?max_samples ctx ~t_target)
         t_targets
 
@@ -880,9 +985,10 @@ let clark_loss ctx ~t_target =
   if G.sigma g = 0.0 then if G.mu g <= t_target then 0.0 else 1.0
   else G.sf g t_target
 
-let yield_loss ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
-    ?(seed = default_seed) ?(n = 10_000) ?(batch = 1024) ?(min_samples = 1000)
-    ?(rel_se_target = 0.01) ?(max_samples = 1_000_000) ctx ~t_target =
+let yield_loss ?(method_ = Adaptive_mc) ?(proposal = Legacy) ?jobs
+    ?(shards = default_shards) ?(seed = default_seed) ?(n = 10_000)
+    ?(batch = 1024) ?(min_samples = 1000) ?(rel_se_target = 0.01)
+    ?(max_samples = 1_000_000) ctx ~t_target =
   let where = "Engine.yield_loss" in
   check_target ~where t_target;
   check_positive ~where "shards" shards;
@@ -910,7 +1016,7 @@ let yield_loss ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       let p = float_of_int fails /. float_of_int n in
       let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int n) in
       { value = p; std_error = se; n_samples = n; method_; stop = Fixed_n;
-        hier_bound = None }
+        hier_bound = None; ess = None; proposal = None }
   | Adaptive_mc ->
       let jobs = resolve_jobs ~where jobs in
       check_positive ~where "batch" batch;
@@ -927,15 +1033,11 @@ let yield_loss ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       let p = float_of_int fails /. float_of_int drawn in
       let se = sqrt (Float.max 0.0 (p *. (1.0 -. p)) /. float_of_int drawn) in
       { value = p; std_error = se; n_samples = drawn; method_; stop;
-        hier_bound = None }
+        hier_bound = None; ess = None; proposal = None }
   | Importance ->
-      let jobs = resolve_jobs ~where jobs in
-      check_positive ~where "n" n;
-      let plan = Spv_stats.Importance.plan (Ctx.mvn ctx) ~threshold:t_target in
-      let make_trial rng () = Spv_stats.Importance.draw_weight plan rng in
-      let merged = moments_fixed ~jobs ~shards ~seed ~n ~make_trial in
-      let p_fail, se = mean_se merged in
-      let se = if Float.is_finite se then se else 0.0 in
+      let p_fail, se, ess, used =
+        importance_loss ~where ~proposal ~jobs ~shards ~seed ~n ctx ~t_target
+      in
       {
         value = Float.max 0.0 (Float.min 1.0 p_fail);
         std_error = se;
@@ -943,6 +1045,8 @@ let yield_loss ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
         method_;
         stop = Fixed_n;
         hier_bound = None;
+        ess = Some ess;
+        proposal = Some used;
       }
 
 let delay_mean ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
@@ -964,7 +1068,7 @@ let delay_mean ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       let mean, se = mean_se merged in
       let se = if Float.is_finite se then se else 0.0 in
       { value = mean; std_error = se; n_samples = n; method_; stop = Fixed_n;
-        hier_bound = None }
+        hier_bound = None; ess = None; proposal = None }
   | Adaptive_mc ->
       let jobs = resolve_jobs ~where jobs in
       check_positive ~where "batch" batch;
@@ -982,7 +1086,7 @@ let delay_mean ?(method_ = Adaptive_mc) ?jobs ?(shards = default_shards)
       let mean, se = mean_se merged in
       let se = if Float.is_finite se then se else 0.0 in
       { value = mean; std_error = se; n_samples = drawn; method_; stop;
-        hier_bound = None }
+        hier_bound = None; ess = None; proposal = None }
   | (Exact_independent | Importance | Quadrature) as m ->
       invalid_arg
         (Printf.sprintf "%s: method %s unsupported (use clark, mc or adaptive)"
@@ -1064,4 +1168,6 @@ let abb_mc_yield ?policy ?jobs ?(shards = default_shards)
     method_ = Mc;
     stop = Fixed_n;
     hier_bound = None;
+    ess = None;
+    proposal = None;
   }

@@ -108,14 +108,14 @@ let engine_ctx () =
    an estimator contract, and the oracle must still pass every
    invariant on it — a violation here is exactly the exit-9
    counterexample the fuzzer hunts. *)
-let oracle_case name build_ctx =
+let oracle_case ?invariants name build_ctx =
   {
     name;
     expect = Expect_ok;
     run =
       (fun () ->
         let ctx = build_ctx () in
-        let checks, violations = Oracle.check_ctx ctx ~seed:42 in
+        let checks, violations = Oracle.check_ctx ?invariants ctx ~seed:42 in
         match violations with
         | [] -> Ok (Printf.sprintf "%d oracle check(s)" checks)
         | v :: _ -> Error (Oracle.violation_to_error v));
@@ -648,6 +648,27 @@ let corpus () =
           (Spv_circuit.Generators.inverter_chain_pipeline ~stages:2 ~depth:4
              ())
           (fuzz_process ~inter:80.0 ~random:80.0 ~sys:80.0 ~leff:0.15 ()));
+    oracle_case "oracle/mean-vs-sigma-cone-ranking"
+      ~invariants:
+        [ Oracle.Envelope; Oracle.Containment; Oracle.Nesting; Oracle.Replay ]
+        (* Agreement is excluded: Clark's moment match is documented to
+           be weak at the body of this deliberately bimodal max; the
+           ranking contract lives in the Envelope tail ceiling. *)
+      (fun () ->
+        (* Stage 0 holds the nominal critical path (10 ps higher mean,
+           ~93% of the body criticality) but stage 1's doubled sigma
+           owns the 4-sigma tail by an order of magnitude.  A cone
+           ranking ordered by nominal delay or body criticality
+           instead of criticality-weighted exceedance would shift the
+           cone-guided sampler along stage 0, and the tightened 2%
+           tail-ceiling envelope would catch the resulting collapse —
+           so this case pins the ranking contract. *)
+        match
+          Checked.pipeline_of_moments ~mus:[| 100.0; 90.0 |]
+            ~sigmas:[| 3.0; 6.0 |] ~rho:0.0 ()
+        with
+        | Ok p -> Spv_engine.Engine.Ctx.of_pipeline p
+        | Error e -> failwith (Errors.to_string e));
   ]
 
 let run_all () =

@@ -245,9 +245,15 @@ let check_ctx ?(tolerances = default_tolerances) ?(invariants = all_invariants)
             let yb = Bounds.yield_bounds b ~t_target:t_tail in
             let loss_lo = 1.0 -. Interval.hi yb in
             let loss_hi = 1.0 -. Interval.lo yb in
+            (* Cone-guided: the analyzer's criticality-weighted mixture
+               shifts to the uncapped design point, so the deep-tail
+               estimate is accurate enough for a 2% relative envelope
+               (the legacy mixture needed 5% here before the cones
+               pass existed). *)
+            Spv_analysis.Cones.install_engine_proposal ();
             let imp_loss =
-              E.yield_loss ~method_:E.Importance ~seed ~n:importance_n ctx
-                ~t_target:t_tail
+              E.yield_loss ~method_:E.Importance ~proposal:E.Cone_guided ~seed
+                ~n:importance_n ctx ~t_target:t_tail
             in
             let quad_loss =
               E.yield_loss ~method_:E.Quadrature ctx ~t_target:t_tail
@@ -258,13 +264,19 @@ let check_ctx ?(tolerances = default_tolerances) ?(invariants = all_invariants)
                checks. *)
             let slack = tol.agree_z *. imp_loss.E.std_error in
             check Envelope
-              (imp_loss.E.value >= (loss_lo *. 0.95) -. slack -. 1e-15
-              && imp_loss.E.value <= (loss_hi *. 1.05) +. slack +. 1e-15)
+              (imp_loss.E.value >= (loss_lo *. 0.98) -. slack -. 1e-15
+              && imp_loss.E.value <= (loss_hi *. 1.02) +. slack +. 1e-15)
               (fun () ->
                 Printf.sprintf
                   "importance tail loss %.3g outside union-bound envelope \
-                   [%.3g, %.3g] at t=%.6g"
-                  imp_loss.E.value loss_lo loss_hi t_tail);
+                   [%.3g, %.3g] at t=%.6g (proposal %s, ess %s)"
+                  imp_loss.E.value loss_lo loss_hi t_tail
+                  (match imp_loss.E.proposal with
+                  | Some p -> E.proposal_used_name p
+                  | None -> "-")
+                  (match imp_loss.E.ess with
+                  | Some s -> Printf.sprintf "%.1f" s
+                  | None -> "-"));
             (* Clark-family closed forms are NOT held to the Fréchet
                floor here: moment-matching the max can shrink sigma_T
                below a dominant stage's sigma, so the Clark tail loss

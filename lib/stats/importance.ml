@@ -79,7 +79,16 @@ type plan = {
   p_cumulative : float array;
 }
 
-let plan ?z_shifts mvn ~threshold =
+(* Below this whitened-shift norm the proposal is statistically
+   indistinguishable from plain sampling (the likelihood ratio stays
+   within e^{0.5^2/2} ~ 13% of 1 on typical draws): the target sits in
+   the body and mean-shifting buys nothing.  Callers should detect
+   this via [max_shift_norm] and fall back to plain Monte-Carlo with
+   an explicit marker instead of silently reporting importance-grade
+   output (DESIGN §8's importance-at-body contract limit). *)
+let body_shift_threshold = 0.5
+
+let plan ?z_shifts ?z_alphas mvn ~threshold =
   let d = Mvn.dim mvn in
   let shifts, alphas =
     match z_shifts with
@@ -91,8 +100,29 @@ let plan ?z_shifts mvn ~threshold =
             if Array.length s <> d then
               invalid_arg "Importance.plan: shift dimension mismatch")
           ss;
-        (ss, Array.make (Array.length ss) (1.0 /. float_of_int (Array.length ss)))
-    | None -> default_mixture mvn ~threshold
+        let k = Array.length ss in
+        let alphas =
+          match z_alphas with
+          | None -> Array.make k (1.0 /. float_of_int k)
+          | Some ws ->
+              if Array.length ws <> k then
+                invalid_arg "Importance.plan: alpha/shift length mismatch";
+              let total =
+                Array.fold_left
+                  (fun acc w ->
+                    if not (w > 0.0) || not (Float.is_finite w) then
+                      invalid_arg
+                        "Importance.plan: alphas must be finite positive";
+                    acc +. w)
+                  0.0 ws
+              in
+              Array.map (fun w -> w /. total) ws
+        in
+        (ss, alphas)
+    | None ->
+        if z_alphas <> None then
+          invalid_arg "Importance.plan: z_alphas requires z_shifts";
+        default_mixture mvn ~threshold
   in
   let cumulative =
     let acc = ref 0.0 in
@@ -109,6 +139,15 @@ let plan ?z_shifts mvn ~threshold =
     p_alphas = alphas;
     p_cumulative = cumulative;
   }
+
+let max_shift_norm p =
+  Array.fold_left
+    (fun acc shift ->
+      let sq = Array.fold_left (fun s t -> s +. (t *. t)) 0.0 shift in
+      Float.max acc (sqrt sq))
+    0.0 p.p_shifts
+
+let n_modes p = Array.length p.p_shifts
 
 let draw_weight p rng =
   let k = Array.length p.p_shifts in

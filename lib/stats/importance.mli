@@ -27,12 +27,30 @@ type plan
     their weights, built once per (mvn, threshold).  Safe to share
     across domains; pair with one {!Rng.t} per domain. *)
 
-val plan : ?z_shifts:float array array -> Mvn.t -> threshold:float -> plan
+val plan :
+  ?z_shifts:float array array -> ?z_alphas:float array -> Mvn.t ->
+  threshold:float -> plan
 (** Build the mixture plan.  [z_shifts] (one whitened shift per
-    mixture component, equal mixture weights when given explicitly)
-    defaults to the automatic per-stage construction described above.
-    Raises [Invalid_argument] on an empty or dimension-mismatched
-    shift set. *)
+    mixture component) defaults to the automatic per-stage
+    construction described above; [z_alphas] (unnormalised positive
+    mixture weights, one per explicit shift) defaults to equal
+    weights.  Raises [Invalid_argument] on an empty or
+    dimension-mismatched shift set, a length-mismatched or
+    non-positive alpha set, or [z_alphas] without [z_shifts]. *)
+
+val body_shift_threshold : float
+(** 0.5 — the documented whitened-shift norm below which a mean-shift
+    proposal is statistically indistinguishable from plain sampling.
+    Estimators should treat a plan whose {!max_shift_norm} is below
+    this as a {e body} target and fall back to plain Monte-Carlo with
+    an explicit marker (DESIGN §8). *)
+
+val max_shift_norm : plan -> float
+(** Largest L2 norm over the plan's whitened mixture shifts (0 for the
+    degenerate every-component-past-the-barrier plan). *)
+
+val n_modes : plan -> int
+(** Number of mixture components. *)
 
 val draw_weight : plan -> Rng.t -> float
 (** One importance-sampling trial: the reweighted failure indicator

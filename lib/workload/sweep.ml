@@ -4,7 +4,7 @@ module Stage = Spv_core.Stage
 module Pipeline = Spv_core.Pipeline
 module Macro = Spv_circuit.Macro
 
-let schema_version = 2
+let schema_version = 3
 
 type scenario = {
   index : int;
@@ -54,7 +54,7 @@ let ctx_for ?(mode = Engine.Flat) ?macro_table ~tech source
    at Monte-Carlo resolution; importance sampling estimates the loss
    directly and the yield is derived from it (bit-identical to
    [Engine.yield], which computes [1 - p_fail] the same way). *)
-let eval_method ~jobs ~seed ~n ~shards ctx method_ targets =
+let eval_method ~jobs ~seed ~n ~shards ?proposal ctx method_ targets =
   match (method_ : Engine.method_) with
   | Mc ->
       let estimates =
@@ -75,7 +75,8 @@ let eval_method ~jobs ~seed ~n ~shards ctx method_ targets =
       Array.map
         (fun t_target ->
           let l =
-            Engine.yield_loss ~method_ ?jobs ~shards ~seed ~n ctx ~t_target
+            Engine.yield_loss ~method_ ?proposal ?jobs ~shards ~seed ~n ctx
+              ~t_target
           in
           ({ l with Engine.value = clamp01 (1.0 -. l.Engine.value) },
            l.Engine.value))
@@ -88,7 +89,7 @@ let eval_method ~jobs ~seed ~n ~shards ctx method_ targets =
           (e, l.Engine.value))
         targets
 
-let run ?(mode = Engine.Flat) ?jobs ?(seed = Engine.default_seed)
+let run ?(mode = Engine.Flat) ?proposal ?jobs ?(seed = Engine.default_seed)
     ?(tech = Spv_process.Tech.bptm70) (grid : Grid.t) =
   (match Grid.validate grid with
   | Ok () -> ()
@@ -133,7 +134,8 @@ let run ?(mode = Engine.Flat) ?jobs ?(seed = Engine.default_seed)
             (fun method_ ->
               let evals =
                 eval_method ~jobs ~seed ~n:grid.Grid.n
-                  ~shards:grid.Grid.shards ctx method_ grid.Grid.targets
+                  ~shards:grid.Grid.shards ?proposal ctx method_
+                  grid.Grid.targets
               in
               Array.iteri
                 (fun k (estimate, loss) ->
@@ -185,15 +187,25 @@ let row_to_json r =
     | None -> "null"
     | Some b -> Printf.sprintf "%.17g" b
   in
+  let ess =
+    match e.Engine.ess with
+    | None -> "null"
+    | Some s -> Printf.sprintf "%.17g" s
+  in
+  let proposal =
+    match e.Engine.proposal with
+    | None -> "null"
+    | Some p -> Printf.sprintf "\"%s\"" (Engine.proposal_used_name p)
+  in
   Printf.sprintf
-    "{\"schema_version\":%d,\"scenario\":%d,\"source\":\"%s\",\"process\":\"%s\",\"method\":\"%s\",\"t_target\":%.17g,\"yield\":%.17g,\"std_error\":%.17g,\"n_samples\":%d,\"stop\":\"%s\",\"loss\":%.17g,\"hier_bound\":%s,\"macro_hits\":%d,\"macro_misses\":%d}"
+    "{\"schema_version\":%d,\"scenario\":%d,\"source\":\"%s\",\"process\":\"%s\",\"method\":\"%s\",\"t_target\":%.17g,\"yield\":%.17g,\"std_error\":%.17g,\"n_samples\":%d,\"stop\":\"%s\",\"loss\":%.17g,\"hier_bound\":%s,\"macro_hits\":%d,\"macro_misses\":%d,\"ess\":%s,\"proposal\":%s}"
     schema_version r.scenario.index
     (json_escape r.scenario.source)
     (json_escape r.scenario.process)
     (Engine.method_name r.scenario.method_)
     r.scenario.t_target e.Engine.value e.Engine.std_error e.Engine.n_samples
     (Engine.stop_reason_name e.Engine.stop)
-    r.loss hier_bound r.macro_hits r.macro_misses
+    r.loss hier_bound r.macro_hits r.macro_misses ess proposal
 
 let to_jsonl result =
   let buf = Buffer.create (Array.length result.rows * 160) in

@@ -17,8 +17,9 @@
     to per-target runs. *)
 
 val schema_version : int
-(** Version stamped into every JSONL row (currently 2; version 2 added
-    [hier_bound], [macro_hits] and [macro_misses]). *)
+(** Version stamped into every JSONL row (currently 3; version 2 added
+    [hier_bound], [macro_hits] and [macro_misses]; version 3 added
+    [ess] and [proposal]). *)
 
 type scenario = {
   index : int;  (** position in expansion order, 0-based *)
@@ -63,9 +64,15 @@ val ctx_for :
     {!Spv_engine.Engine.Ctx.of_circuits}; moment sources ignore both. *)
 
 val run :
-  ?mode:Spv_engine.Engine.mode -> ?jobs:int -> ?seed:int ->
+  ?mode:Spv_engine.Engine.mode -> ?proposal:Spv_engine.Engine.proposal ->
+  ?jobs:int -> ?seed:int ->
   ?tech:Spv_process.Tech.t -> Grid.t -> result
 (** Evaluate the grid (defaults: engine seed 42, {!Spv_process.Tech.bptm70}).
+    [proposal] (default [Legacy]) selects the importance-sampling
+    proposal family for [Importance] scenarios — [Cone_guided] uses the
+    registered failure-cone provider when one is installed, and is
+    resolved once per scenario before sampling so [jobs] byte-identity
+    still holds.
     Under [~mode:Hierarchical] all circuit contexts share one macro
     table, so across the process axis each block is characterised once
     per distinct (block, process) pair — a process override
@@ -79,8 +86,12 @@ val row_to_json : row -> string
 (** One JSON object (single line, no trailing newline): keys
     [schema_version, scenario, source, process, method, t_target,
     yield, std_error, n_samples, stop, loss, hier_bound, macro_hits,
-    macro_misses].  Floats printed with [%.17g] so values round-trip
-    bit-exactly; [hier_bound] is [null] for flat-mode rows. *)
+    macro_misses, ess, proposal].  Floats printed with [%.17g] so
+    values round-trip bit-exactly; [hier_bound] is [null] for
+    flat-mode rows; [ess] and [proposal] are [null] for
+    non-importance rows, otherwise the effective sample size and the
+    proposal actually used (["legacy"], ["cone"] or
+    ["plain-fallback"]). *)
 
 val to_jsonl : result -> string
 (** All rows, newline-terminated — the [spv sweep] output format. *)

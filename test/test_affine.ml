@@ -134,6 +134,37 @@ let test_affine_max2_soundness_mc () =
     done
   done
 
+(* Dust absorption: tiny coefficients move into the remainder (box
+   transfer), the escape budget keeps counting them, and a
+   near-cancelled tie lands on the step-function branch of cdf_bounds
+   instead of Phi(0) = 1/2. *)
+let test_affine_absorb_dust () =
+  let k = 6.0 in
+  let x = form 1.0 [ (sym_a, 2.0); (sym_b, 1e-14) ] in
+  let d = A.absorb_dust ~k ~eps:1e-9 x in
+  Alcotest.(check int) "dust term dropped" 1 (A.n_terms d);
+  check_float "real coefficient kept" 2.0 (A.coeff d sym_a);
+  check_float ~eps:1e-20 "remainder widened by k |coeff|" (6e-14)
+    (I.hi (A.rem d));
+  Alcotest.(check int) "absorbed term charged as an event" 1 (A.events d);
+  (* The escape budget is unchanged: one fewer term, one more event. *)
+  check_float "escape budget preserved" (A.escape_probability ~k x)
+    (A.escape_probability ~k d);
+  let clean = A.absorb_dust ~k ~eps:1e-9 (form 1.0 [ (sym_a, 2.0) ]) in
+  Alcotest.(check int) "no dust: unchanged" 0 (A.events clean);
+  (* An association-order tie: (a + b) - (a + b) computed through
+     different groupings leaves dust, and the dust-absorbed difference
+     must read as a sure tie, not a coin flip. *)
+  let tie = A.sub (form 0.0 [ (sym_a, 0.1 +. 0.2) ]) (form 0.0 [ (sym_a, 0.3) ]) in
+  Alcotest.(check bool) "dust survives exact subtraction" true
+    (A.n_terms tie > 0);
+  let b = A.cdf_bounds ~k (A.absorb_dust ~k ~eps:1e-9 tie) 0.0 in
+  check_in_range "tie reads as a step, not 1/2" ~lo:0.99 ~hi:1.0 (I.hi b);
+  check_raises_invalid "negative eps" (fun () ->
+      ignore (A.absorb_dust ~k ~eps:(-1.0) x));
+  check_raises_invalid "invalid k" (fun () ->
+      ignore (A.absorb_dust ~k:0.0 ~eps:1e-9 x))
+
 (* Remainder separation: a deep max chain over forms with remainders
    must not accumulate the sum of all remainders. *)
 let test_affine_max2_remainder_separation () =
@@ -416,7 +447,7 @@ let find_substring ~needle haystack =
   go 0
 
 let test_schema_version () =
-  Alcotest.(check int) "schema version" 2 Rp.schema_version;
+  Alcotest.(check int) "schema version" 3 Rp.schema_version;
   let doc = Rp.to_json (Rp.of_findings [ Rp.finding ~pass:"p" "m" ]) in
   let tag = Printf.sprintf "\"schema_version\": %d" Rp.schema_version in
   match (find_substring ~needle:tag doc, find_substring ~needle:"findings" doc) with
@@ -431,6 +462,7 @@ let suite =
     quick "affine linear ops" test_affine_linear_ops;
     quick "affine escape budget" test_affine_escape_budget;
     slow "max2 soundness (MC)" test_affine_max2_soundness_mc;
+    quick "absorb_dust" test_affine_absorb_dust;
     quick "max2 remainder separation" test_affine_max2_remainder_separation;
     slow "model containment 10k" test_model_containment_10k;
     slow "gate containment 10k" test_gate_containment_10k;

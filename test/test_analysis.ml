@@ -204,6 +204,8 @@ let test_verdicts () =
       method_ = Engine.Exact_independent;
       stop = Engine.Closed_form;
       hier_bound = None;
+      ess = None;
+      proposal = None;
     }
   in
   (match B.check ~t_target:1e9 b (est 2.0) with
@@ -392,6 +394,24 @@ let test_analyze_flags_degenerate_bounds () =
   Alcotest.(check bool) "absurd k reported at Error severity" true
     (Rp.has_errors r.Spv_analysis.Analyze.report)
 
+(* On a single-stage pipeline the Fréchet union lower bound degenerates
+   to 1 - (1 - phi), and the floating-point round trip can land one ulp
+   above the min-phi upper bound — Interval.make would raise.  The
+   sigma below reproduces the exact ulp trip at t = 80 (found by
+   driving analyze over a hand-written one-gate bench). *)
+let test_yield_bounds_single_stage_ulp () =
+  let ctx = moment_ctx ~rho:0.0 [| 100.0 |] [| 9.8857275592138372 |] in
+  let b = B.of_ctx ctx in
+  for i = 0 to 400 do
+    let t_target = 60.0 +. (0.2 *. float_of_int i) in
+    let iv = B.yield_bounds b ~t_target in
+    if I.lo iv > I.hi iv then
+      Alcotest.failf "t=%g: lo %.17g > hi %.17g" t_target (I.lo iv) (I.hi iv);
+    (* single stage: the enclosure is (up to the clamp) a point *)
+    check_in_range "point enclosure" ~lo:(I.lo iv)
+      ~hi:(I.lo iv +. 1e-12) (I.hi iv)
+  done
+
 let suite =
   [
     quick "interval ops" test_interval_ops;
@@ -405,6 +425,7 @@ let suite =
     slow "every estimator within bounds (gate-level)"
       test_every_method_within_bounds_gate_level;
     quick "check verdicts" test_verdicts;
+    quick "single-stage yield bounds ulp" test_yield_bounds_single_stage_ulp;
     quick "engine debug hook" test_engine_debug_hook;
     quick "criticality invariants" test_criticality_invariants;
     slow "pruned MC bit-identical" test_pruning_bit_identical;

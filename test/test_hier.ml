@@ -207,6 +207,112 @@ let test_refresh_drops_exactly_stale_masks () =
       Alcotest.(check bool) "refreshed stage mask reset to all-true" true
         (Array.for_all Fun.id ms.(1))
 
+(* Swapping the stage order re-keys nothing: every block of both
+   stages is served from the table (a stage-level hit counts one hit
+   per block it reuses), and the swapped context's per-stage models
+   really are the swapped originals. *)
+let test_swap_stage_order_hits_cache () =
+  let a = Gen.random_logic ~name:"sa" ~inputs:5 ~gates:80 ~depth:8 ~seed:31 in
+  let b = Gen.random_logic ~name:"sb" ~inputs:5 ~gates:90 ~depth:9 ~seed:32 in
+  let table = Macro.Table.create () in
+  let build nets =
+    Engine.Ctx.of_circuits ~mode:Engine.Hierarchical ~macro_table:table
+      ~block_gates:30 tech nets
+  in
+  let c1 = build [| a; b |] in
+  let total = Engine.Ctx.n_blocks c1 0 + Engine.Ctx.n_blocks c1 1 in
+  Alcotest.(check int) "cold build misses every block" total
+    (Macro.Table.misses table);
+  Alcotest.(check int) "cold build hits nothing" 0 (Macro.Table.hits table);
+  Macro.Table.reset_counters table;
+  Alcotest.(check int) "reset clears hits" 0 (Macro.Table.hits table);
+  Alcotest.(check int) "reset clears misses" 0 (Macro.Table.misses table);
+  let c2 = build [| b; a |] in
+  Alcotest.(check int) "swapped stages: every block hits" total
+    (Macro.Table.hits table);
+  Alcotest.(check int) "swapped stages: nothing re-characterised" 0
+    (Macro.Table.misses table);
+  check_gd "stage 0 model follows the swap"
+    (Engine.Ctx.stage_delay_model c1 0)
+    (Engine.Ctx.stage_delay_model c2 1);
+  check_gd "stage 1 model follows the swap"
+    (Engine.Ctx.stage_delay_model c1 1)
+    (Engine.Ctx.stage_delay_model c2 0)
+
+(* A resize confined to one band of a pruned hierarchical context:
+   [refresh_block] re-characterises exactly that block and drops
+   exactly the refreshed stage's prune mask (now stale), keeping the
+   untouched stage's mask byte-for-byte. *)
+let test_refresh_block_drops_only_stale_mask () =
+  let mk i =
+    Gen.random_logic
+      ~name:(Printf.sprintf "rb%d" i)
+      ~inputs:5 ~gates:120 ~depth:10 ~seed:(40 + i)
+  in
+  let nets = [| mk 0; mk 1 |] in
+  let table = Macro.Table.create () in
+  let ctx =
+    Engine.Ctx.of_circuits ~mode:Engine.Hierarchical ~macro_table:table
+      ~block_gates:40 tech nets
+  in
+  let nb = Engine.Ctx.n_blocks ctx 1 in
+  Alcotest.(check bool) "several bands" true (nb >= 2);
+  let masks =
+    Array.map (fun net -> Array.make (Netlist.n_nodes net) true) nets
+  in
+  masks.(0).(0) <- false;
+  masks.(1).(0) <- false;
+  let ctx = Engine.Ctx.with_prune ctx masks in
+  let blocks = Macro.partition ~target_gates:40 nets.(1) in
+  let g = blocks.(1).Macro.b_gates.(0) in
+  Netlist.set_size nets.(1) g (Netlist.size nets.(1) g *. 2.0);
+  Macro.Table.reset_counters table;
+  let refreshed = Engine.Ctx.refresh_block ctx ~stage:1 ~block:1 in
+  Alcotest.(check int) "one block re-characterised" 1
+    (Macro.Table.misses table);
+  Alcotest.(check int) "other bands of the stage hit" (nb - 1)
+    (Macro.Table.hits table);
+  match Engine.Ctx.prune_masks refreshed with
+  | None -> Alcotest.fail "masks dropped wholesale; expected per-stage drop"
+  | Some ms ->
+      Alcotest.(check (array bool))
+        "untouched stage keeps its mask" masks.(0) ms.(0);
+      Alcotest.(check bool) "refreshed stage mask reset to all-true" true
+        (Array.for_all Fun.id ms.(1))
+
+(* Minimal-block edge: a single-gate stage is one band of one gate.
+   The counters still behave (one miss cold, one hit warm), and
+   [refresh_block ~block:0] degenerates to a whole-stage refresh with
+   no other band to hit. *)
+let test_single_gate_stage_counters_and_refresh () =
+  let net = Gen.inverter_chain ~name:"one" ~depth:1 () in
+  let table = Macro.Table.create () in
+  let build () =
+    Engine.Ctx.of_circuits ~mode:Engine.Hierarchical ~macro_table:table tech
+      [| net |]
+  in
+  let ctx = build () in
+  Alcotest.(check int) "single band" 1 (Engine.Ctx.n_blocks ctx 0);
+  Alcotest.(check int) "cold build: one miss" 1 (Macro.Table.misses table);
+  Alcotest.(check int) "cold build: no hits" 0 (Macro.Table.hits table);
+  let (_ : Engine.Ctx.t) = build () in
+  Alcotest.(check int) "warm build: one hit" 1 (Macro.Table.hits table);
+  Alcotest.(check int) "warm build: no new miss" 1 (Macro.Table.misses table);
+  let g = (Netlist.gate_ids net).(0) in
+  Netlist.set_size net g (Netlist.size net g *. 1.5);
+  Macro.Table.reset_counters table;
+  let refreshed = Engine.Ctx.refresh_block ctx ~stage:0 ~block:0 in
+  Alcotest.(check int) "refresh re-characterises the only block" 1
+    (Macro.Table.misses table);
+  Alcotest.(check int) "no other band to hit" 0 (Macro.Table.hits table);
+  let scratch = Engine.Ctx.of_circuits ~mode:Engine.Hierarchical tech [| net |] in
+  check_bits "refreshed mu == scratch mu"
+    (G.mu (Engine.Ctx.delay_distribution refreshed))
+    (G.mu (Engine.Ctx.delay_distribution scratch));
+  check_bits "refreshed sigma == scratch sigma"
+    (G.sigma (Engine.Ctx.delay_distribution refreshed))
+    (G.sigma (Engine.Ctx.delay_distribution scratch))
+
 (* ---- error bound ---------------------------------------------------- *)
 
 let test_closed_forms_within_bound () =
@@ -274,25 +380,6 @@ let test_hier_sweep_jobs_identity () =
             row.Sweep.macro_misses)
     r1.Sweep.rows
 
-(* ---- deprecation shims ---------------------------------------------- *)
-
-let test_criticality_shims_alias () =
-  let probs = [| 0.5; 0.25; 0.25 |] in
-  check_bits "Spv_core.Criticality still answers"
-    (Spv_core.Criticality.entropy probs)
-    (Spv_core.Stage_criticality.entropy probs);
-  let net = Gen.random_logic ~name:"c" ~inputs:5 ~gates:40 ~depth:6 ~seed:2 in
-  let ctx = Engine.Ctx.of_circuits tech [| net |] in
-  let via_shim = Spv_analysis.Criticality.masks_for_ctx ctx in
-  let direct = Spv_analysis.Static_criticality.masks_for_ctx ctx in
-  Alcotest.(check int) "Spv_analysis.Criticality still answers"
-    (Array.length direct) (Array.length via_shim);
-  Array.iteri
-    (fun i m ->
-      Alcotest.(check (array bool)) (Printf.sprintf "stage %d mask" i) m
-        via_shim.(i))
-    direct
-
 let suite =
   [
     quick "partition covers every gate once" test_partition_covers_once;
@@ -308,7 +395,11 @@ let suite =
       test_refresh_block_rejects_wrong_block;
     quick "refresh drops exactly stale masks"
       test_refresh_drops_exactly_stale_masks;
+    quick "swap-stage build is all cache hits" test_swap_stage_order_hits_cache;
+    quick "refresh_block drops only the stale mask"
+      test_refresh_block_drops_only_stale_mask;
+    quick "single-gate stage: counters and refresh"
+      test_single_gate_stage_counters_and_refresh;
     quick "closed forms within hier bound" test_closed_forms_within_bound;
     slow "hier sweep jobs byte-identity" test_hier_sweep_jobs_identity;
-    quick "criticality shims alias" test_criticality_shims_alias;
   ]
