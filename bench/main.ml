@@ -860,6 +860,195 @@ let run_tail_study () =
     ~closed_agrees;
   Printf.printf "  wrote BENCH_tail.json\n"
 
+(* --- certified sensitivity pruning in the sizers --------------------- *)
+
+(* Sizer work with dominance pruning off vs on, at 4 and 64 stages.
+   Pruning is required to be result-transparent, so the study asserts
+   byte-identical reports alongside the saved-work counters.  Two
+   integrations are measured: the greedy per-stage sizer (candidate
+   moves pruned by certified stat-delay sensitivity) and the global
+   Lagrangian-based yield optimiser (stage probes skipped by a
+   certified yield upper bound over the sizing box). *)
+
+module Sens_hook = Spv_sizing.Sens_hook
+module Greedy = Spv_sizing.Greedy
+module Lagr = Spv_sizing.Lagrangian
+module Global_opt = Spv_sizing.Global_opt
+module Gen = Spv_circuit.Generators
+module Netl = Spv_circuit.Netlist
+
+type sens_side = {
+  sb_seconds : float;
+  sb_evaluated : int;  (** greedy trial evaluations / global probes run *)
+  sb_skipped : int;  (** moves pruned / probes skipped *)
+}
+
+type sens_row = {
+  sr_stages : int;
+  sr_greedy_off : sens_side;
+  sr_greedy_on : sens_side;
+  sr_greedy_identical : bool;
+  sr_global_off : sens_side;
+  sr_global_on : sens_side;
+  sr_global_identical : bool;
+}
+
+(* Deliberately unbalanced depths (2..10): the deep chains are the
+   yield bottleneck while the shortest ones saturate their stage CDF
+   at the pipeline target — the probes the certified skip proves
+   away. *)
+let sens_nets n_stages =
+  Array.init n_stages (fun i ->
+      Gen.inverter_chain
+        ~name:(Printf.sprintf "chain%d" i)
+        ~depth:(2 + (2 * (i mod 5)))
+        ())
+
+let sens_z = Spv_stats.Special.big_phi_inv 0.9457
+
+let run_sens_config n_stages =
+  let tech = E.Common.base_tech in
+  let ff = Spv_process.Flipflop.default tech in
+  let nets = sens_nets n_stages in
+  let targets =
+    Array.map
+      (fun net ->
+        let slow = Lagr.relaxed_delay ~ff tech net ~z:sens_z in
+        let fast = Lagr.minimum_achievable_delay ~ff tech net ~z:sens_z in
+        fast +. (0.5 *. (slow -. fast)))
+      nets
+  in
+  let greedy_run enabled =
+    Sens_hook.set_enabled enabled;
+    Sens_hook.reset_stats ();
+    let reports = ref [] in
+    let seconds =
+      wall (fun () ->
+          Array.iteri
+            (fun i net ->
+              let r =
+                Greedy.size_stage ~ff tech (Netl.copy net)
+                  ~t_target:targets.(i) ~z:sens_z
+              in
+              reports := r :: !reports)
+            nets)
+    in
+    ( {
+        sb_seconds = seconds;
+        sb_evaluated = Sens_hook.stats.Sens_hook.moves_evaluated;
+        sb_skipped = Sens_hook.stats.Sens_hook.moves_pruned;
+      },
+      List.rev !reports )
+  in
+  (* Pitch the pipeline target just below the bottleneck stage's
+     minimum achievable stat delay at the per-stage yield budget: the
+     bottleneck then misses its budget, the baseline pipeline yield
+     starts below target, and ensure_yield has tightening probes to
+     run on the stages with headroom — including saturated fast
+     stages whose probes the certified skip can prove away. *)
+  let z_budget =
+    Spv_stats.Special.big_phi_inv
+      (Spv_core.Yield.per_stage_yield_target ~yield:0.8 ~n_stages)
+  in
+  let t_target =
+    0.9
+    *. Array.fold_left
+         (fun acc net ->
+           Float.max acc
+             (Lagr.minimum_achievable_delay ~ff tech net ~z:z_budget))
+         0.0 nets
+  in
+  let global_run enabled =
+    Sens_hook.set_enabled enabled;
+    Sens_hook.reset_stats ();
+    let result = ref None in
+    let seconds =
+      wall (fun () ->
+          result :=
+            Some
+              (Global_opt.ensure_yield ~ff ~max_rounds:200 tech
+                 (Array.map Netl.copy nets)
+                 ~t_target ~yield_target:0.8))
+    in
+    ( {
+        sb_seconds = seconds;
+        sb_evaluated = Sens_hook.stats.Sens_hook.probes_run;
+        sb_skipped = Sens_hook.stats.Sens_hook.probes_skipped;
+      },
+      Option.get !result )
+  in
+  let greedy_off, reports_off = greedy_run false in
+  let greedy_on, reports_on = greedy_run true in
+  let global_off, res_off = global_run false in
+  let global_on, res_on = global_run true in
+  Sens_hook.set_enabled true;
+  {
+    sr_stages = n_stages;
+    sr_greedy_off = greedy_off;
+    sr_greedy_on = greedy_on;
+    sr_greedy_identical = reports_off = reports_on;
+    sr_global_off = global_off;
+    sr_global_on = global_on;
+    sr_global_identical =
+      res_off.Global_opt.stage_targets = res_on.Global_opt.stage_targets
+      && res_off.Global_opt.stage_areas = res_on.Global_opt.stage_areas
+      && res_off.Global_opt.pipeline_yield = res_on.Global_opt.pipeline_yield;
+  }
+
+let write_sens_json path rows =
+  let b = Buffer.create 512 in
+  let side b s =
+    Printf.bprintf b
+      "{\"seconds\": %.6f, \"evaluated\": %d, \"skipped\": %d}" s.sb_seconds
+      s.sb_evaluated s.sb_skipped
+  in
+  Buffer.add_string b "{\n  \"configs\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b "    {\"stages\": %d,\n" r.sr_stages;
+      Printf.bprintf b "     \"greedy\": {\"pruning_off\": ";
+      side b r.sr_greedy_off;
+      Printf.bprintf b ", \"pruning_on\": ";
+      side b r.sr_greedy_on;
+      Printf.bprintf b ", \"reports_identical\": %b},\n"
+        r.sr_greedy_identical;
+      Printf.bprintf b "     \"global\": {\"pruning_off\": ";
+      side b r.sr_global_off;
+      Printf.bprintf b ", \"pruning_on\": ";
+      side b r.sr_global_on;
+      Printf.bprintf b ", \"results_identical\": %b}}%s\n"
+        r.sr_global_identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let run_sens_study () =
+  E.Common.section
+    "Certified sensitivity pruning: sizer work with dominance pruning off \
+     vs on";
+  Spv_analysis.Dominance.install_sizing_prune ();
+  let rows = List.map run_sens_config [ 4; 64 ] in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %2d stages  greedy: %d eval / %d pruned (%.3f s -> %.3f s) %s\n"
+        r.sr_stages r.sr_greedy_on.sb_evaluated r.sr_greedy_on.sb_skipped
+        r.sr_greedy_off.sb_seconds r.sr_greedy_on.sb_seconds
+        (if r.sr_greedy_identical then "identical"
+         else "REPORTS DIVERGED");
+      Printf.printf
+        "             global: %d probes / %d skipped (%.3f s -> %.3f s) %s\n"
+        r.sr_global_on.sb_evaluated r.sr_global_on.sb_skipped
+        r.sr_global_off.sb_seconds r.sr_global_on.sb_seconds
+        (if r.sr_global_identical then "identical"
+         else "RESULTS DIVERGED"))
+    rows;
+  write_sens_json "BENCH_sens.json" rows;
+  Printf.printf "  wrote BENCH_sens.json\n"
+
 (* --- experiment registry --------------------------------------------- *)
 
 let experiments =
@@ -911,6 +1100,10 @@ let experiments =
       "Deep-tail importance sampling: cone-guided vs legacy mixture ESS at \
        4-8 sigma (writes BENCH_tail.json)",
       run_tail_study );
+    ( "sens",
+      "Certified sensitivity pruning: sizer wall-time and evaluation counts \
+       with pruning off vs on (writes BENCH_sens.json)",
+      run_sens_study );
   ]
 
 (* --- Bechamel micro-benchmarks of the analysis kernels -------------- *)

@@ -445,7 +445,18 @@ let size_cmd =
     let doc = "Stage yield budget in (0.5, 1) defining z." in
     Arg.(value & opt float 0.9457 & info [ "stage-yield" ] ~doc)
   in
-  let run name target stage_yield =
+  let sizer =
+    let doc =
+      "Sizer: $(b,lagrangian) (default) or $(b,greedy) (TILOS-style; its \
+       candidate moves go through the certified sensitivity pruner)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("lagrangian", `Lagrangian); ("greedy", `Greedy) ])
+          `Lagrangian
+      & info [ "sizer" ] ~doc)
+  in
+  let run name target stage_yield sizer =
     handle
       (let* net = lookup_circuit name in
        if not (stage_yield > 0.5 && stage_yield < 1.0) then
@@ -456,19 +467,43 @@ let size_cmd =
          let ff = Spv_process.Flipflop.default tech in
          let z = Spv_stats.Special.big_phi_inv stage_yield in
          let before = Spv_circuit.Netlist.area net in
-         let* r = Checked.size_stage ~ff tech net ~t_target:target ~z in
-         Printf.printf
-           "sized %s: area %.1f -> %.1f, stat delay %.1f ps (target %.1f), \
-            %d iterations, converged: %b\n"
-           name before r.Spv_sizing.Lagrangian.area
-           r.Spv_sizing.Lagrangian.stat_delay target
-           r.Spv_sizing.Lagrangian.iterations r.Spv_sizing.Lagrangian.converged;
+         Spv_sizing.Sens_hook.reset_stats ();
+         let* () =
+           match sizer with
+           | `Lagrangian ->
+               let* r = Checked.size_stage ~ff tech net ~t_target:target ~z in
+               Printf.printf
+                 "sized %s: area %.1f -> %.1f, stat delay %.1f ps (target \
+                  %.1f), %d iterations, converged: %b\n"
+                 name before r.Spv_sizing.Lagrangian.area
+                 r.Spv_sizing.Lagrangian.stat_delay target
+                 r.Spv_sizing.Lagrangian.iterations
+                 r.Spv_sizing.Lagrangian.converged;
+               Ok ()
+           | `Greedy ->
+               let* r =
+                 Checked.protect ~where:"greedy sizing" (fun () ->
+                     Spv_sizing.Greedy.size_stage ~ff tech net ~t_target:target
+                       ~z)
+               in
+               Printf.printf
+                 "sized %s (greedy): area %.1f -> %.1f, stat delay %.1f ps \
+                  (target %.1f), %d move(s), converged: %b\n"
+                 name before r.Spv_sizing.Greedy.area
+                 r.Spv_sizing.Greedy.stat_delay target
+                 r.Spv_sizing.Greedy.moves r.Spv_sizing.Greedy.converged;
+               Ok ()
+         in
+         let st = Spv_sizing.Sens_hook.stats in
+         Printf.printf "sensitivity pruning: %d move(s) evaluated, %d pruned\n"
+           st.Spv_sizing.Sens_hook.moves_evaluated
+           st.Spv_sizing.Sens_hook.moves_pruned;
          Ok ())
   in
   Cmd.v
     (Cmd.info "size"
        ~doc:"Minimum-area gate sizing under a statistical delay constraint.")
-    Term.(const run $ circuit_arg $ target $ stage_yield)
+    Term.(const run $ circuit_arg $ target $ stage_yield $ sizer)
 
 (* ---- power command --------------------------------------------------- *)
 
@@ -913,6 +948,21 @@ let analyze_cmd =
               Printf.printf
                 "statistical slack:           %.2f ps nominal (sigma %.2f)\n"
                 (Spv_analysis.Affine.center s) (Spv_analysis.Affine.sigma s));
+         (let sv = r.Spv_analysis.Analyze.sensitivity in
+          let module D = Spv_analysis.Dominance in
+          if sv.D.gate_level then
+            Printf.printf
+              "sensitivity: %d size knob(s), %d certified, %d monotone\n"
+              (List.length sv.D.certs)
+              (List.length
+                 (List.filter
+                    (fun c -> c.D.gc_mu.Spv_analysis.Sensitivity.certified)
+                    sv.D.certs))
+              (List.length
+                 (List.filter
+                    (fun c ->
+                      Spv_analysis.Sensitivity.monotone_sign c.D.gc_mu <> None)
+                    sv.D.certs)));
          Printf.printf "%d finding(s): %d error(s), %d warning(s)\n"
            (List.length report.Spv_analysis.Report.findings)
            (Spv_analysis.Report.count report Spv_analysis.Report.Error)
@@ -931,7 +981,9 @@ let analyze_cmd =
           correlation-aware affine enclosures, reconvergent-fanout and \
           correlation-risk diagnostics, static criticality/prunability, \
           failure-cone criticality probabilities with statistical slack, \
-          and Fréchet/affine-envelope checks of the engine's closed-form \
+          certified sensitivity enclosures (derivatives of stage moments \
+          and yield in gate sizes over the design box), and \
+          Fréchet/affine-envelope checks of the engine's closed-form \
           yield estimators.  Error findings exit with the lint code after \
           the report is printed.")
     Term.(
@@ -1267,7 +1319,7 @@ let fuzz_cmd =
   let oracle_arg =
     let doc =
       "Comma-separated invariant subset to check (agreement, envelope, \
-       containment, nesting, certificate, replay, hier, escape).  \
+       containment, nesting, certificate, replay, hier, deriv, escape).  \
        Default: all."
     in
     Arg.(value & opt (some string) None & info [ "oracle" ] ~docv:"LIST" ~doc)
@@ -1523,14 +1575,19 @@ let fuzz_cmd =
 let () =
   (* Debug-mode postconditions: the oracles are always registered; the
      engine only consults them when SPV_DEBUG_BOUNDS is set (or a test
-     enables it explicitly), and the sizers only consult theirs when
-     SPV_CERTIFY_SIZING is set. *)
+     enables it explicitly).  The sizing certificate is the always-on
+     exit criterion — SPV_CERTIFY_SIZING=0 (or a sizer's
+     ?certify:false) opts out. *)
   Spv_analysis.Bounds.install_engine_check ();
   Spv_analysis.Affine_sta.install_engine_check ();
   Spv_analysis.Certify.install_sizing_check ();
   (* The cone-guided importance proposal: the engine only consults the
      provider when --proposal cone is selected. *)
   Spv_analysis.Cones.install_engine_proposal ();
+  (* Certified sensitivity pruning for the sizers; result-transparent
+     (skips work, never changes reports — asserted under
+     SPV_DEBUG_SENSITIVITY). *)
+  Spv_analysis.Dominance.install_sizing_prune ();
   let doc = "statistical pipeline delay / yield toolkit (DATE'05 reproduction)" in
   let info = Cmd.info "spv_cli" ~version:"1.0.0" ~doc in
   exit

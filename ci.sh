@@ -44,21 +44,40 @@ run dune build @hier     # hierarchical-SSTA suite
 run "$CLI" sweep --smoke --hier
 
 # Analyzer gate: the JSON report must carry the current schema version
-# and the failure-cone pass on both a gate-level and a moments-only
-# context.
-echo "==> $CLI analyze --format json: schema_version 3 + cones pass"
+# plus the failure-cone and sensitivity passes on both a gate-level
+# and a moments-only context.
+echo "==> $CLI analyze --format json: schema_version 4 + cones + sensitivity"
 for args in "-c c432 -t 900" "--mu 100 --mu 95 --sigma 5 --sigma 4 -t 130"; do
   # shellcheck disable=SC2086
   out=$("$CLI" analyze $args --format json)
-  echo "$out" | grep -q '"schema_version": 3' || {
-    echo "ci.sh: analyze $args JSON missing schema_version 3" >&2
+  echo "$out" | grep -q '"schema_version": 4' || {
+    echo "ci.sh: analyze $args JSON missing schema_version 4" >&2
     exit 1
   }
   echo "$out" | grep -q '"pass": "cones"' || {
     echo "ci.sh: analyze $args JSON missing the cones pass" >&2
     exit 1
   }
+  echo "$out" | grep -q '"pass": "sensitivity"' || {
+    echo "ci.sh: analyze $args JSON missing the sensitivity pass" >&2
+    exit 1
+  }
 done
+
+# Sizer gate: the greedy sizer smoke run must report its dominance
+# pruning counters (result-transparent pruning; the deriv fuzz-oracle
+# invariant below guards the enclosures it relies on).
+echo "==> $CLI size -c c432 -t 560 --sizer greedy: pruned-move counters"
+out=$("$CLI" size -c c432 -t 560 --sizer greedy)
+echo "$out" | grep -q 'sensitivity pruning: .* evaluated, .* pruned' || {
+  echo "ci.sh: greedy size run missing the sensitivity pruning counters" >&2
+  exit 1
+}
+case "$out" in
+*"0 move(s) evaluated"*)
+  echo "ci.sh: greedy smoke run evaluated no moves (target too loose?)" >&2
+  exit 1 ;;
+esac
 
 # Proposal gate: cone-guided importance sampling must select the cone
 # proposal on the smoke fixture and agree with adaptive MC (the binary

@@ -6,6 +6,7 @@ type result = {
   affine : Affine_sta.t;
   criticality : Static_criticality.t array option;
   cones : Cones.t;
+  sensitivity : Dominance.t;
 }
 
 let verdict_findings ~pass ~what ~t_target checks =
@@ -169,6 +170,8 @@ let run ?k ?t_target ?(hier = false) ctx =
   in
   let cones = Cones.analyse ?k ?t_target ctx in
   let cone_findings = Cones.findings cones in
+  let sensitivity = Dominance.analyse ?t_target ctx in
+  let sens_findings = Dominance.findings sensitivity in
   let check_findings =
     match t_target with
     | None -> []
@@ -181,7 +184,7 @@ let run ?k ?t_target ?(hier = false) ctx =
     Report.sorted
       (Report.of_findings
          (bounds_findings @ affine_findings @ pipeline_findings
-        @ reconv_findings @ crit_findings @ cone_findings @ check_findings
-        @ hier_findings))
+        @ reconv_findings @ crit_findings @ cone_findings @ sens_findings
+        @ check_findings @ hier_findings))
   in
-  { report; bounds; affine; criticality; cones }
+  { report; bounds; affine; criticality; cones; sensitivity }

@@ -17,6 +17,11 @@
       slack form with sensitivity attribution (with a [t_target]), and
       the ranked dominant failure cones whose shift directions drive
       the engine's [Cone_guided] importance proposal ({!Cones});
+    - ["sensitivity"] — certified derivative enclosures of stage
+      mu/sigma (and, with a [t_target], the Clark pipeline yield) with
+      respect to critical-path gate sizes over a relative design box,
+      with monotone-sign certificates ({!Sensitivity}, {!Dominance});
+      gate-level contexts only, degrades to a [Warn] otherwise;
     - ["bounds-check"] — with a [t_target], the closed-form engine
       estimators (clark / independent / quadrature) are evaluated and
       asserted against the Fréchet yield bounds; a violation is an
@@ -38,6 +43,7 @@ type result = {
   affine : Affine_sta.t;
   criticality : Static_criticality.t array option;  (** per stage; gate-level only *)
   cones : Cones.t;  (** failure-cone criticality pass *)
+  sensitivity : Dominance.t;  (** certified derivative enclosures pass *)
 }
 
 val run :

@@ -139,8 +139,11 @@ let json_finding f =
    fields, renamed keys): consumers pin on this, not on the CLI
    version.  2 = schema_version field added alongside the affine
    pass.  3 = cones pass (failure-cone criticality, statistical slack,
-   dominant-cone rankings) added to every analyze document. *)
-let schema_version = 3
+   dominant-cone rankings) added to every analyze document.  4 =
+   sensitivity pass (certified derivative enclosures and dominance
+   certificates over the sizing design box) added to every analyze
+   document. *)
+let schema_version = 4
 
 let to_json t =
   let findings = String.concat ",\n    " (List.map json_finding t.findings) in

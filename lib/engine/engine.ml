@@ -41,6 +41,10 @@ module Ctx = struct
     s_vth : float;
     s_leff : float;
     prune : bool array array option;
+    revisions : int array;
+        (* per-stage refresh counters: bumped by [refresh_stage] so
+           derived caches (the sizing layer's sensitivity enclosures)
+           can key on [(stage, revision)] and drop stale entries *)
     hier : hier option;
   }
 
@@ -178,6 +182,7 @@ module Ctx = struct
           s_vth = Spv_process.Tech.delay_sensitivity_vth tech;
           s_leff = Spv_process.Tech.delay_sensitivity_leff tech;
           prune = None;
+          revisions = Array.make (Array.length nets) 0;
           hier;
         }
       pipeline
@@ -217,6 +222,11 @@ module Ctx = struct
     let g = require_gate ~where:"Engine.Ctx.gate_sizes" t in
     check_stage ~where:"Engine.Ctx.gate_sizes" t i;
     Array.copy g.sizes.(i)
+
+  let stage_revision t i =
+    let g = require_gate ~where:"Engine.Ctx.stage_revision" t in
+    check_stage ~where:"Engine.Ctx.stage_revision" t i;
+    g.revisions.(i)
 
   let delay_sensitivities t =
     let g = require_gate ~where:"Engine.Ctx.delay_sensitivities" t in
@@ -314,10 +324,12 @@ module Ctx = struct
         total
     in
     let prune = drop_stage_mask g i in
+    let revisions = Array.copy g.revisions in
+    revisions.(i) <- revisions.(i) + 1;
     match g.hier with
     | None ->
         let pipeline = Pipeline.with_stage t.pipeline i (remake a.Ssta.total) in
-        finish ~gate:{ g with analyses; sizes; prune } pipeline
+        finish ~gate:{ g with analyses; sizes; prune; revisions } pipeline
     | Some h ->
         (* Re-probe the macro table under the stage's new sizes: bands
            whose gates are untouched hit the cache, so only the blocks
@@ -356,7 +368,7 @@ module Ctx = struct
           }
         in
         finish
-          ~gate:{ g with analyses; sizes; prune; hier = Some hier }
+          ~gate:{ g with analyses; sizes; prune; revisions; hier = Some hier }
           pipeline
 
   let refresh_block t ~stage ~block =

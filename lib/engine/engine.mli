@@ -134,6 +134,14 @@ module Ctx : sig
   (** Snapshot of one stage's gate sizes at context build (fresh
       array).  Gate-level contexts only. *)
 
+  val stage_revision : t -> int -> int
+  (** Monotone per-stage refresh counter: 0 at context build, bumped by
+      one each time {!refresh_stage} (or {!refresh_block}, which
+      delegates to it) re-analyses the stage.  Derived caches — the
+      sizing layer's sensitivity enclosures — key on
+      [(stage, revision)] so a refresh invalidates exactly the stale
+      entries.  Gate-level contexts only. *)
+
   val delay_sensitivities : t -> float * float
   (** Cached linearised delay-factor coefficients [(s_vth, s_leff)] of
       the technology: the sensitivities in

@@ -22,6 +22,7 @@ type invariant =
   | Certificate
   | Replay
   | Hier
+  | Deriv
   | Escape
 
 let invariant_name = function
@@ -32,6 +33,7 @@ let invariant_name = function
   | Certificate -> "certificate"
   | Replay -> "replay"
   | Hier -> "hier"
+  | Deriv -> "deriv"
   | Escape -> "escape"
 
 let all_invariants =
@@ -43,6 +45,7 @@ let all_invariants =
     Certificate;
     Replay;
     Hier;
+    Deriv;
     Escape;
   ]
 
@@ -526,6 +529,101 @@ let check_ctx ?(tolerances = default_tolerances) ?(invariants = all_invariants)
              Printf.sprintf
                "clark hier mean %.9g vs flat %.9g exceeds bound %.3g"
                hmean.E.value fmean.E.value (bound hmean))));
+  (* Deriv: certified sensitivity enclosures are sound against the
+     concrete model — the value interval contains the concrete stage
+     moments at the box centre, and (mean value theorem) every central
+     finite difference with a stencil inside the box lies in the
+     derivative interval.  Decertified enclosures report the full
+     line, so the derivative side is structurally sound there; the
+     value side is checked either way. *)
+  (if want Deriv && gate_level then
+     let module Sens = Spv_analysis.Sensitivity in
+     let module Ssta = Spv_circuit.Ssta in
+     let module Gd = Spv_process.Gate_delay in
+     guarded "deriv" (fun () ->
+         let tech = E.Ctx.tech ctx in
+         let output_load = E.Ctx.output_load ctx in
+         let ff = E.Ctx.flipflop ctx in
+         let n = E.Ctx.n_stages ctx in
+         let stage_list = if n = 1 then [ 0 ] else [ 0; n - 1 ] in
+         List.iter
+           (fun s ->
+             let net = E.Ctx.netlist ctx s in
+             let gids = Netlist.gate_ids net in
+             let n_g = Array.length gids in
+             let knobs =
+               if n_g <= 2 then Array.to_list gids
+               else [ gids.(0); gids.(n_g / 2); gids.(n_g - 1) ]
+             in
+             List.iter
+               (fun g ->
+                 let x = Netlist.size net g in
+                 let h = 0.05 *. x in
+                 let box =
+                   Interval.make ~lo:(x -. (2.0 *. h)) ~hi:(x +. (2.0 *. h))
+                 in
+                 let sens =
+                   Sens.ctx_stage ctx ~stage:s ~param:(Sens.Size g) ~box
+                 in
+                 let moments_at v =
+                   Netlist.set_size net g v;
+                   let a = Ssta.analyse_stage ~output_load ?ff tech net in
+                   Netlist.set_size net g x;
+                   (a.Ssta.total.Gd.nominal, Gd.total_sigma a.Ssta.total)
+                 in
+                 let mu0, sg0 = moments_at x in
+                 let mu_p, sg_p = moments_at (x +. h) in
+                 let mu_m, sg_m = moments_at (x -. h) in
+                 let fd p m = (p -. m) /. (2.0 *. h) in
+                 let say what iv v =
+                   Printf.sprintf
+                     "stage %d gate %d: %s %.9g outside enclosure %s (box \
+                      [%.4g, %.4g])"
+                     s g what v (Interval.to_string iv) (Interval.lo box)
+                     (Interval.hi box)
+                 in
+                 let value_slack = 1e-9 *. Float.max 1.0 (Float.abs mu0) in
+                 let deriv_slack f0 =
+                   (1e-10 *. (Float.abs f0 +. 1.0) /. h) +. 1e-9
+                 in
+                 let enc_check what (e : Sens.enclosure) v0 d =
+                   check Deriv
+                     (Interval.contains ~slack:value_slack e.Sens.value v0)
+                     (fun () -> say (what ^ " value") e.Sens.value v0);
+                   if e.Sens.certified then
+                     check Deriv
+                       (Interval.contains ~slack:(deriv_slack v0) e.Sens.deriv
+                          d)
+                       (fun () -> say (what ^ " central FD") e.Sens.deriv d)
+                 in
+                 enc_check "mu" sens.Sens.s_mu mu0 (fd mu_p mu_m);
+                 enc_check "sigma" sens.Sens.s_sigma sg0 (fd sg_p sg_m);
+                 (* Yield through the Clark mirror, against the
+                    closed-form estimator re-evaluated per stencil
+                    point via refresh_stage. *)
+                 if (not degenerate) && g = gids.(0) then begin
+                   let t = mu +. sigma in
+                   let enc =
+                     Sens.ctx_yield ctx ~model:Sens.Clark ~stage:s
+                       ~param:(Sens.Size g) ~box ~t_target:t
+                   in
+                   let yield_at v =
+                     Netlist.set_size net g v;
+                     let c = E.Ctx.refresh_stage ctx s in
+                     let y =
+                       (E.yield ~method_:E.Analytic_clark c ~t_target:t)
+                         .E.value
+                     in
+                     Netlist.set_size net g x;
+                     y
+                   in
+                   let y0 = yield_at x in
+                   let y_p = yield_at (x +. h) in
+                   let y_m = yield_at (x -. h) in
+                   enc_check "clark yield" enc y0 (fd y_p y_m)
+                 end)
+               knobs)
+           stage_list));
   (!run, List.rev !violations)
 
 (* ---- fuzz cases ----------------------------------------------------- *)

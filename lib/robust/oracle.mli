@@ -40,6 +40,11 @@
       netlist: exactly at the bound for the closed forms (the bound
       {e is} the model gap), plus combined sampling noise for
       Monte-Carlo on the macro model's MVN.
+    - {b Deriv} — certified {!Spv_analysis.Sensitivity} enclosures are
+      sound against the concrete model: the value interval contains
+      the concrete stage moments (and Clark yield), and every central
+      finite difference with a stencil inside the declared size box
+      lies in the derivative interval.
     - {b Escape} — any exception escaping one of the checks on
       lint-legal input is itself a violation (the typed error boundary
       must hold).
@@ -78,6 +83,7 @@ type invariant =
   | Certificate
   | Replay
   | Hier
+  | Deriv
   | Escape
 
 val invariant_name : invariant -> string

@@ -9,11 +9,15 @@ type check =
 
 let checker : check option ref = ref None
 
+(* Always-on sizer exit criterion (the ROADMAP promotion of the old
+   opt-in hook): SPV_CERTIFY_SIZING=""/"0" opts out, anything else —
+   including unset — leaves it enabled.  Callers that need to skip a
+   single run use the sizers' [?certify:false] escape hatch instead. *)
 let enabled =
   ref
     (match Sys.getenv_opt "SPV_CERTIFY_SIZING" with
-    | None | Some "" | Some "0" -> false
-    | Some _ -> true)
+    | Some "" | Some "0" -> false
+    | None | Some _ -> true)
 
 let set_enabled b = enabled := b
 let is_enabled () = !enabled

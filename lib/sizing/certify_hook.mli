@@ -1,13 +1,17 @@
-(** Optional sizing-result certificate hook.
+(** Sizing-result certificate hook — the always-on sizer exit
+    criterion.
 
     Mirrors the engine's [SPV_DEBUG_BOUNDS] postcondition pattern: the
     analysis layer registers a certificate oracle here (a function
-    pointer, so sizing does not depend on analysis), and when the hook
-    is enabled — [set_enabled true], or the [SPV_CERTIFY_SIZING]
-    environment variable set to anything but [""]/["0"] at startup —
-    every {!Lagrangian.size_stage} / {!Greedy.size_stage} report is
-    handed to the oracle before being returned.  A refuted certificate
-    raises [Failure "<where>: sizing certificate refuted: <msg>"].
+    pointer, so sizing does not depend on analysis).  The hook is
+    {e enabled by default}; setting the [SPV_CERTIFY_SIZING]
+    environment variable to [""]/["0"] at startup (or calling
+    [set_enabled false]) opts out globally, and the sizers'
+    [?certify:false] argument opts out for a single call.  When
+    enabled, every {!Lagrangian.size_stage} / {!Greedy.size_stage}
+    report is handed to the oracle before being returned.  A refuted
+    certificate raises
+    [Failure "<where>: sizing certificate refuted: <msg>"].
 
     [Spv_analysis.Certify.install_sizing_check] registers the
     eq. 10–13 design-space membership check. *)

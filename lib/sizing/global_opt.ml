@@ -114,6 +114,28 @@ let ensure_yield_ctx ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25)
   let ctx = ref ctx0 in
   let refresh s = ctx := Engine.Ctx.refresh_stage !ctx s in
   let pipeline_yield () = eval_yield yield_model !ctx ~t_target in
+  let sizing_opts = Option.value options ~default:Lagrangian.default_options in
+  (* A rejected probe restores the snapshot and refreshes, leaving the
+     context equivalent to never having probed — so a certified proof
+     that the probe's yield cannot clear [current +. 1e-9] lets us
+     skip the whole snapshot / re-size / refresh round trip without
+     changing the result.  The 5e-10 margin keeps the certified test
+     strictly inside the concrete acceptance threshold. *)
+  let probe_certified_rejected ~current s =
+    match Sens_hook.yield_skip () with
+    | None -> false
+    | Some skip ->
+        skip
+          {
+            Sens_hook.ye_ctx = !ctx;
+            ye_stage = s;
+            ye_t_target = t_target;
+            ye_current = current;
+            ye_independent = (yield_model = Independent);
+            ye_min_size = sizing_opts.Lagrangian.min_size;
+            ye_max_size = sizing_opts.Lagrangian.max_size;
+          }
+  in
   let rec rounds remaining =
     if remaining = 0 then ()
     else begin
@@ -128,22 +150,29 @@ let ensure_yield_ctx ?options ?ff ?(pitch = 1.0) ?(max_rounds = 25)
             if not !improved then begin
               let candidate = targets.(s) *. (1.0 -. tighten) in
               if candidate > min_achievable.(s) then begin
-                let snapshot = Net.sizes_snapshot nets.(s) in
-                ignore
-                  (Lagrangian.size_stage ?options ?ff tech nets.(s)
-                     ~t_target:candidate ~z);
-                refresh s;
-                let trial = pipeline_yield () in
-                if trial > current +. 1e-9 then begin
-                  Log.debug (fun m ->
-                      m "tighten stage %d to %.1f ps: yield %.4f -> %.4f" s
-                        candidate current trial);
-                  targets.(s) <- candidate;
-                  improved := true
-                end
+                if probe_certified_rejected ~current s then
+                  Sens_hook.stats.Sens_hook.probes_skipped <-
+                    Sens_hook.stats.Sens_hook.probes_skipped + 1
                 else begin
-                  Net.restore_sizes nets.(s) snapshot;
-                  refresh s
+                  Sens_hook.stats.Sens_hook.probes_run <-
+                    Sens_hook.stats.Sens_hook.probes_run + 1;
+                  let snapshot = Net.sizes_snapshot nets.(s) in
+                  ignore
+                    (Lagrangian.size_stage ?options ?ff tech nets.(s)
+                       ~t_target:candidate ~z);
+                  refresh s;
+                  let trial = pipeline_yield () in
+                  if trial > current +. 1e-9 then begin
+                    Log.debug (fun m ->
+                        m "tighten stage %d to %.1f ps: yield %.4f -> %.4f" s
+                          candidate current trial);
+                    targets.(s) <- candidate;
+                    improved := true
+                  end
+                  else begin
+                    Net.restore_sizes nets.(s) snapshot;
+                    refresh s
+                  end
                 end
               end
             end)

@@ -31,7 +31,7 @@ let stat_delay_of ~options ?ff tech net ~z =
   ( Spv_engine.Engine.Ctx.stage_delay_model ctx 0,
     Spv_engine.Engine.Ctx.stat_delay ctx ~stage:0 ~z )
 
-let size_stage ?options ?ff tech net ~t_target ~z =
+let size_stage ?options ?ff ?(certify = true) tech net ~t_target ~z =
   let options = Option.value options ~default:default_options in
   if t_target <= 0.0 then invalid_arg "Greedy.size_stage: t_target <= 0";
   Array.iter (fun i -> Net.set_size net i options.min_size) (Net.gate_ids net);
@@ -59,27 +59,89 @@ let size_stage ?options ?ff tech net ~t_target ~z =
         sta.Sta.critical_path;
       Hashtbl.fold (fun i () acc -> i :: acc) seen []
     in
-    let best : (int * float * float) option ref = ref None in
-    List.iter
-      (fun i ->
-        let size = Net.size net i in
-        let bigger = Float.min options.max_size (size *. options.step) in
-        if bigger > size +. 1e-12 then begin
-          Net.set_size net i bigger;
-          let _, trial = stat_delay_of ~options ?ff tech net ~z in
-          Net.set_size net i size;
-          let darea =
-            (match Net.node net i with
-            | Net.Gate { kind; _ } -> Cell.area_per_size kind
-            | Net.Primary_input _ -> 0.0)
-            *. (bigger -. size)
+    let move_list =
+      List.filter_map
+        (fun i ->
+          let size = Net.size net i in
+          let bigger = Float.min options.max_size (size *. options.step) in
+          if bigger > size +. 1e-12 then
+            let darea =
+              (match Net.node net i with
+              | Net.Gate { kind; _ } -> Cell.area_per_size kind
+              | Net.Primary_input _ -> 0.0)
+              *. (bigger -. size)
+            in
+            Some
+              {
+                Sens_hook.mv_node = i;
+                mv_from = size;
+                mv_to = bigger;
+                mv_darea = darea;
+              }
+          else None)
+        candidates
+    in
+    (* The accepted move is the maximum-gain improving move (first
+       among exact gain ties, in candidate order) — evaluating a
+       subset containing it yields the identical choice, which is what
+       the sensitivity pruner certifies for the moves it drops. *)
+    let eval_moves ~count keep =
+      let best : (int * float * float) option ref = ref None in
+      List.iteri
+        (fun k mv ->
+          if keep.(k) then begin
+            if count then
+              Sens_hook.stats.Sens_hook.moves_evaluated <-
+                Sens_hook.stats.Sens_hook.moves_evaluated + 1;
+            let i = mv.Sens_hook.mv_node in
+            Net.set_size net i mv.Sens_hook.mv_to;
+            let _, trial = stat_delay_of ~options ?ff tech net ~z in
+            Net.set_size net i mv.Sens_hook.mv_from;
+            let gain =
+              (!current -. trial) /. Float.max mv.Sens_hook.mv_darea 1e-9
+            in
+            match !best with
+            | Some (_, best_gain, _) when gain <= best_gain -> ()
+            | _ ->
+                if trial < !current then
+                  best := Some (i, gain, mv.Sens_hook.mv_to)
+          end)
+        move_list;
+      !best
+    in
+    let n_moves = List.length move_list in
+    let keep_all = Array.make n_moves true in
+    let keep =
+      match Sens_hook.move_prune () with
+      | None -> keep_all
+      | Some prune ->
+          let env =
+            {
+              Sens_hook.pe_tech = tech;
+              pe_net = net;
+              pe_output_load = options.output_load;
+              pe_ff = ff;
+              pe_z = z;
+            }
           in
-          let gain = (!current -. trial) /. Float.max darea 1e-9 in
-          match !best with
-          | Some (_, best_gain, _) when gain <= best_gain -> ()
-          | _ -> if trial < !current then best := Some (i, gain, bigger)
-        end)
-      candidates;
+          let pruned = prune env move_list in
+          let keep = Array.map not pruned in
+          Array.iter
+            (fun p ->
+              if p then
+                Sens_hook.stats.Sens_hook.moves_pruned <-
+                  Sens_hook.stats.Sens_hook.moves_pruned + 1)
+            pruned;
+          keep
+    in
+    let best = ref (eval_moves ~count:true keep) in
+    if Sens_hook.debug_cross_check () && keep <> keep_all then begin
+      let best_all = eval_moves ~count:false keep_all in
+      if !best <> best_all then
+        failwith
+          "Greedy.size_stage: SPV_DEBUG_SENSITIVITY: pruned move selection \
+           diverged from the full move set"
+    end;
     (match !best with
     | Some (i, _, bigger) ->
         Net.set_size net i bigger;
@@ -91,8 +153,9 @@ let size_stage ?options ?ff tech net ~t_target ~z =
   let achieved, stat_delay = stat_delay_of ~options ?ff tech net ~z in
   let converged = stat_delay <= t_target *. 1.005 in
   let g = Gd.to_gaussian achieved in
-  Certify_hook.postcondition ~where:"Greedy.size_stage" ~t_target ~z ~converged
-    ~mu:g.Spv_stats.Gaussian.mu ~sigma:g.Spv_stats.Gaussian.sigma;
+  if certify then
+    Certify_hook.postcondition ~where:"Greedy.size_stage" ~t_target ~z
+      ~converged ~mu:g.Spv_stats.Gaussian.mu ~sigma:g.Spv_stats.Gaussian.sigma;
   {
     moves = !moves;
     converged;
