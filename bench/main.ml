@@ -22,6 +22,21 @@ let wall f =
   f ();
   Unix.gettimeofday () -. t0
 
+(* Number-or-null: every float that lands in a BENCH_*.json file goes
+   through this one encoder (the JSONL twin is [Sweep.json_float]).
+   [p] renders a finite value at the writer's precision; a NaN or
+   infinite timing/ratio must become null, never a bare nan/inf token
+   that would corrupt the file for every downstream parser. *)
+let json_float p x = if Float.is_finite x then p x else "null"
+let f1 = Printf.sprintf "%.1f"
+let f2 = Printf.sprintf "%.2f"
+let f3 = Printf.sprintf "%.3f"
+let f4 = Printf.sprintf "%.4f"
+let f6 = Printf.sprintf "%.6f"
+let g3 = Printf.sprintf "%.3g"
+let g6 = Printf.sprintf "%.6g"
+let g17 = Printf.sprintf "%.17g"
+
 let jobs_sweep = ref [| 1; 2; 4 |]
 
 type scaling_row = { jobs : int; seconds : float; trials_per_sec : float }
@@ -88,10 +103,12 @@ let write_engine_json path workloads =
       List.iteri
         (fun j r ->
           Printf.bprintf b
-            "      {\"jobs\": %d, \"seconds\": %.6f, \"trials_per_sec\": \
-             %.1f, \"speedup_vs_jobs1\": %.3f}%s\n"
-            r.jobs r.seconds r.trials_per_sec
-            (r.trials_per_sec /. base)
+            "      {\"jobs\": %d, \"seconds\": %s, \"trials_per_sec\": \
+             %s, \"speedup_vs_jobs1\": %s}%s\n"
+            r.jobs
+            (json_float f6 r.seconds)
+            (json_float f1 r.trials_per_sec)
+            (json_float f3 (r.trials_per_sec /. base))
             (if j = List.length w.w_rows - 1 then "" else ","))
         w.w_rows;
       Printf.bprintf b "    ]}%s\n"
@@ -297,11 +314,16 @@ let write_affine_json path rows =
   List.iteri
     (fun i r ->
       Printf.bprintf b
-        "    {\"name\": %S, \"median_stage_ratio\": %.4f, \"delay_ratio\": \
-         %.4f, \"yield_ratio\": %.4f, \"t_target\": %.3f, \"escape\": %.3g, \
+        "    {\"name\": %S, \"median_stage_ratio\": %s, \"delay_ratio\": \
+         %s, \"yield_ratio\": %s, \"t_target\": %s, \"escape\": %s, \
          \"trials\": %d, \"model_escapes\": %d, \"gate_escapes\": %d}%s\n"
-        r.a_name (median r.a_stage_ratios) r.a_delay_ratio r.a_yield_ratio
-        r.a_t_target r.a_escape r.a_trials r.a_model_escapes r.a_gate_escapes
+        r.a_name
+        (json_float f4 (median r.a_stage_ratios))
+        (json_float f4 r.a_delay_ratio)
+        (json_float f4 r.a_yield_ratio)
+        (json_float f3 r.a_t_target)
+        (json_float g3 r.a_escape)
+        r.a_trials r.a_model_escapes r.a_gate_escapes
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Buffer.add_string b "  ]\n}\n";
@@ -393,9 +415,13 @@ let write_sweep_json path (grid : Grid.t) n_contexts rows =
   List.iteri
     (fun i r ->
       Printf.bprintf b
-        "    {\"jobs\": %d, \"cold_seconds\": %.6f, \"cached_seconds\": \
-         %.6f, \"speedup\": %.3f, \"identical_results\": %b}%s\n"
-        r.s_jobs r.s_cold r.s_cached (r.s_cold /. r.s_cached) r.s_identical
+        "    {\"jobs\": %d, \"cold_seconds\": %s, \"cached_seconds\": \
+         %s, \"speedup\": %s, \"identical_results\": %b}%s\n"
+        r.s_jobs
+        (json_float f6 r.s_cold)
+        (json_float f6 r.s_cached)
+        (json_float f3 (r.s_cold /. r.s_cached))
+        r.s_identical
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Buffer.add_string b "  ]\n}\n";
@@ -588,12 +614,12 @@ let write_hier_json path r =
   Printf.bprintf b
     "  \"grid\": {\"processes\": %d, \"sizing_states\": %d, \"targets\": %d},\n"
     hier_processes hier_sizing_states hier_targets_per_state;
-  Printf.bprintf b "  \"flat_seconds\": %.6f,\n" r.hb_flat_seconds;
-  Printf.bprintf b "  \"hier_seconds\": %.6f,\n" r.hb_hier_seconds;
-  Printf.bprintf b "  \"speedup\": %.3f,\n"
-    (r.hb_flat_seconds /. r.hb_hier_seconds);
-  Printf.bprintf b "  \"max_hier_bound\": %.17g,\n" r.hb_max_bound;
-  Printf.bprintf b "  \"max_flat_hier_gap\": %.17g,\n" r.hb_max_gap;
+  Printf.bprintf b "  \"flat_seconds\": %s,\n" (json_float f6 r.hb_flat_seconds);
+  Printf.bprintf b "  \"hier_seconds\": %s,\n" (json_float f6 r.hb_hier_seconds);
+  Printf.bprintf b "  \"speedup\": %s,\n"
+    (json_float f3 (r.hb_flat_seconds /. r.hb_hier_seconds));
+  Printf.bprintf b "  \"max_hier_bound\": %s,\n" (json_float g17 r.hb_max_bound);
+  Printf.bprintf b "  \"max_flat_hier_gap\": %s,\n" (json_float g17 r.hb_max_gap);
   Printf.bprintf b "  \"bound_violations\": %d,\n" r.hb_violations;
   Printf.bprintf b "  \"macro_hits\": %d,\n" r.hb_macro_hits;
   Printf.bprintf b "  \"macro_misses\": %d\n" r.hb_macro_misses;
@@ -633,11 +659,11 @@ let write_fuzz_json path ~trials ~seconds (s : Fuzz_run.summary) =
   Printf.bprintf b "  \"trials\": %d,\n" trials;
   Printf.bprintf b "  \"checks_run\": %d,\n" s.Fuzz_run.checks_run;
   Printf.bprintf b "  \"violations\": %d,\n" s.Fuzz_run.violations;
-  Printf.bprintf b "  \"seconds\": %.6f,\n" seconds;
-  Printf.bprintf b "  \"trials_per_sec\": %.3f,\n"
-    (float_of_int trials /. seconds);
-  Printf.bprintf b "  \"checks_per_sec\": %.1f\n"
-    (float_of_int s.Fuzz_run.checks_run /. seconds);
+  Printf.bprintf b "  \"seconds\": %s,\n" (json_float f6 seconds);
+  Printf.bprintf b "  \"trials_per_sec\": %s,\n"
+    (json_float f3 (float_of_int trials /. seconds));
+  Printf.bprintf b "  \"checks_per_sec\": %s\n"
+    (json_float f1 (float_of_int s.Fuzz_run.checks_run /. seconds));
   Buffer.add_string b "}\n";
   let oc = open_out path in
   Buffer.output_buffer oc b;
@@ -780,41 +806,52 @@ let write_tail_json path rows ~closed_est ~closed_exact ~closed_agrees =
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n";
   Printf.bprintf b "  \"stages\": %d,\n" (Array.length tail_mus);
-  Printf.bprintf b "  \"dominant\": {\"mu\": %.1f, \"sigma\": %.1f},\n"
-    tail_mus.(0) tail_sigma;
+  Printf.bprintf b "  \"dominant\": {\"mu\": %s, \"sigma\": %s},\n"
+    (json_float f1 tail_mus.(0))
+    (json_float f1 tail_sigma);
   Printf.bprintf b
-    "  \"background\": {\"mu\": %.1f, \"sigma\": %.1f, \"count\": %d},\n"
-    tail_mus.(1) tail_sigma
+    "  \"background\": {\"mu\": %s, \"sigma\": %s, \"count\": %d},\n"
+    (json_float f1 tail_mus.(1))
+    (json_float f1 tail_sigma)
     (Array.length tail_mus - 1);
   Printf.bprintf b "  \"n_per_run\": %d,\n" tail_n;
   Buffer.add_string b "  \"rows\": [\n";
   let emit_est b e =
     Printf.bprintf b
-      "{\"loss\": %.6g, \"se\": %.6g, \"ess\": %.1f, \"proposal\": %S, \
+      "{\"loss\": %s, \"se\": %s, \"ess\": %s, \"proposal\": %S, \
        \"ci_covers_closed_form\": %b}"
-      e.te_loss e.te_se e.te_ess e.te_used e.te_covers
+      (json_float g6 e.te_loss)
+      (json_float g6 e.te_se)
+      (json_float f1 e.te_ess)
+      e.te_used e.te_covers
   in
   List.iteri
     (fun i r ->
       Printf.bprintf b
-        "    {\"z\": %.2f, \"t\": %.2f, \"loss_closed\": %.6g,\n\
-        \     \"legacy\": " r.tr_z r.tr_t r.tr_closed;
+        "    {\"z\": %s, \"t\": %s, \"loss_closed\": %s,\n\
+        \     \"legacy\": "
+        (json_float f2 r.tr_z)
+        (json_float f2 r.tr_t)
+        (json_float g6 r.tr_closed);
       emit_est b r.tr_legacy;
       Buffer.add_string b ",\n     \"cone\": ";
       emit_est b r.tr_cone;
-      Printf.bprintf b ",\n     \"ess_gain\": %.1f}%s\n" r.tr_gain
+      Printf.bprintf b ",\n     \"ess_gain\": %s}%s\n"
+        (json_float f1 r.tr_gain)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Buffer.add_string b "  ],\n";
   let gain_max =
     List.fold_left (fun acc r -> Float.max acc r.tr_gain) 0.0 rows
   in
-  Printf.bprintf b "  \"ess_gain_max\": %.1f,\n" gain_max;
+  Printf.bprintf b "  \"ess_gain_max\": %s,\n" (json_float f1 gain_max);
   Printf.bprintf b "  \"deep_gain_at_least_100x\": %b,\n" (gain_max >= 100.0);
   Printf.bprintf b
-    "  \"closed_form_6sigma\": {\"exact\": %.6g, \"estimate\": %.6g, \"se\": \
-     %.6g, \"agrees_within_3se\": %b},\n"
-    closed_exact closed_est.Engine.value closed_est.Engine.std_error
+    "  \"closed_form_6sigma\": {\"exact\": %s, \"estimate\": %s, \"se\": \
+     %s, \"agrees_within_3se\": %b},\n"
+    (json_float g6 closed_exact)
+    (json_float g6 closed_est.Engine.value)
+    (json_float g6 closed_est.Engine.std_error)
     closed_agrees;
   Printf.bprintf b
     "  \"note\": \"legacy mixture caps crossing depth at 6 sigma and floors \
@@ -999,7 +1036,8 @@ let write_sens_json path rows =
   let b = Buffer.create 512 in
   let side b s =
     Printf.bprintf b
-      "{\"seconds\": %.6f, \"evaluated\": %d, \"skipped\": %d}" s.sb_seconds
+      "{\"seconds\": %s, \"evaluated\": %d, \"skipped\": %d}"
+      (json_float f6 s.sb_seconds)
       s.sb_evaluated s.sb_skipped
   in
   Buffer.add_string b "{\n  \"configs\": [\n";
@@ -1048,6 +1086,134 @@ let run_sens_study () =
     rows;
   write_sens_json "BENCH_sens.json" rows;
   Printf.printf "  wrote BENCH_sens.json\n"
+
+(* --- serve daemon study ---------------------------------------------- *)
+
+module Serve = Spv_workload.Serve
+
+(* Context-heavy, evaluation-light: two real circuits under a process
+   override with the closed-form estimator only, so the (source,
+   process) context builds (SSTA + Cholesky) dominate a cold request
+   and the LRU cache is what a warm request measures. *)
+let serve_grid_text =
+  "circuit c3540\n\
+   circuit c1908\n\
+   inter_vth_mv 60\n\
+   targets 300:400:5\n\
+   method clark\n\
+   samples 1000\n\
+   shards 4\n"
+
+let serve_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let write_serve_json path ~rows ~contexts ~cold ~warm ~workers_rows
+    ~throughput_requests ~throughput_seconds ~identical cache_stats =
+  let hits, misses, evictions = cache_stats in
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"rows_per_request\": %d, \"contexts\": %d,\n" rows
+    contexts;
+  Printf.bprintf b "  \"cold_seconds\": %s,\n" (json_float f6 cold);
+  Printf.bprintf b "  \"warm_seconds\": %s,\n" (json_float f6 warm);
+  Printf.bprintf b "  \"warm_speedup\": %s,\n" (json_float f3 (cold /. warm));
+  Printf.bprintf b "  \"rows_identical_cold_warm\": %b,\n" identical;
+  Buffer.add_string b "  \"workers\": [\n";
+  List.iteri
+    (fun i (w, s) ->
+      Printf.bprintf b "    {\"workers\": %d, \"warm_seconds\": %s}%s\n" w
+        (json_float f6 s)
+        (if i = List.length workers_rows - 1 then "" else ","))
+    workers_rows;
+  Buffer.add_string b "  ],\n";
+  Printf.bprintf b
+    "  \"throughput\": {\"requests\": %d, \"seconds\": %s, \
+     \"requests_per_sec\": %s},\n"
+    throughput_requests
+    (json_float f6 throughput_seconds)
+    (json_float f1 (float_of_int throughput_requests /. throughput_seconds));
+  Printf.bprintf b
+    "  \"cache\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d}\n" hits
+    misses evictions;
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let run_serve_study () =
+  E.Common.section
+    "Serve daemon: cold vs warm context cache, request throughput";
+  let request ?workers id =
+    Serve.request_line ?workers ~request_id:id ~seed:7 ~grid:serve_grid_text ()
+  in
+  let rows_of out =
+    List.filter (fun l -> serve_contains l "\"kind\":\"row\"") out
+  in
+  let min_of times = List.fold_left min infinity times in
+  let reps = 5 in
+  (* Cold: fresh daemon per repetition so every (source, process)
+     context is rebuilt.  Warm: one primed daemon, every context an LRU
+     hit.  Same request_id on both so the row lines (which embed it)
+     can be compared byte-for-byte; only the cache temperature differs. *)
+  let cold_out = ref [] in
+  let cold =
+    min_of
+      (List.init reps (fun _ ->
+           let fresh = Serve.create () in
+           wall (fun () -> cold_out := Serve.handle_line fresh (request "r"))))
+  in
+  let d = Serve.create () in
+  ignore (Serve.handle_line d (request "r"));
+  let warm_out = ref [] in
+  let warm =
+    min_of
+      (List.init reps (fun _ ->
+           wall (fun () -> warm_out := Serve.handle_line d (request "r"))))
+  in
+  let identical = rows_of !cold_out = rows_of !warm_out in
+  let workers_rows =
+    List.map
+      (fun w ->
+        let s =
+          wall (fun () ->
+              ignore (Serve.handle_line d (request ~workers:w "wk")))
+        in
+        (w, s))
+      [ 1; 2; 4 ]
+  in
+  let throughput_requests = 16 in
+  let throughput_seconds =
+    wall (fun () ->
+        for i = 1 to throughput_requests do
+          ignore (Serve.handle_line d (request (Printf.sprintf "t%d" i)))
+        done)
+  in
+  let rows = List.length (rows_of !cold_out) in
+  let c = Serve.cache d in
+  let contexts = Serve.Cache.length c in
+  let cache_stats =
+    (Serve.Cache.hits c, Serve.Cache.misses c, Serve.Cache.evictions c)
+  in
+  Printf.printf "  %d rows/request over %d contexts\n" rows contexts;
+  Printf.printf
+    "  cold %.4f s   warm %.4f s   -> warm-cache speedup x%.2f   %s\n" cold
+    warm (cold /. warm)
+    (if identical then "rows identical" else "ROWS DIFFER (bug!)");
+  List.iter
+    (fun (w, s) -> Printf.printf "  workers=%-2d warm %.4f s\n" w s)
+    workers_rows;
+  Printf.printf "  throughput: %d warm requests in %.3f s (%.1f req/s)\n"
+    throughput_requests throughput_seconds
+    (float_of_int throughput_requests /. throughput_seconds);
+  let hits, misses, evictions = cache_stats in
+  Printf.printf "  cache: %d hit(s), %d miss(es), %d eviction(s)\n" hits
+    misses evictions;
+  write_serve_json "BENCH_serve.json" ~rows ~contexts ~cold ~warm
+    ~workers_rows ~throughput_requests ~throughput_seconds ~identical
+    cache_stats;
+  Printf.printf "  wrote BENCH_serve.json\n"
 
 (* --- experiment registry --------------------------------------------- *)
 
@@ -1104,6 +1270,10 @@ let experiments =
       "Certified sensitivity pruning: sizer wall-time and evaluation counts \
        with pruning off vs on (writes BENCH_sens.json)",
       run_sens_study );
+    ( "serve",
+      "Evaluation daemon: cold vs warm context-cache latency and request \
+       throughput (writes BENCH_serve.json)",
+      run_serve_study );
   ]
 
 (* --- Bechamel micro-benchmarks of the analysis kernels -------------- *)

@@ -1303,6 +1303,186 @@ let sweep_cmd =
       const run $ grid_file $ format_arg $ smoke $ hier $ proposal_arg
       $ jobs_arg $ seed_arg)
 
+(* ---- serve command -------------------------------------------------- *)
+
+let serve_cmd =
+  let module Serve = Spv_workload.Serve in
+  let socket_arg =
+    let doc =
+      "Listen on a Unix-domain socket at $(docv) (serving connections \
+       sequentially, cache shared across clients) instead of reading \
+       requests from stdin."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Context-cache capacity (LRU entries)." in
+    Arg.(value & opt int 32 & info [ "capacity" ] ~doc)
+  in
+  let max_conns_arg =
+    let doc =
+      "With --socket: exit after serving this many connections (default: \
+       serve forever)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let smoke_arg =
+    let doc =
+      "One-shot self-check: feed a fixed three-request transcript (two \
+       valid requests sharing contexts, one malformed) through two fresh \
+       daemons and assert byte-identical responses, sweep-schema rows \
+       independent of --jobs/workers, warm-cache hits on the second \
+       request, and a structured error row for the malformed line."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let required_row_keys =
+    [
+      "\"kind\":\"row\""; "\"row\":{\"schema_version\":3"; "\"scenario\":";
+      "\"source\":"; "\"process\":"; "\"method\":"; "\"t_target\":";
+      "\"yield\":"; "\"std_error\":"; "\"n_samples\":"; "\"stop\":";
+      "\"loss\":"; "\"hier_bound\":"; "\"macro_hits\":"; "\"macro_misses\":";
+      "\"ess\":"; "\"proposal\":";
+    ]
+  in
+  let smoke_grid =
+    "stages 100,6 100,6 95,5\n\
+     rho 0.3\n\
+     circuit chain10\n\
+     inter_vth_mv 60\n\
+     targets 300:400:4\n\
+     method clark,mc\n\
+     samples 2000\n\
+     shards 4\n"
+  in
+  (* 3 groups (moments nominal + chain10 x {nominal, vth60mv}), 2
+     methods x 4 targets each. *)
+  let smoke_groups = 3 in
+  let smoke_rows = smoke_groups * 2 * 4 in
+  let run_smoke () =
+    let transcript () =
+      let d = Serve.create () in
+      let lines =
+        [
+          Serve.request_line ~request_id:"q1" ~seed:7 ~jobs:2 ~grid:smoke_grid
+            ();
+          Serve.request_line ~request_id:"q2" ~seed:7 ~jobs:4 ~workers:2
+            ~grid:smoke_grid ();
+          (* deliberately truncated JSON *)
+          "{\"schema_version\":1,\"request_id\":\"q3\",\"grid\":";
+        ]
+      in
+      List.concat_map (Serve.handle_line d) lines
+    in
+    let fail msg = Error (Errors.numeric ~where:"serve --smoke" msg) in
+    let* t1 = Checked.protect ~where:"serve --smoke" transcript in
+    let* t2 = Checked.protect ~where:"serve --smoke" transcript in
+    if t1 <> t2 then
+      fail "response transcript differs between two fresh daemons"
+    else
+      let rows_of rid =
+        List.filter_map
+          (fun l ->
+            if
+              contains l "\"kind\":\"row\""
+              && contains l (Printf.sprintf "\"request_id\":\"%s\"" rid)
+            then
+              (* strip the wrapper down to the embedded sweep row *)
+              match String.index_opt l '{' with
+              | Some _ ->
+                  let marker = "\"row\":" in
+                  let rec find i =
+                    if i + String.length marker > String.length l then None
+                    else if String.sub l i (String.length marker) = marker
+                    then Some (String.sub l (i + String.length marker)
+                                 (String.length l - i - String.length marker - 1))
+                    else find (i + 1)
+                  in
+                  find 0
+              | None -> None
+            else None)
+          t1
+      in
+      let rows1 = rows_of "q1" and rows2 = rows_of "q2" in
+      let done_of rid =
+        List.find_opt
+          (fun l ->
+            contains l "\"kind\":\"done\""
+            && contains l (Printf.sprintf "\"request_id\":\"%s\"" rid))
+          t1
+      in
+      let bad_row =
+        List.find_opt
+          (fun l -> List.exists (fun k -> not (contains l k)) required_row_keys)
+          (List.filter (fun l -> contains l "\"kind\":\"row\"") t1)
+      in
+      if List.length rows1 <> smoke_rows then
+        fail
+          (Printf.sprintf "expected %d rows for q1, got %d" smoke_rows
+             (List.length rows1))
+      else if rows1 <> rows2 then
+        fail "rows differ between --jobs 2/workers 1 and --jobs 4/workers 2"
+      else
+        match bad_row with
+        | Some l -> fail (Printf.sprintf "row missing a required key: %s" l)
+        | None -> (
+            match (done_of "q1", done_of "q2") with
+            | Some d1, Some d2
+              when contains d1
+                     (Printf.sprintf "\"cache_misses\":%d" smoke_groups)
+                   && contains d1 "\"cache_hits\":0"
+                   && contains d2
+                        (Printf.sprintf "\"cache_hits\":%d" smoke_groups) -> (
+                let err =
+                  List.find_opt (fun l -> contains l "\"kind\":\"error\"") t1
+                in
+                match err with
+                | Some e
+                  when contains e "\"request_id\":null"
+                       && contains e "\"status\":\"parse_error\""
+                       && contains e "\"code\":3" ->
+                    Printf.printf
+                      "serve smoke OK: %d rows, %d contexts, warm-cache \
+                       hits, byte-identical across two daemons and across \
+                       jobs/workers\n"
+                      smoke_rows smoke_groups;
+                    Ok ()
+                | Some e -> fail ("malformed-request error row wrong: " ^ e)
+                | None -> fail "no error row for the malformed request")
+            | Some _, Some _ -> fail "done rows lack expected cache counters"
+            | _ -> fail "missing done row(s)")
+  in
+  let run socket capacity max_conns smoke =
+    handle
+      (if smoke then run_smoke ()
+       else
+         match socket with
+         | Some path ->
+             Checked.protect ~where:"serve" (fun () ->
+                 let d = Serve.create ~capacity () in
+                 Serve.serve_socket ?max_conns d ~path)
+         | None ->
+             Checked.protect ~where:"serve" (fun () ->
+                 let d = Serve.create ~capacity () in
+                 Serve.serve_channels d stdin stdout))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Evaluation daemon: read schema-versioned JSONL sweep requests \
+          (grid + seed + jobs/workers + optional deadline_ms) from stdin or \
+          a Unix socket and stream back sweep rows, a done summary with \
+          LRU context-cache counters per request, and structured error \
+          rows mapped onto the documented exit-code taxonomy.  Replay is \
+          byte-exact: responses never depend on jobs, workers or cache \
+          state.")
+    Term.(const run $ socket_arg $ capacity_arg $ max_conns_arg $ smoke_arg)
+
 (* ---- fuzz command --------------------------------------------------- *)
 
 let fuzz_cmd =
@@ -1597,5 +1777,5 @@ let () =
             experiment_cmd; lint_cmd; analyze_cmd; certify_cmd; yield_cmd;
             mc_cmd; sta_cmd; size_cmd; power_cmd; export_cmd; criticality_cmd;
             curve_cmd; report_cmd; hold_cmd; fmax_cmd; abb_cmd; vth_cmd;
-            sweep_cmd; fuzz_cmd;
+            sweep_cmd; serve_cmd; fuzz_cmd;
           ]))

@@ -43,6 +43,12 @@ run "$CLI" sweep --smoke
 run dune build @hier     # hierarchical-SSTA suite
 run "$CLI" sweep --smoke --hier
 
+# Serve gate: the evaluation daemon replays a golden transcript through
+# two fresh daemons and asserts byte-identical responses, served rows
+# independent of --jobs, honest LRU cache counters (cold misses, warm
+# hits) and a structured parse-error row for a truncated request.
+run "$CLI" serve --smoke
+
 # Analyzer gate: the JSON report must carry the current schema version
 # plus the failure-cone and sensitivity passes on both a gate-level
 # and a moments-only context.

@@ -371,6 +371,51 @@ module Ctx = struct
           ~gate:{ g with analyses; sizes; prune; revisions; hier = Some hier }
           pipeline
 
+  (* Canonical fingerprint of everything the estimators read from a
+     context.  Gate-level: the characterisation fingerprint (tech,
+     boundary load, flip-flop) plus the per-stage structure+sizes
+     hashes; moments-level: the stage delay decompositions, positions
+     and the full correlation matrix, all as exact float bits.  Two
+     contexts with equal fingerprints answer every estimator query
+     identically, which is what lets a long-running service key a
+     context cache on the inputs alone. *)
+  let fingerprint t =
+    let b = Buffer.create 256 in
+    let f x = Buffer.add_string b (Printf.sprintf "%.17g;" x) in
+    Buffer.add_string b (mode_name (mode t));
+    Buffer.add_char b '|';
+    (match t.gate with
+    | Some g ->
+        Buffer.add_string b
+          (Macro.Table.fingerprint ~output_load:g.output_load ?ff:g.ff g.tech);
+        Buffer.add_char b '|';
+        f g.pitch;
+        Array.iter
+          (fun net ->
+            Buffer.add_string b (Printf.sprintf "%016Lx;" (Macro.hash net)))
+          g.nets
+    | None ->
+        Buffer.add_string b "moments|";
+        Array.iter
+          (fun st ->
+            let d = st.Stage.delay in
+            f d.Spv_process.Gate_delay.nominal;
+            f d.Spv_process.Gate_delay.sigma_inter;
+            f d.Spv_process.Gate_delay.sigma_sys;
+            f d.Spv_process.Gate_delay.sigma_rand;
+            f st.Stage.position.Spv_process.Spatial.x;
+            f st.Stage.position.Spv_process.Spatial.y)
+          (Pipeline.stages t.pipeline);
+        Buffer.add_char b '|';
+        let corr = Pipeline.correlation t.pipeline in
+        let n = Pipeline.n_stages t.pipeline in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            f (Spv_stats.Correlation.get corr i j)
+          done
+        done);
+    Buffer.contents b
+
   let refresh_block t ~stage ~block =
     let where = "Engine.Ctx.refresh_block" in
     let g = require_gate ~where t in

@@ -205,6 +205,23 @@ module Ctx : sig
       sound, their netlists unchanged — are kept.  Gate-level contexts
       only; raises [Invalid_argument] out of range. *)
 
+  val fingerprint : t -> string
+  (** Canonical fingerprint of everything the estimators read from the
+      context.  Gate-level contexts encode the characterisation
+      fingerprint ({!Spv_circuit.Macro.Table.fingerprint}: technology
+      parameters, boundary load, flip-flop overhead), the layout pitch
+      and the per-stage structure+sizes hashes
+      ({!Spv_circuit.Macro.hash}); moments-level contexts encode the
+      per-stage delay decompositions, die positions and the full
+      correlation matrix as exact ([%.17g]) float bits.  The evaluation
+      mode prefixes both.  Two contexts with equal fingerprints answer
+      every estimator query identically, so a long-running service
+      (the [Spv_workload.Serve] daemon) can key its context cache on
+      the inputs alone and prove cache hits sound by comparing
+      fingerprints.
+      Recomputed per call (the sizes part must track mutation); cheap
+      integer/hash work, no re-analysis. *)
+
   val refresh_block : t -> stage:int -> block:int -> t
   (** [refresh_block ctx ~stage ~block] is {!refresh_stage} with the
       caller's assertion that the resize was confined to one macro

@@ -34,6 +34,7 @@ type t =
   | Internal_error of { where : string; message : string }
   | Certificate_refuted of { what : string; detail : string }
   | Oracle_violation of { invariant : string; detail : string }
+  | Deadline_exceeded of { where : string; budget_ms : int }
 
 let to_string = function
   | Io_error { path; message } -> Printf.sprintf "I/O error: %s: %s" path message
@@ -61,6 +62,9 @@ let to_string = function
       Printf.sprintf "certificate refuted: %s: %s" what detail
   | Oracle_violation { invariant; detail } ->
       Printf.sprintf "oracle violation [%s]: %s" invariant detail
+  | Deadline_exceeded { where; budget_ms } ->
+      Printf.sprintf "deadline exceeded in %s: budget %d ms spent" where
+        budget_ms
 
 (* Stable CLI contract — documented in README "Error handling & exit
    codes"; the fault-injection suite pins these values. *)
@@ -73,6 +77,7 @@ let exit_code = function
   | Internal_error _ -> 7
   | Certificate_refuted _ -> 8
   | Oracle_violation _ -> 9
+  | Deadline_exceeded _ -> 10
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 let pp_diagnostic fmt d = Format.pp_print_string fmt (diagnostic_to_string d)
@@ -85,6 +90,7 @@ let domain ~param message = Domain_error { param; message }
 let internal ~where message = Internal_error { where; message }
 let refuted ~what detail = Certificate_refuted { what; detail }
 let violation ~invariant detail = Oracle_violation { invariant; detail }
+let deadline ~where ~budget_ms = Deadline_exceeded { where; budget_ms }
 
 let of_parse_error ?path (e : Spv_circuit.Bench_format.parse_error) =
   Parse_error { path; line = e.line; message = e.message }

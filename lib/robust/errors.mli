@@ -48,6 +48,11 @@ type t =
           counterexample: a fuzzed (circuit, process, seed) triple on
           which an estimator invariant fails.  Like a refuted
           certificate, this is a definite answer, not a crash. *)
+  | Deadline_exceeded of { where : string; budget_ms : int }
+      (** A deadline-bounded request ([Spv_workload.Serve]) ran out of
+          its per-request budget before completing.  The work done so
+          far is discarded (no partial output); the input itself may
+          be perfectly fine. *)
 
 val to_string : t -> string
 (** One line, no trailing newline — what the CLI prints on stderr. *)
@@ -55,7 +60,7 @@ val to_string : t -> string
 val exit_code : t -> int
 (** Distinct documented process exit code per constructor:
     Io 2, Parse 3, Lint 4, Numeric 5, Domain 6, Internal 7,
-    Certificate_refuted 8, Oracle_violation 9. *)
+    Certificate_refuted 8, Oracle_violation 9, Deadline_exceeded 10. *)
 
 val pp : Format.formatter -> t -> unit
 
@@ -69,6 +74,7 @@ val domain : param:string -> string -> t
 val internal : where:string -> string -> t
 val refuted : what:string -> string -> t
 val violation : invariant:string -> string -> t
+val deadline : where:string -> budget_ms:int -> t
 
 val of_parse_error : ?path:string -> Spv_circuit.Bench_format.parse_error -> t
 val of_sample_error : where:string -> Spv_stats.Descriptive.sample_error -> t

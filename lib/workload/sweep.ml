@@ -25,6 +25,17 @@ type result = { rows : row array; n_contexts : int }
 
 let clamp01 v = Float.max 0.0 (Float.min 1.0 v)
 
+exception Stopped
+
+(* The importance estimator measures the loss directly; the yield is
+   derived.  Clamp the *loss* first and derive the yield from the
+   clamped value so the pair stays consistent: a self-normalised-weight
+   excursion (loss marginally above 1 or below 0) must never ship
+   [loss > 1] next to [yield = 0] in the same row. *)
+let importance_row (l : Engine.estimate) =
+  let loss = clamp01 l.Engine.value in
+  ({ l with Engine.value = 1.0 -. loss }, loss)
+
 let ctx_for ?(mode = Engine.Flat) ?macro_table ~tech source
     (process : Grid.process) =
   match source with
@@ -54,9 +65,12 @@ let ctx_for ?(mode = Engine.Flat) ?macro_table ~tech source
    at Monte-Carlo resolution; importance sampling estimates the loss
    directly and the yield is derived from it (bit-identical to
    [Engine.yield], which computes [1 - p_fail] the same way). *)
-let eval_method ~jobs ~seed ~n ~shards ?proposal ctx method_ targets =
+let eval_method ?(should_stop = fun () -> false) ~jobs ~seed ~n ~shards
+    ?proposal ctx method_ targets =
+  let check () = if should_stop () then raise Stopped in
   match (method_ : Engine.method_) with
   | Mc ->
+      check ();
       let estimates =
         Engine.yield_targets ~method_ ?jobs ~shards ~seed ~n ctx
           ~t_targets:targets
@@ -68,29 +82,32 @@ let eval_method ~jobs ~seed ~n ~shards ?proposal ctx method_ targets =
   | Adaptive_mc ->
       Array.map
         (fun t_target ->
+          check ();
           let e = Engine.yield ~method_ ?jobs ~shards ~seed ctx ~t_target in
           (e, Float.max 0.0 (1.0 -. e.Engine.value)))
         targets
   | Importance ->
       Array.map
         (fun t_target ->
+          check ();
           let l =
             Engine.yield_loss ~method_ ?proposal ?jobs ~shards ~seed ~n ctx
               ~t_target
           in
-          ({ l with Engine.value = clamp01 (1.0 -. l.Engine.value) },
-           l.Engine.value))
+          importance_row l)
         targets
   | Analytic_clark | Exact_independent | Quadrature ->
       Array.map
         (fun t_target ->
+          check ();
           let e = Engine.yield ~method_ ?jobs ~shards ~seed ~n ctx ~t_target in
           let l = Engine.yield_loss ~method_ ctx ~t_target in
           (e, l.Engine.value))
         targets
 
 let run ?(mode = Engine.Flat) ?proposal ?jobs ?(seed = Engine.default_seed)
-    ?(tech = Spv_process.Tech.bptm70) (grid : Grid.t) =
+    ?(tech = Spv_process.Tech.bptm70) ?ctx_provider
+    ?(should_stop = fun () -> false) (grid : Grid.t) =
   (match Grid.validate grid with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Sweep.run: " ^ msg));
@@ -101,16 +118,28 @@ let run ?(mode = Engine.Flat) ?proposal ?jobs ?(seed = Engine.default_seed)
      Contexts are built serially (jobs parallelises trials inside the
      engine, never context builds), so the per-context counter deltas
      below are schedule-independent and the JSONL stays byte-identical
-     across [jobs]. *)
-  let table =
-    match mode with
-    | Engine.Flat -> None
-    | Engine.Hierarchical -> Some (Macro.Table.create ())
-  in
-  let counters () =
-    match table with
-    | None -> (0, 0)
-    | Some t -> (Macro.Table.hits t, Macro.Table.misses t)
+     across [jobs].  A caller-supplied [ctx_provider] (the serve
+     daemon's LRU cache) replaces this table wholesale and reports its
+     own counter deltas. *)
+  let provider =
+    match ctx_provider with
+    | Some p -> p
+    | None ->
+        let table =
+          match mode with
+          | Engine.Flat -> None
+          | Engine.Hierarchical -> Some (Macro.Table.create ())
+        in
+        let counters () =
+          match table with
+          | None -> (0, 0)
+          | Some t -> (Macro.Table.hits t, Macro.Table.misses t)
+        in
+        fun source process ->
+          let hits0, misses0 = counters () in
+          let ctx = ctx_for ~mode ?macro_table:table ~tech source process in
+          let hits1, misses1 = counters () in
+          (ctx, (hits1 - hits0, misses1 - misses0))
   in
   let rows = ref [] in
   let index = ref 0 in
@@ -124,16 +153,13 @@ let run ?(mode = Engine.Flat) ?proposal ?jobs ?(seed = Engine.default_seed)
       in
       List.iter
         (fun process ->
-          let hits0, misses0 = counters () in
-          let ctx = ctx_for ~mode ?macro_table:table ~tech source process in
-          let hits1, misses1 = counters () in
-          let macro_hits = hits1 - hits0
-          and macro_misses = misses1 - misses0 in
+          if should_stop () then raise Stopped;
+          let ctx, (macro_hits, macro_misses) = provider source process in
           incr n_contexts;
           List.iter
             (fun method_ ->
               let evals =
-                eval_method ~jobs ~seed ~n:grid.Grid.n
+                eval_method ~should_stop ~jobs ~seed ~n:grid.Grid.n
                   ~shards:grid.Grid.shards ?proposal ctx method_
                   grid.Grid.targets
               in
@@ -180,17 +206,21 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* JSON has no representation for non-finite numbers: [%.17g] would
+   print [nan] or [inf] bare, corrupting the whole line for every
+   downstream parser.  Every float in every JSON writer must go through
+   this helper; the schema documents each float field as
+   number-or-null. *)
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
+
 let row_to_json r =
   let e = r.estimate in
   let hier_bound =
-    match e.Engine.hier_bound with
-    | None -> "null"
-    | Some b -> Printf.sprintf "%.17g" b
+    match e.Engine.hier_bound with None -> "null" | Some b -> json_float b
   in
   let ess =
-    match e.Engine.ess with
-    | None -> "null"
-    | Some s -> Printf.sprintf "%.17g" s
+    match e.Engine.ess with None -> "null" | Some s -> json_float s
   in
   let proposal =
     match e.Engine.proposal with
@@ -198,14 +228,17 @@ let row_to_json r =
     | Some p -> Printf.sprintf "\"%s\"" (Engine.proposal_used_name p)
   in
   Printf.sprintf
-    "{\"schema_version\":%d,\"scenario\":%d,\"source\":\"%s\",\"process\":\"%s\",\"method\":\"%s\",\"t_target\":%.17g,\"yield\":%.17g,\"std_error\":%.17g,\"n_samples\":%d,\"stop\":\"%s\",\"loss\":%.17g,\"hier_bound\":%s,\"macro_hits\":%d,\"macro_misses\":%d,\"ess\":%s,\"proposal\":%s}"
+    "{\"schema_version\":%d,\"scenario\":%d,\"source\":\"%s\",\"process\":\"%s\",\"method\":\"%s\",\"t_target\":%s,\"yield\":%s,\"std_error\":%s,\"n_samples\":%d,\"stop\":\"%s\",\"loss\":%s,\"hier_bound\":%s,\"macro_hits\":%d,\"macro_misses\":%d,\"ess\":%s,\"proposal\":%s}"
     schema_version r.scenario.index
     (json_escape r.scenario.source)
     (json_escape r.scenario.process)
     (Engine.method_name r.scenario.method_)
-    r.scenario.t_target e.Engine.value e.Engine.std_error e.Engine.n_samples
+    (json_float r.scenario.t_target)
+    (json_float e.Engine.value)
+    (json_float e.Engine.std_error)
+    e.Engine.n_samples
     (Engine.stop_reason_name e.Engine.stop)
-    r.loss hier_bound r.macro_hits r.macro_misses ess proposal
+    (json_float r.loss) hier_bound r.macro_hits r.macro_misses ess proposal
 
 let to_jsonl result =
   let buf = Buffer.create (Array.length result.rows * 160) in
@@ -216,6 +249,10 @@ let to_jsonl result =
     result.rows;
   Buffer.contents buf
 
+(* The output is positional — [result.(i)] answers [stage_counts.(i)]
+   — so duplicate or unsorted counts are well-defined (each entry is
+   an independent lookup into one shared prefix-max table), not an
+   error.  Only empty and non-positive inputs are rejected. *)
 let stage_count_sweep ~stage ~rho ~stage_counts =
   if Array.length stage_counts = 0 then
     invalid_arg "Sweep.stage_count_sweep: no stage counts";

@@ -52,6 +52,21 @@ type result = {
   n_contexts : int;  (** distinct (source, process) contexts built *)
 }
 
+exception Stopped
+(** Raised out of {!run} when its [should_stop] callback returns
+    [true] — the request's deadline passed.  No partial result
+    escapes: the caller gets the exception or the whole result. *)
+
+val importance_row :
+  Spv_engine.Engine.estimate -> Spv_engine.Engine.estimate * float
+(** Turn a raw importance-sampling loss estimate into a (yield
+    estimate, loss) row pair.  The loss is clamped to [[0, 1]] {e
+    first} and the yield derived as [1 - loss] from the clamped value,
+    so the pair is always consistent — a self-normalised-weight
+    excursion can push the raw estimate marginally outside [[0, 1]],
+    and clamping only the yield would ship [loss > 1] next to
+    [yield = 0] in the same row. *)
+
 val ctx_for :
   ?mode:Spv_engine.Engine.mode ->
   ?macro_table:Spv_circuit.Macro.Table.t ->
@@ -66,7 +81,11 @@ val ctx_for :
 val run :
   ?mode:Spv_engine.Engine.mode -> ?proposal:Spv_engine.Engine.proposal ->
   ?jobs:int -> ?seed:int ->
-  ?tech:Spv_process.Tech.t -> Grid.t -> result
+  ?tech:Spv_process.Tech.t ->
+  ?ctx_provider:
+    (Grid.source -> Grid.process -> Spv_engine.Engine.Ctx.t * (int * int)) ->
+  ?should_stop:(unit -> bool) ->
+  Grid.t -> result
 (** Evaluate the grid (defaults: engine seed 42, {!Spv_process.Tech.bptm70}).
     [proposal] (default [Legacy]) selects the importance-sampling
     proposal family for [Importance] scenarios — [Cone_guided] uses the
@@ -79,15 +98,32 @@ val run :
     re-characterises only the blocks it affects (asserted by the
     per-row counters).  Contexts are built serially regardless of
     [jobs], keeping the rows (counters included) byte-identical across
-    [jobs].  Raises [Invalid_argument] when {!Grid.validate} rejects
-    the grid. *)
+    [jobs].
+    [ctx_provider], when given, replaces the internal context-building
+    path entirely: it is called once per (source, process) pair in
+    expansion order and returns the context plus the
+    [(macro_hits, macro_misses)] deltas to stamp on that pair's rows —
+    this is how the serve daemon injects its LRU-cached contexts.
+    [should_stop] (default [fun () -> false]) is polled before each
+    context build and before each per-target estimator call; when it
+    returns [true], {!Stopped} is raised and no partial result
+    escapes.
+    Raises [Invalid_argument] when {!Grid.validate} rejects the
+    grid. *)
+
+val json_float : float -> string
+(** JSON encoding of one float: finite values print with [%.17g] so
+    they round-trip bit-exactly; NaN and infinities print as [null]
+    (JSON has no non-finite numbers — a bare [nan] token would corrupt
+    the line for every downstream parser).  Every float in every JSONL
+    writer of this repository routes through this helper. *)
 
 val row_to_json : row -> string
 (** One JSON object (single line, no trailing newline): keys
     [schema_version, scenario, source, process, method, t_target,
     yield, std_error, n_samples, stop, loss, hier_bound, macro_hits,
-    macro_misses, ess, proposal].  Floats printed with [%.17g] so
-    values round-trip bit-exactly; [hier_bound] is [null] for
+    macro_misses, ess, proposal].  Every float field is number-or-null
+    via {!json_float}; [hier_bound] is [null] for
     flat-mode rows; [ess] and [proposal] are [null] for
     non-importance rows, otherwise the effective sample size and the
     proposal actually used (["legacy"], ["cone"] or
@@ -103,4 +139,10 @@ val stage_count_sweep :
     correlation [rho], per stage count — bit-identical to
     {!Spv_core.Variability.pipeline_sigma_mu_vs_stages} but computed
     from one {!Spv_core.Clark.prefix_maxes} recursion over the largest
-    count instead of one Clark fold per count. *)
+    count instead of one Clark fold per count.
+
+    The output is positional: [result.(i)] answers [stage_counts.(i)].
+    Counts need not be sorted or distinct — each entry is an
+    independent lookup into the shared prefix-max table, so duplicates
+    yield (bit-)equal values and order is preserved.  Raises
+    [Invalid_argument] only for an empty array or a count [<= 0]. *)

@@ -257,6 +257,110 @@ let test_stage_count_sweep_matches_variability () =
         memoised)
     [ 0.0; 0.2; 0.5 ]
 
+(* ---- JSON float hygiene ---------------------------------------------- *)
+
+let test_json_float_nonfinite_emits_null () =
+  Alcotest.(check string) "nan" "null" (Sweep.json_float Float.nan);
+  Alcotest.(check string) "inf" "null" (Sweep.json_float Float.infinity);
+  Alcotest.(check string) "-inf" "null" (Sweep.json_float Float.neg_infinity);
+  (* finite values still round-trip bit-exactly *)
+  List.iter
+    (fun x ->
+      check_bits
+        (Printf.sprintf "%h round-trips" x)
+        x
+        (float_of_string (Sweep.json_float x)))
+    [ 0.3; 1e-300; -4.25; 8.4075768788727465e-193; 0.0 ]
+
+let estimate_with value =
+  {
+    Engine.value;
+    std_error = 0.01;
+    n_samples = 128;
+    method_ = Engine.Importance;
+    stop = Engine.Fixed_n;
+    hier_bound = None;
+    ess = Some 17.5;
+    proposal = Some Engine.Prop_legacy;
+  }
+
+(* Regression: a NaN estimate used to print bare [nan] via %.17g —
+   invalid JSON that corrupted the whole line downstream. *)
+let test_row_with_nan_estimate_stays_valid_json () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  let row =
+    {
+      Sweep.scenario =
+        {
+          Sweep.index = 0;
+          source = "m";
+          process = "nominal";
+          method_ = Engine.Importance;
+          t_target = 120.0;
+        };
+      estimate = { (estimate_with Float.nan) with Engine.ess = Some Float.nan };
+      loss = Float.infinity;
+      macro_hits = 0;
+      macro_misses = 0;
+    }
+  in
+  let json = Sweep.row_to_json row in
+  Alcotest.(check bool) "no bare nan token" false (contains json "nan");
+  Alcotest.(check bool) "no bare inf token" false (contains json "inf");
+  Alcotest.(check bool) "yield nulled" true (contains json "\"yield\":null");
+  Alcotest.(check bool) "loss nulled" true (contains json "\"loss\":null");
+  Alcotest.(check bool) "ess nulled" true (contains json "\"ess\":null");
+  Alcotest.(check bool) "finite fields untouched" true
+    (contains json "\"t_target\":120")
+
+(* ---- importance loss clamping ---------------------------------------- *)
+
+(* Regression: the Importance branch used to clamp only the derived
+   yield and report the raw estimate as loss, so a self-normalised
+   weight excursion could ship loss > 1 next to yield = 0. *)
+let test_importance_row_clamps_loss_and_yield_together () =
+  let check_pair name raw ~loss ~yield =
+    let e, l = Sweep.importance_row (estimate_with raw) in
+    check_bits (name ^ ": loss") loss l;
+    check_bits (name ^ ": yield") yield e.Engine.value;
+    Alcotest.(check bool) (name ^ ": consistent") true
+      (Float.abs (e.Engine.value +. l -. 1.0) < 1e-15)
+  in
+  check_pair "excursion above 1" 1.25 ~loss:1.0 ~yield:0.0;
+  check_pair "excursion below 0" (-0.25) ~loss:0.0 ~yield:1.0;
+  check_pair "in range untouched" 0.3 ~loss:0.3 ~yield:0.7;
+  check_pair "boundary" 1.0 ~loss:1.0 ~yield:0.0
+
+(* ---- stage_count_sweep positional contract --------------------------- *)
+
+let test_stage_count_sweep_duplicates_and_order () =
+  let stage = G.make ~mu:100.0 ~sigma:6.0 in
+  let unsorted = [| 8; 4; 8; 2 |] in
+  let r = Sweep.stage_count_sweep ~stage ~rho:0.3 ~stage_counts:unsorted in
+  Alcotest.(check int) "positional length" 4 (Array.length r);
+  check_bits "duplicate counts answer identically" r.(0) r.(2);
+  (* each entry equals the same count queried alone *)
+  Array.iteri
+    (fun i n ->
+      let alone =
+        Sweep.stage_count_sweep ~stage ~rho:0.3 ~stage_counts:[| n |]
+      in
+      check_bits (Printf.sprintf "slot %d (n=%d)" i n) alone.(0) r.(i))
+    unsorted;
+  (* the documented rejections *)
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Sweep.stage_count_sweep: no stage counts") (fun () ->
+      ignore (Sweep.stage_count_sweep ~stage ~rho:0.3 ~stage_counts:[||]));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Sweep.stage_count_sweep: stage count <= 0") (fun () ->
+      ignore (Sweep.stage_count_sweep ~stage ~rho:0.3 ~stage_counts:[| 3; 0 |]))
+
 (* ---- checked wrappers ------------------------------------------------ *)
 
 let test_checked_sweep_wrappers () =
@@ -302,6 +406,14 @@ let suite =
       test_deep_tail_loss_rows_nonzero;
     Alcotest.test_case "stage_count_sweep = per-count Clark, bit-exact" `Quick
       test_stage_count_sweep_matches_variability;
+    Alcotest.test_case "json_float: non-finite floats emit null" `Quick
+      test_json_float_nonfinite_emits_null;
+    Alcotest.test_case "row_to_json: NaN/inf estimates stay valid JSON" `Quick
+      test_row_with_nan_estimate_stays_valid_json;
+    Alcotest.test_case "importance_row: loss and yield clamped together"
+      `Quick test_importance_row_clamps_loss_and_yield_together;
+    Alcotest.test_case "stage_count_sweep: positional, duplicates allowed"
+      `Quick test_stage_count_sweep_duplicates_and_order;
     Alcotest.test_case "checked wrappers: typed errors and validated rows"
       `Quick test_checked_sweep_wrappers;
   ]
